@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+The reference LM and calibrated thresholds are expensive (about a minute
+of training on first use); they are session-scoped here and disk-cached
+under ``.cache/`` by :mod:`repro.eval.pretrained`, so repeated benchmark
+runs skip straight to measurement.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def reference_model():
+    from repro.eval.pretrained import get_reference_model
+
+    return get_reference_model()
+
+
+@pytest.fixture(scope="session")
+def calibrated_thresholds(reference_model):
+    from repro.eval.pretrained import get_calibrated_thresholds
+
+    return get_calibrated_thresholds()

@@ -1,0 +1,52 @@
+"""Ablation bench: chunk width (DESIGN.md §5).
+
+The paper picks three 4-bit chunks for 12-bit operands.  Narrower chunks
+allow earlier pruning (finer-grained stopping) but multiply the request
+count and the margin checks; wider chunks fetch more bits before the first
+decision.  This bench sweeps 2/4/6-bit chunks at a fixed threshold.
+"""
+
+from repro.core import QuantConfig, TokenPickerConfig, token_picker_scores
+from repro.utils.tables import format_table
+from repro.workloads import sample_workload
+
+
+def run_chunk_width_ablation(n_instances=6, context=512, seed=5, threshold=2e-3):
+    workload = sample_workload(context, n_instances=n_instances, seed=seed)
+    out = {}
+    for chunk_bits in (2, 4, 6):
+        quant = QuantConfig(total_bits=12, chunk_bits=chunk_bits)
+        cfg = TokenPickerConfig(threshold=threshold, quant=quant)
+        stats = None
+        for inst in workload:
+            r = token_picker_scores(inst.q, inst.keys, cfg)
+            stats = r.stats if stats is None else stats.merged(r.stats)
+        out[chunk_bits] = {
+            "k_bits_per_token": stats.k_bits_fetched / stats.n_tokens,
+            "requests_per_token": stats.k_chunks_fetched / stats.n_tokens,
+            "keep_fraction": stats.n_kept / stats.n_tokens,
+        }
+    return out
+
+
+def test_ablation_chunk_width(benchmark):
+    result = benchmark.pedantic(run_chunk_width_ablation, rounds=1, iterations=1)
+    rows = [
+        [f"{cb}-bit x {12 // cb}", f"{d['k_bits_per_token']:.1f}",
+         f"{d['requests_per_token']:.2f}", f"{d['keep_fraction']:.1%}"]
+        for cb, d in result.items()
+    ]
+    print("\n" + format_table(
+        rows,
+        headers=["chunking", "K bits/token", "requests/token", "kept"],
+        title="Ablation - chunk width (12-bit operands, thr 2e-3)",
+    ))
+    # keep decisions are nearly chunking-independent (same final scores)
+    keeps = [d["keep_fraction"] for d in result.values()]
+    assert max(keeps) - min(keeps) < 0.05
+    # finer chunks fetch fewer K bits but issue more requests
+    assert result[2]["k_bits_per_token"] <= result[6]["k_bits_per_token"]
+    assert result[2]["requests_per_token"] >= result[6]["requests_per_token"]
+    benchmark.extra_info["k_bits_per_token"] = {
+        str(k): round(v["k_bits_per_token"], 1) for k, v in result.items()
+    }

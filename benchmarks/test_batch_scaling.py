@@ -1,0 +1,40 @@
+"""Bench: end-to-end batch scaling — ties Fig. 2 to Fig. 10.
+
+ToPick accelerates the attention engine; the *serving* benefit depends on
+how much of the step traffic is KV.  This bench combines the Fig. 2
+memory model with the measured attention-level reduction to produce the
+end-to-end decode-step speedup across batch sizes.
+"""
+
+from repro.eval.batching import asymptotic_speedup, batch_scaling_curve
+from repro.model.config import get_model_config
+from repro.utils.tables import format_table
+
+ATTENTION_REDUCTION = 2.85  # measured Fig. 8 total reduction (ToPick)
+
+
+def run_batch_scaling(model_name="opt-6.7b", reduction=ATTENTION_REDUCTION):
+    cfg = get_model_config(model_name)
+    return batch_scaling_curve(cfg, reduction)
+
+
+def test_batch_scaling(benchmark):
+    points = benchmark(run_batch_scaling)
+    rows = [
+        [p.batch_size, f"{p.kv_fraction:.1%}", f"{p.step_speedup:.2f}x"]
+        for p in points
+    ]
+    print("\n" + format_table(
+        rows,
+        headers=["batch", "KV fraction", "end-to-end step speedup"],
+        title=f"Batch scaling, opt-6.7b, attention reduction "
+              f"{ATTENTION_REDUCTION}x",
+    ))
+    speedups = [p.step_speedup for p in points]
+    # monotone in batch size, small at B=1, approaching the attention-level
+    # reduction at large batch (the paper's serving argument)
+    assert all(a <= b + 1e-12 for a, b in zip(speedups, speedups[1:]))
+    assert speedups[0] < 1.2
+    assert asymptotic_speedup(points) > 0.6 * ATTENTION_REDUCTION
+    benchmark.extra_info["speedup_b1"] = round(speedups[0], 3)
+    benchmark.extra_info["speedup_b64"] = round(speedups[-1], 3)

@@ -1,0 +1,36 @@
+"""Bench: regenerate Fig. 10 (speedup + energy breakdown, 8 models)."""
+
+from repro.eval.experiments.fig10 import run_fig10
+
+
+def test_fig10_speedup_energy(benchmark, calibrated_thresholds):
+    result = benchmark.pedantic(
+        run_fig10,
+        kwargs={"thresholds": calibrated_thresholds, "n_instances": 3},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.format())
+
+    # Fig. 10(a) shape: every model speeds up; -0.3 at least as fast.
+    for row in result.rows_by_model:
+        assert row.speedup["topick"] > 1.3
+        assert row.speedup["topick-0.3"] >= row.speedup["topick"] - 0.05
+        # Fig. 10(b): energy drops below baseline everywhere
+        assert row.normalized_energy["topick"] < 0.75
+        assert row.normalized_energy["topick-0.3"] <= (
+            row.normalized_energy["topick"] + 0.02
+        )
+
+    # aggregate factors in the paper's neighbourhood
+    assert 1.5 < result.mean_speedup["topick"] < 3.5        # paper 2.28x
+    assert result.mean_speedup["topick-0.3"] >= result.mean_speedup["topick"]
+    assert 1.5 < result.mean_energy_efficiency["topick"] < 4.0  # paper 2.41x
+    # the ablation split: estimation alone helps; OoO multiplies further
+    assert result.ablation["estimation_only"] > 1.3        # paper 1.73x
+    assert result.ablation["ooo_multiplier"] > 1.0         # paper 1.32x
+    benchmark.extra_info["mean_speedup_topick"] = round(
+        result.mean_speedup["topick"], 2
+    )
+    benchmark.extra_info["ooo_multiplier"] = round(
+        result.ablation["ooo_multiplier"], 2
+    )

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 2 (memory-transfer breakdown vs batch size)."""
+
+from repro.eval.experiments.fig2 import PAPER_KV_FRACTION, run_fig2
+
+
+def test_fig2_memory_breakdown(benchmark):
+    result = benchmark(run_fig2)
+    print("\n" + result.format())
+
+    # Shape checks against the paper: KV fraction small at B=1, dominant at
+    # B=64, monotone in batch size.
+    kv = result.kv_by_batch
+    assert kv[1] < 0.20, "KV share at B=1 should be minor"
+    assert kv[64] > 0.75, "KV share at B=64 should dominate"
+    batches = sorted(kv)
+    assert all(kv[a] < kv[b] for a, b in zip(batches, batches[1:]))
+    # within a few points of the paper's averages
+    assert abs(kv[1] - PAPER_KV_FRACTION[1]) < 0.05
+    assert abs(kv[64] - PAPER_KV_FRACTION[64]) < 0.06
+    benchmark.extra_info["kv_fraction_b1"] = kv[1]
+    benchmark.extra_info["kv_fraction_b64"] = kv[64]

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 3 (score-distribution variability)."""
+
+from repro.eval.experiments.fig3 import run_fig3
+
+
+def test_fig3_score_distribution(benchmark):
+    result = benchmark(run_fig3)
+    print("\n" + result.format())
+
+    a, b = result.hist_a, result.hist_b
+    # Paper: A has ~4.6% dominant tokens, B ~23.5% — an instance gap of 5x+
+    assert a.dominant_fraction < 0.10
+    assert b.dominant_fraction > 0.15
+    assert b.dominant_tokens > 3 * a.dominant_tokens
+    # wider score distribution -> fewer dominant tokens
+    assert a.score_std > b.score_std
+    # population spread covers both regimes (what defeats fixed ratios)
+    fr = result.population_fractions
+    assert fr[-1] > 2 * max(fr[0], 1e-3)
+    benchmark.extra_info["dominant_a"] = a.dominant_tokens
+    benchmark.extra_info["dominant_b"] = b.dominant_tokens

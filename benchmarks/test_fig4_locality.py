@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 4 (attention locality heatmap + margins)."""
+
+from repro.eval.experiments.fig4 import run_fig4
+
+
+def test_fig4_locality(benchmark, reference_model):
+    result = benchmark(run_fig4, model=reference_model)
+    print("\n" + result.format())
+
+    # Fig. 4(a) shape: recent tokens and the sink carry disproportionate
+    # mass relative to the (much larger) middle region per-token.
+    profile = result.profile
+    n_recent = profile.shape[1] - 2
+    # the newest few positions alone out-weigh their uniform share
+    recent_mass = profile[:, 2:].sum(axis=1)
+    assert recent_mass.mean() > n_recent / 192  # uniform share over window
+    # the current token column is the single heaviest recent column on
+    # average (locality)
+    assert result.summary["mean_recent_mass"] > 0.1
+    # Fig. 4(b): margins shrink monotonically to zero and always bound truth
+    widths = result.margin_widths
+    assert all(a >= b for a, b in zip(widths, widths[1:]))
+    assert widths[-1] == 0.0
+    assert result.margin_contains_truth
+    benchmark.extra_info["mean_sink_mass"] = result.summary["mean_sink_mass"]
+    benchmark.extra_info["mean_recent_mass"] = result.summary["mean_recent_mass"]

@@ -1,0 +1,40 @@
+"""Bench: regenerate Fig. 8 (normalized DRAM access + PPL, 8 models)."""
+
+from repro.eval.experiments.fig8 import run_fig8
+
+
+def test_fig8_dram_access(benchmark, calibrated_thresholds):
+    result = benchmark.pedantic(
+        run_fig8,
+        kwargs={"thresholds": calibrated_thresholds, "n_instances": 4},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.format())
+
+    # Shape checks (Sec. 5.2.1): both configurations reduce traffic on every
+    # model; ToPick-0.3 prunes at least as much as ToPick everywhere.
+    for row in result.rows_by_model:
+        assert row.normalized_access["topick"] < 1.0
+        assert (
+            row.normalized_access["topick-0.3"]
+            <= row.normalized_access["topick"] + 1e-9
+        )
+        assert row.v_ratio["topick"] > 1.5
+        assert 1.0 < row.k_reduction["topick"] <= 3.0
+
+    agg = result.aggregates
+    # order-of-magnitude agreement with the paper's aggregates
+    assert agg["topick"]["v_ratio"] > 4.0       # paper 12.1x
+    assert agg["topick-0.3"]["v_ratio"] >= agg["topick"]["v_ratio"]
+    assert 1.2 < agg["topick"]["k_reduction"] < 2.2   # paper 1.45x
+    assert agg["topick"]["total_reduction"] > 1.8     # paper 2.57x
+    # the PPL line: pruned PPL within the calibrated budgets (+ small slack
+    # for bisection resolution at the PPL knee)
+    if result.ppl:
+        assert result.ppl["topick"] <= result.ppl["baseline"] + 0.05 + 0.05
+        assert result.ppl["topick-0.3"] <= result.ppl["baseline"] + 0.3 + 0.05
+    for name, a in agg.items():
+        benchmark.extra_info[f"{name}_v_ratio"] = round(a["v_ratio"], 2)
+        benchmark.extra_info[f"{name}_total_reduction"] = round(
+            a["total_reduction"], 2
+        )

@@ -1,0 +1,34 @@
+"""Bench: regenerate Fig. 9 (memory access vs SpAtten, GPT2-Medium)."""
+
+from repro.eval.experiments.fig9 import FIG9_CELLS, PAPER_FIG9, run_fig9
+
+
+def test_fig9_spatten(benchmark, calibrated_thresholds):
+    result = benchmark.pedantic(
+        run_fig9,
+        kwargs={"threshold": calibrated_thresholds["topick-0.5"], "n_instances": 4},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.format())
+
+    cells = result.cells
+    # every design beats the baseline in every cell
+    for cell in cells:
+        for design in ("spatten", "spatten_ft", "topick-0.5"):
+            assert cell.normalized[design] < 1.0
+        # fine-tuning always helps SpAtten
+        assert cell.normalized["spatten_ft"] < cell.normalized["spatten"]
+
+    # Paper shape: ToPick-0.5 beats un-fine-tuned SpAtten in ALL cells and
+    # beats SpAtten* except possibly at the longest-prompt cell (768-1024),
+    # where the cascade's persistent pruning catches up.
+    for cell in cells:
+        assert cell.normalized["topick-0.5"] < cell.normalized["spatten"]
+    short_prompt_cells = [c for c in cells if c.prompt_len == 256]
+    for cell in short_prompt_cells:
+        assert cell.normalized["topick-0.5"] <= cell.normalized["spatten_ft"] + 0.05
+
+    # ToPick's access is nearly flat across cells (it has no cascade warmup)
+    tp = [c.normalized["topick-0.5"] for c in cells]
+    assert max(tp) - min(tp) < 0.15
+    benchmark.extra_info["topick_cells"] = [round(v, 3) for v in tp]

@@ -1,0 +1,62 @@
+"""Bench: software throughput of the core kernels.
+
+Unlike the figure benches (single-shot experiment regeneration), these are
+repeated-timing microbenchmarks of the library's hot paths — the numbers a
+user integrating the pruner cares about.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    QuantConfig,
+    TokenPickerConfig,
+    margin_pairs,
+    quantize,
+    token_picker_attention_batched,
+    token_picker_scores,
+)
+from repro.workloads import sample_workload
+
+QUANT = QuantConfig()
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return sample_workload(1024, n_instances=1, seed=0)[0]
+
+
+@pytest.fixture(scope="module")
+def head_batch():
+    rng = np.random.default_rng(1)
+    h, t, d = 8, 1024, 64
+    keys = rng.normal(size=(h, t, d))
+    values = rng.normal(size=(h, t, d))
+    q = keys[:, -1] + keys[:, 0] + 0.5 * rng.normal(size=(h, d))
+    return q, keys, values
+
+
+def test_quantize_throughput(benchmark, instance):
+    result = benchmark(quantize, instance.keys, QUANT)
+    assert result.values.shape == instance.keys.shape
+
+
+def test_margin_generator_throughput(benchmark, instance):
+    q_codes = quantize(instance.q, QUANT).values.astype(np.int64)
+    margins = benchmark(margin_pairs, q_codes, QUANT)
+    assert margins.width(QUANT.n_chunks) == 0.0
+
+
+def test_single_instance_pruning_throughput(benchmark, instance):
+    cfg = TokenPickerConfig(threshold=2e-3)
+    result = benchmark(token_picker_scores, instance.q, instance.keys, cfg)
+    assert result.stats.n_kept >= 1
+
+
+def test_batched_kernel_throughput(benchmark, head_batch):
+    q, keys, values = head_batch
+    cfg = TokenPickerConfig(threshold=2e-3)
+    result = benchmark(token_picker_attention_batched, q, keys, values, cfg)
+    assert result.outputs.shape == q.shape
+    # throughput context for the reader: tokens processed per call
+    benchmark.extra_info["tokens_per_call"] = int(np.prod(result.kept.shape))

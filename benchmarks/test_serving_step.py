@@ -1,0 +1,36 @@
+"""Bench: cycle-level batched serving step (Fig. 2 -> Fig. 10 link)."""
+
+from repro.core import TokenPickerConfig
+from repro.hw.serving import ServingSimulator
+from repro.model.config import get_model_config
+from repro.utils.tables import format_table
+
+
+def run_serving_bench():
+    sim = ServingSimulator(
+        get_model_config("gpt2-medium"), context_length=1024,
+        config=TokenPickerConfig(threshold=2e-3),
+        n_sample_instances=2, seed=2,
+    )
+    return sim.speedup_curve(batch_sizes=(1, 4, 16, 64))
+
+
+def test_serving_step(benchmark):
+    curve = benchmark.pedantic(run_serving_bench, rounds=1, iterations=1)
+    rows = [
+        [p["batch_size"], f"{p['attention_fraction']:.1%}", f"{p['speedup']:.2f}x"]
+        for p in curve
+    ]
+    print("\n" + format_table(
+        rows,
+        headers=["batch", "attention share (baseline)", "end-to-end speedup"],
+        title="Serving step: ToPick end-to-end speedup vs batch "
+              "(gpt2-medium, ctx 1024, cycle sim)",
+    ))
+    speedups = [p["speedup"] for p in curve]
+    fractions = [p["attention_fraction"] for p in curve]
+    assert all(a <= b + 1e-9 for a, b in zip(speedups, speedups[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(fractions, fractions[1:]))
+    assert speedups[0] < 1.3  # weights dominate at B=1
+    assert speedups[-1] > 1.4  # KV dominates at B=64
+    benchmark.extra_info["speedups"] = [round(s, 3) for s in speedups]

@@ -1,0 +1,22 @@
+"""Bench: regenerate Table 1 (hardware configuration)."""
+
+from repro.eval.experiments.tables import run_table1
+from repro.hw.params import HardwareParams
+
+
+def test_table1_config(benchmark):
+    result = benchmark(run_table1)
+    print("\n" + result.format())
+
+    p = result.params
+    # the paper's configuration
+    assert p.n_channels == 8
+    assert p.peak_bandwidth_gbs == 256.0  # 8 x 32 GB/s
+    assert p.n_lanes == 16
+    assert p.lane_dim == 64
+    assert p.scoreboard_entries == 32
+    assert p.quant.total_bits == 12 and p.quant.n_chunks == 3
+    assert p.clock_ghz == 0.5
+    # the bandwidth/compute balance Sec. 5.1.2 relies on: 16 lanes x 32 B
+    # chunks per cycle == DRAM bytes per cycle
+    assert p.n_lanes * p.chunk_bytes(64) == p.bytes_per_cycle

@@ -1,0 +1,21 @@
+"""Bench: regenerate Table 2 (area/power breakdown and overheads)."""
+
+from repro.eval.experiments.tables import run_table2
+
+
+def test_table2_area_power(benchmark):
+    result = benchmark(run_table2)
+    print("\n" + result.format())
+
+    r = result.report
+    # paper totals: 8.593 mm^2 / 1492.78 mW (within 15%: the paper's lane
+    # row bundles glue logic our per-module sum counts separately)
+    assert abs(r.total_area - 8.593) / 8.593 < 0.15
+    assert abs(r.total_power - 1492.78) / 1492.78 < 0.15
+    # Sec. 5.2.3 overheads
+    assert abs(r.v_module_area_overhead - 0.010) < 0.005
+    assert abs(r.v_module_power_overhead - 0.013) < 0.006
+    assert abs(r.k_module_area_overhead - 0.049) < 0.015
+    assert abs(r.k_module_power_overhead - 0.056) < 0.015
+    benchmark.extra_info["total_area_mm2"] = round(r.total_area, 3)
+    benchmark.extra_info["total_power_mw"] = round(r.total_power, 2)

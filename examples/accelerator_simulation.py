@@ -1,0 +1,63 @@
+"""ToPick accelerator simulation: baseline vs estimation-only vs OoO.
+
+Runs the cycle-approximate hardware model on a GPT2-XL-shaped generation
+workload (context 1024) and prints per-variant cycles, DRAM traffic, and
+the energy breakdown of Fig. 10(b) — including the in-order ablation that
+shows why the Scoreboard/out-of-order engine is necessary.
+
+Run:  python examples/accelerator_simulation.py
+"""
+
+from repro.core import TokenPickerConfig
+from repro.hw import ToPickAccelerator
+from repro.hw.accelerator import VARIANTS
+from repro.utils.tables import format_table
+from repro.workloads import sample_workload
+
+
+def main() -> None:
+    context = 1024
+    workload = sample_workload(context, head_dim=64, n_instances=6, seed=3)
+    acc = ToPickAccelerator(config=TokenPickerConfig(threshold=2e-3))
+
+    rows = []
+    baseline = None
+    for variant in VARIANTS:
+        r = acc.run_workload(workload, variant=variant)
+        if variant == "baseline":
+            baseline = r
+        e = r.energy()
+        be = baseline.energy()
+        rows.append(
+            [
+                variant,
+                r.cycles,
+                f"{baseline.cycles / r.cycles:.2f}x",
+                f"{r.dram_bytes / 1024:.0f} KiB",
+                f"{r.access_reduction:.2f}x",
+                f"{e.total / be.total:.2f}",
+                f"{e.dram / be.total:.2f}/"
+                f"{e.onchip_buffer / be.total:.2f}/"
+                f"{e.compute / be.total:.2f}",
+            ]
+        )
+
+    print(
+        format_table(
+            rows,
+            headers=["variant", "cycles", "speedup", "DRAM", "access red.",
+                     "energy (norm)", "dram/buf/comp"],
+            title=f"ToPick accelerator, context {context}, "
+                  f"{len(workload)} attention instances",
+        )
+    )
+    print(
+        "\nnotes: v_only = probability estimation with full K streaming "
+        "(paper's 1.73x design point);\n"
+        "topick = + out-of-order on-demand K chunks; topick_inorder = "
+        "the blocking ablation that motivates the Scoreboard."
+    )
+
+
+if __name__ == "__main__":
+    main()

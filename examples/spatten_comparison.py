@@ -1,0 +1,48 @@
+"""Fig. 9-style comparison against SpAtten on GPT2-Medium.
+
+Sweeps the paper's prompt/ending configurations and prints the normalized
+K/V access of SpAtten (with and without the fine-tuned schedule) versus
+Token-Picker at a +0.5 PPL-style threshold — illustrating why adaptive
+per-instance pruning beats fixed keep ratios except at very long prompts.
+
+Run:  python examples/spatten_comparison.py
+"""
+
+from repro.eval.experiments.fig9 import FIG9_CELLS, run_fig9
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    # A fixed threshold keeps the example self-contained (no LM training);
+    # `tokenpicker fig9` uses the calibrated +0.5 PPL threshold instead.
+    result = run_fig9(threshold=8e-3, n_instances=4)
+    print(result.format())
+
+    rows = []
+    for cell in result.cells:
+        rows.append(
+            [
+                f"{cell.prompt_len}-{cell.end_len}",
+                f"{cell.k_normalized['spatten']:.2f}",
+                f"{cell.k_normalized['topick-0.5']:.2f}",
+                f"{cell.v_normalized['spatten']:.2f}",
+                f"{cell.v_normalized['topick-0.5']:.2f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            rows,
+            headers=["prompt-end", "K SpAtten", "K ToPick", "V SpAtten", "V ToPick"],
+            title="K / V access split (normalized to baseline)",
+        )
+    )
+    print(
+        "\nSpAtten's cascade shines on long prompts (768-1024: tokens pruned "
+        "early stay pruned);\nToken-Picker wins everywhere else because it "
+        "adapts to each instance without fine-tuning."
+    )
+
+
+if __name__ == "__main__":
+    main()

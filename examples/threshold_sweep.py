@@ -1,0 +1,68 @@
+"""The pruning-quality frontier: threshold vs PPL vs memory traffic.
+
+Sweeps the prune threshold on the reference LM and prints the trade-off
+curve the paper's named configurations (ToPick / ToPick-0.3 / ToPick-0.5)
+are three points of.  Also demonstrates the calibration utility that turns
+a PPL budget into a threshold.
+
+Run:  python examples/threshold_sweep.py
+"""
+
+import numpy as np
+
+from repro.core import TokenPickerConfig
+from repro.core.thresholds import calibrate_threshold
+from repro.eval.perplexity import (
+    PPLDeltaMetric,
+    backend_perplexity_and_traffic,
+    corpus_perplexity,
+)
+from repro.eval.pretrained import get_reference_model, reference_corpus
+from repro.model.attention import TokenPickerBackend
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    model = get_reference_model()
+    _, eval_tokens = reference_corpus()
+    ref = corpus_perplexity(model, eval_tokens, window=192, max_windows=3)
+    print(f"exact-attention reference PPL: {ref.ppl:.3f}\n")
+
+    rows = []
+    for thr in np.geomspace(3e-4, 3e-2, 9):
+        result, counter = backend_perplexity_and_traffic(
+            model, eval_tokens,
+            lambda: TokenPickerBackend(TokenPickerConfig(threshold=thr)),
+            window=192, max_windows=3,
+        )
+        rows.append(
+            [
+                f"{thr:.1e}",
+                f"{result.ppl:.3f}",
+                f"{result.ppl - ref.ppl:+.3f}",
+                f"{counter.keep_fraction:.1%}",
+                f"{counter.v_pruning_ratio:.1f}x",
+                f"{counter.k_reduction:.2f}x",
+                f"{counter.total_reduction:.2f}x",
+            ]
+        )
+    print(
+        format_table(
+            rows,
+            headers=["threshold", "PPL", "dPPL", "kept", "V ratio", "K red", "total"],
+            title="threshold sweep (reference LM, held-out corpus)",
+        )
+    )
+
+    print("\ncalibrating a threshold for a +0.3 PPL budget...")
+    metric = PPLDeltaMetric(model, eval_tokens, window=192, max_windows=2)
+    result = calibrate_threshold(metric, budget=0.3, iterations=6)
+    print(
+        f"  -> thr = {result.threshold:.2e} "
+        f"(measured dPPL {result.metric_value:+.3f}, "
+        f"{result.evaluations} evaluations)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    tokenpicker fig2            # memory breakdown
+    tokenpicker fig3            # score-distribution variability
+    tokenpicker fig4            # locality heatmap + margins
+    tokenpicker fig8            # normalized DRAM access + PPL
+    tokenpicker fig9            # SpAtten comparison
+    tokenpicker fig10           # speedup + energy
+    tokenpicker table1 table2   # hardware configuration, area/power
+    tokenpicker all             # everything
+
+``fig4``/``fig8``/``fig9``/``fig10`` need the reference LM; the first run
+trains it (about a minute) and caches the weights under ``.cache/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+EXPERIMENTS = ("fig2", "fig3", "fig4", "fig8", "fig9", "fig10", "table1", "table2")
+
+
+def _run_one(name: str, fast: bool) -> str:
+    from repro.eval import experiments as ex
+
+    if name == "fig2":
+        return ex.run_fig2().format()
+    if name == "fig3":
+        return ex.run_fig3().format()
+    if name == "fig4":
+        return ex.run_fig4().format()
+    if name == "fig8":
+        return ex.run_fig8(
+            n_instances=3 if fast else 8, measure_ppl=not fast
+        ).format()
+    if name == "fig9":
+        return ex.run_fig9(n_instances=3 if fast else 8).format()
+    if name == "fig10":
+        return ex.run_fig10(n_instances=2 if fast else 4).format()
+    if name == "table1":
+        return ex.run_table1().format()
+    if name == "table2":
+        return ex.run_table2().format()
+    raise KeyError(name)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="tokenpicker",
+        description="Regenerate the Token-Picker paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=EXPERIMENTS + ("all",),
+        help="which artifacts to regenerate",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="smaller workloads / skip PPL lines (for smoke runs)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="unused; kept for compatibility"
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for name in names:
+        start = time.time()
+        output = _run_one(name, args.fast)
+        elapsed = time.time() - start
+        print(output)
+        print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Token-Picker core: the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.config.QuantConfig`,
+  :class:`~repro.core.config.TokenPickerConfig` — formats and policy.
+* :func:`~repro.core.pruning.token_picker_attention` — pruned attention for
+  one (q, K, V) instance with certified safety and access accounting.
+* :func:`~repro.core.pruning.token_picker_scores` — step 0 only.
+* :class:`~repro.core.ooo.OutOfOrderEngine` — the latency-aware scheduler.
+* :func:`~repro.core.thresholds.calibrate_threshold` — quality-budget
+  threshold search.
+"""
+
+from repro.core.attention import (
+    ApproximationError,
+    dominant_token_count,
+    exact_attention,
+    exact_attention_probs,
+    pruning_error,
+)
+from repro.core.config import (
+    PRESET_PPL_BUDGETS,
+    QuantConfig,
+    TokenPickerConfig,
+)
+from repro.core.estimator import (
+    DenominatorAggregator,
+    PruneRule,
+    certified_upper_bounds,
+    true_probabilities,
+)
+from repro.core.margins import MarginPairs, margin_pairs, margin_pairs_batch, score_bounds
+from repro.core.ooo import OoOConfig, OoOResult, OutOfOrderEngine
+from repro.core.ordering import order_rank, processing_order
+from repro.core.pruning import (
+    BatchedPickerResult,
+    PruneStats,
+    TokenPickerResult,
+    exact_threshold_pruning,
+    multi_head_token_picker,
+    token_picker_attention,
+    token_picker_attention_batched,
+    token_picker_scores,
+)
+from repro.core.quantization import (
+    QuantizedTensor,
+    assemble_from_chunks,
+    chunk_plane_values,
+    compute_scale,
+    dequantize,
+    partial_values,
+    quantize,
+    split_chunks,
+)
+from repro.core.thresholds import (
+    CalibrationResult,
+    calibrate_presets,
+    calibrate_threshold,
+    scale_threshold_for_context,
+)
+from repro.core.session import SessionScales, TokenPickerSession
+from repro.core.verification import (
+    CertificateViolation,
+    VerificationReport,
+    verify_result,
+)
+
+__all__ = [
+    "ApproximationError",
+    "SessionScales",
+    "TokenPickerSession",
+    "CertificateViolation",
+    "VerificationReport",
+    "scale_threshold_for_context",
+    "verify_result",
+    "BatchedPickerResult",
+    "token_picker_attention_batched",
+    "CalibrationResult",
+    "DenominatorAggregator",
+    "MarginPairs",
+    "OoOConfig",
+    "OoOResult",
+    "OutOfOrderEngine",
+    "PRESET_PPL_BUDGETS",
+    "PruneRule",
+    "PruneStats",
+    "QuantConfig",
+    "QuantizedTensor",
+    "TokenPickerConfig",
+    "TokenPickerResult",
+    "assemble_from_chunks",
+    "calibrate_presets",
+    "calibrate_threshold",
+    "certified_upper_bounds",
+    "chunk_plane_values",
+    "compute_scale",
+    "dequantize",
+    "dominant_token_count",
+    "exact_attention",
+    "exact_attention_probs",
+    "exact_threshold_pruning",
+    "margin_pairs",
+    "margin_pairs_batch",
+    "multi_head_token_picker",
+    "order_rank",
+    "partial_values",
+    "processing_order",
+    "pruning_error",
+    "quantize",
+    "score_bounds",
+    "split_chunks",
+    "token_picker_attention",
+    "token_picker_scores",
+    "true_probabilities",
+]

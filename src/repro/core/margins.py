@@ -1,0 +1,120 @@
+"""Margin generation: score bounds from partially-known keys (Fig. 4b).
+
+Given the full query ``q`` (integer codes) and the first ``b`` chunks of a
+key ``k``, the true integer dot product satisfies::
+
+    ps_b + M_min(b) <= q . k <= ps_b + M_max(b)
+
+where ``ps_b = q . partial(k, b)`` and the margin pair depends on **q
+only** (the paper's Margin Generator computes all pairs once per query,
+before step 0 begins)::
+
+    M_max(b) = (sum of positive q_d) * residual_max(b)
+    M_min(b) = (sum of negative q_d) * residual_max(b)
+
+because each unknown low-bit residual ``r_d`` ranges over
+``[0, residual_max(b)]`` independently, and ``q_d * r_d`` is maximised by
+``r_d = residual_max`` when ``q_d > 0`` and by ``r_d = 0`` when ``q_d < 0``
+(Sec. 3.1: set unknown bits of K to 1 for positive Q elements to get the
+maximum score, flip for the minimum).
+
+For ``b = 0`` (no chunks at all) the bound must also cover the unknown sign
+bit; :func:`margin_pairs` handles that case for completeness even though the
+pipeline always fetches chunk 0 first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import QuantConfig
+
+
+@dataclass(frozen=True)
+class MarginPairs:
+    """Per-chunk-index margin pairs for one query vector.
+
+    ``mins[b]`` / ``maxs[b]`` are the integer-domain margins valid when the
+    first ``b`` chunks of a key are known, for ``b`` in ``0..n_chunks``
+    (both arrays have length ``n_chunks + 1``; index ``n_chunks`` is the
+    fully-known case where both margins are zero).
+    """
+
+    mins: np.ndarray
+    maxs: np.ndarray
+    config: QuantConfig
+
+    def __post_init__(self) -> None:
+        expected = self.config.n_chunks + 1
+        if len(self.mins) != expected or len(self.maxs) != expected:
+            raise ValueError(
+                f"margin arrays must have length {expected} "
+                f"(got {len(self.mins)}, {len(self.maxs)})"
+            )
+
+    def width(self, n_known_chunks: int) -> float:
+        """Margin width ``M_max - M_min`` at a chunk index."""
+        return float(self.maxs[n_known_chunks] - self.mins[n_known_chunks])
+
+
+def margin_pairs(q_codes: np.ndarray, config: QuantConfig) -> MarginPairs:
+    """Compute all margin pairs for a query vector of integer codes.
+
+    This is the software mirror of the hardware Margin Generator: it runs
+    once per query (per generation step) and its outputs are reused for
+    every key and every chunk index.
+    """
+    q = np.asarray(q_codes, dtype=np.int64)
+    if q.ndim != 1:
+        raise ValueError(f"q_codes must be 1-D, got shape {q.shape}")
+    pos_sum = int(q[q > 0].sum())
+    neg_sum = int(q[q < 0].sum())
+
+    n = config.n_chunks
+    mins = np.zeros(n + 1, dtype=np.float64)
+    maxs = np.zeros(n + 1, dtype=np.float64)
+    for b in range(n + 1):
+        if b == 0:
+            # Nothing known: partial_values(·, 0) pins every element at qmin,
+            # and k_d - qmin ranges over [0, qmax - qmin].
+            span = config.qmax - config.qmin
+            maxs[b] = pos_sum * span
+            mins[b] = neg_sum * span
+        else:
+            residual = config.residual_max(b)
+            maxs[b] = pos_sum * residual
+            mins[b] = neg_sum * residual
+    return MarginPairs(mins=mins, maxs=maxs, config=config)
+
+
+def margin_pairs_batch(q_codes: np.ndarray, config: QuantConfig) -> tuple:
+    """Vectorised margins for a batch of queries, shape ``(..., d)``.
+
+    Returns ``(mins, maxs)`` of shape ``(..., n_chunks + 1)`` in the integer
+    domain.  Used by the vectorised breadth-first scheduler where many
+    (head, position) queries are processed at once.
+    """
+    q = np.asarray(q_codes, dtype=np.int64)
+    pos_sum = np.where(q > 0, q, 0).sum(axis=-1)
+    neg_sum = np.where(q < 0, q, 0).sum(axis=-1)
+    n = config.n_chunks
+    residuals = np.array(
+        [config.qmax - config.qmin] + [config.residual_max(b) for b in range(1, n + 1)],
+        dtype=np.float64,
+    )
+    maxs = pos_sum[..., None] * residuals
+    mins = neg_sum[..., None] * residuals
+    return mins, maxs
+
+
+def score_bounds(
+    partial_score: np.ndarray,
+    n_known_chunks: int,
+    margins: MarginPairs,
+) -> tuple:
+    """``(s_min, s_max)`` integer-domain bounds from a partial score."""
+    lo = partial_score + margins.mins[n_known_chunks]
+    hi = partial_score + margins.maxs[n_known_chunks]
+    return lo, hi

@@ -1,0 +1,622 @@
+"""The Token-Picker algorithm (Sec. 3): certified token pruning.
+
+Two functionally-equivalent schedules are provided:
+
+* ``depth`` — the sequential reference: tokens are examined one at a time in
+  the configured processing order; each token's chunks are fetched until it
+  is either pruned or fully known.  Mirrors a blocking (in-order) pipeline
+  and is the easiest implementation to audit.
+* ``breadth`` — chunk *rounds* across all tokens: round 1 evaluates chunk 0
+  of every token (every first chunk must be fetched regardless), survivors
+  proceed to round 2, and so on.  This is the steady-state order the
+  out-of-order hardware converges to under uniform DRAM latency, and it is
+  fully vectorised (used for perplexity evaluation and large sweeps).
+
+Both satisfy the safety property (tested exhaustively): every pruned
+token's *true* softmax probability is at most ``thr``.
+
+The module also implements ``exact_threshold_pruning`` — pruning on the
+exact probabilities once all of K is on-chip — which models the
+"estimation-only" design point (prunes V but streams all of K; the paper's
+ToPick-V / Fig. 10 intermediate configuration).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.config import QuantConfig, TokenPickerConfig
+from repro.core.estimator import DenominatorAggregator, PruneRule
+from repro.core.margins import margin_pairs, score_bounds
+from repro.core.ordering import processing_order
+from repro.core.quantization import (
+    QuantizedTensor,
+    chunk_plane_values,
+    compute_scale,
+    quantize,
+)
+from repro.utils.numerics import softmax
+
+
+@dataclass(frozen=True)
+class PruneStats:
+    """Memory-access accounting for one attention instance.
+
+    Bits are counted for the K/V *fetch path* only (the quantity the paper's
+    Figs. 8-9 normalise): K is streamed in ``chunk_bits`` slices, V in full
+    ``total_bits`` words, both over ``head_dim`` elements per token.
+    """
+
+    n_tokens: int
+    n_kept: int
+    k_chunks_fetched: int
+    v_vectors_fetched: int
+    head_dim: int
+    quant: QuantConfig
+
+    @property
+    def n_pruned(self) -> int:
+        return self.n_tokens - self.n_kept
+
+    @property
+    def k_bits_fetched(self) -> int:
+        return self.k_chunks_fetched * self.head_dim * self.quant.chunk_bits
+
+    @property
+    def v_bits_fetched(self) -> int:
+        return self.v_vectors_fetched * self.head_dim * self.quant.total_bits
+
+    @property
+    def baseline_k_bits(self) -> int:
+        return self.n_tokens * self.head_dim * self.quant.total_bits
+
+    @property
+    def baseline_v_bits(self) -> int:
+        return self.n_tokens * self.head_dim * self.quant.total_bits
+
+    @property
+    def total_bits_fetched(self) -> int:
+        return self.k_bits_fetched + self.v_bits_fetched
+
+    @property
+    def baseline_total_bits(self) -> int:
+        return self.baseline_k_bits + self.baseline_v_bits
+
+    @property
+    def v_pruning_ratio(self) -> float:
+        """Baseline V transfers over fetched V transfers (paper: 12.1x)."""
+        if self.v_vectors_fetched == 0:
+            return math.inf
+        return self.n_tokens / self.v_vectors_fetched
+
+    @property
+    def k_reduction(self) -> float:
+        """Baseline K bits over fetched K bits (paper: 1.45x)."""
+        if self.k_bits_fetched == 0:
+            return math.inf
+        return self.baseline_k_bits / self.k_bits_fetched
+
+    @property
+    def total_reduction(self) -> float:
+        """Total KV-bit reduction (paper: 2.57x)."""
+        if self.total_bits_fetched == 0:
+            return math.inf
+        return self.baseline_total_bits / self.total_bits_fetched
+
+    def merged(self, other: "PruneStats") -> "PruneStats":
+        """Aggregate accounting across instances (same format/dim)."""
+        if other.quant != self.quant or other.head_dim != self.head_dim:
+            raise ValueError("cannot merge stats with different formats")
+        return PruneStats(
+            n_tokens=self.n_tokens + other.n_tokens,
+            n_kept=self.n_kept + other.n_kept,
+            k_chunks_fetched=self.k_chunks_fetched + other.k_chunks_fetched,
+            v_vectors_fetched=self.v_vectors_fetched + other.v_vectors_fetched,
+            head_dim=self.head_dim,
+            quant=self.quant,
+        )
+
+
+@dataclass
+class TokenPickerResult:
+    """Full outcome of pruned attention for one (query, K, V) instance."""
+
+    kept: np.ndarray  # bool (t,)
+    chunks_fetched: np.ndarray  # int (t,), in [1, n_chunks]
+    scores: np.ndarray  # float (t,) exact scaled scores of quantized q.k
+    probs: np.ndarray  # float (t,) softmax over kept tokens, 0 elsewhere
+    output: Optional[np.ndarray]  # (d,) attention output, None if V absent
+    stats: PruneStats
+    log_denominator: float  # ln(D) at the end of step 0
+    trace: Dict[str, np.ndarray] = field(default_factory=dict)
+
+
+def _quantize_operands(
+    q: np.ndarray,
+    keys: np.ndarray,
+    quant: QuantConfig,
+    q_scale: Optional[float],
+    k_scale: Optional[float],
+):
+    """Quantize q per-vector and K per-tensor; return codes and score scale."""
+    q = np.asarray(q, dtype=np.float64)
+    keys = np.asarray(keys, dtype=np.float64)
+    if q.ndim != 1:
+        raise ValueError(f"q must be 1-D, got {q.shape}")
+    if keys.ndim != 2 or keys.shape[1] != q.shape[0]:
+        raise ValueError(f"keys must be (t, {q.shape[0]}), got {keys.shape}")
+    qs = float(q_scale) if q_scale is not None else float(compute_scale(q, quant))
+    ks = float(k_scale) if k_scale is not None else float(compute_scale(keys, quant))
+    q_codes = quantize(q, quant, scale=qs).values.astype(np.int64)
+    k_codes = quantize(keys, quant, scale=ks).values.astype(np.int64)
+    head_dim = q.shape[0]
+    score_scale = qs * ks / math.sqrt(head_dim)
+    return q_codes, k_codes, score_scale
+
+
+def _chunk_score_table(
+    q_codes: np.ndarray, k_codes: np.ndarray, quant: QuantConfig
+) -> np.ndarray:
+    """Cumulative partial integer scores ``ps[i, b]`` for b = 1..n_chunks.
+
+    ``ps[i, b-1]`` is the dot product of q with the first ``b`` chunks of
+    key ``i`` (unknown bits zero).  Column ``n_chunks - 1`` is the exact
+    integer dot product.
+    """
+    planes = chunk_plane_values(k_codes, quant)  # (t, d, C)
+    contrib = np.einsum("tdc,d->tc", planes, q_codes)
+    return np.cumsum(contrib, axis=1)
+
+
+def token_picker_scores(
+    q: np.ndarray,
+    keys: np.ndarray,
+    config: TokenPickerConfig,
+    q_scale: Optional[float] = None,
+    k_scale: Optional[float] = None,
+    collect_trace: bool = False,
+    score_bias: Optional[np.ndarray] = None,
+) -> TokenPickerResult:
+    """Run step 0 (score computation + certified pruning) for one query.
+
+    Returns a :class:`TokenPickerResult` with ``output=None`` (use
+    :func:`token_picker_attention` to also perform step 1).  ``scores``
+    holds the exact scaled scores of the *quantized* operands for every
+    token — pruned tokens' scores are still reported for analysis, but the
+    algorithm never fetched their remaining chunks.
+
+    ``score_bias`` is an optional known additive score term per token
+    (e.g. an ALiBi distance bias).  It travels with the query — no DRAM
+    traffic — and shifts both score bounds equally, so the certificate
+    ``p'' >= p`` is unchanged.
+    """
+    quant = config.quant
+    n_tokens = keys.shape[0] if keys.ndim == 2 else 0
+    head_dim = int(np.asarray(q).shape[-1])
+    bias = _check_bias(score_bias, n_tokens)
+    if n_tokens == 0:
+        empty_stats = PruneStats(0, 0, 0, 0, head_dim, quant)
+        return TokenPickerResult(
+            kept=np.zeros(0, dtype=bool),
+            chunks_fetched=np.zeros(0, dtype=np.int64),
+            scores=np.zeros(0),
+            probs=np.zeros(0),
+            output=None,
+            stats=empty_stats,
+            log_denominator=-np.inf,
+        )
+
+    q_codes, k_codes, score_scale = _quantize_operands(
+        q, keys, quant, q_scale, k_scale
+    )
+    ps = _chunk_score_table(q_codes, k_codes, quant)  # (t, C) cumulative
+    margins = margin_pairs(q_codes, quant)
+    guard = _guard_mask(n_tokens, config.prompt_guard)
+
+    if config.schedule == "depth":
+        kept, chunks_fetched, log_den, trace = _run_depth(
+            ps, margins, guard, config, score_scale, collect_trace, bias
+        )
+    else:
+        kept, chunks_fetched, log_den, trace = _run_breadth(
+            ps, margins, guard, config, score_scale, collect_trace, bias
+        )
+
+    exact_scores = ps[:, -1].astype(np.float64) * score_scale + bias
+    probs = _renormalised_probs(exact_scores, kept)
+    stats = PruneStats(
+        n_tokens=n_tokens,
+        n_kept=int(kept.sum()),
+        k_chunks_fetched=int(chunks_fetched.sum()),
+        v_vectors_fetched=int(kept.sum()),
+        head_dim=head_dim,
+        quant=quant,
+    )
+    return TokenPickerResult(
+        kept=kept,
+        chunks_fetched=chunks_fetched,
+        scores=exact_scores,
+        probs=probs,
+        output=None,
+        stats=stats,
+        log_denominator=log_den,
+        trace=trace,
+    )
+
+
+def _guard_mask(n_tokens: int, prompt_guard: int) -> np.ndarray:
+    """Boolean mask of tokens that may never be pruned (most recent ones)."""
+    guard = np.zeros(n_tokens, dtype=bool)
+    if prompt_guard > 0:
+        guard[max(0, n_tokens - prompt_guard):] = True
+    return guard
+
+
+def _check_bias(score_bias: Optional[np.ndarray], n_tokens: int) -> np.ndarray:
+    """Validate/normalise a per-token score bias (zeros when absent)."""
+    if score_bias is None:
+        return np.zeros(n_tokens)
+    bias = np.asarray(score_bias, dtype=np.float64)
+    if bias.shape != (n_tokens,):
+        raise ValueError(
+            f"score_bias must have shape ({n_tokens},), got {bias.shape}"
+        )
+    return bias
+
+
+def _run_depth(
+    ps: np.ndarray,
+    margins,
+    guard: np.ndarray,
+    config: TokenPickerConfig,
+    score_scale: float,
+    collect_trace: bool,
+    bias: np.ndarray,
+):
+    """Sequential reference: one token at a time, chunk by chunk."""
+    n_tokens, n_chunks = ps.shape
+    rule = PruneRule(config.log_threshold)
+    dag = DenominatorAggregator()
+    kept = np.zeros(n_tokens, dtype=bool)
+    chunks_fetched = np.zeros(n_tokens, dtype=np.int64)
+    order = processing_order(n_tokens, config.order)
+    ub_trace = np.full(n_tokens, np.nan) if collect_trace else None
+
+    for token in order:
+        pruned = False
+        for b in range(1, n_chunks + 1):
+            chunks_fetched[token] = b
+            s_min_i, s_max_i = score_bounds(ps[token, b - 1], b, margins)
+            s_min = float(s_min_i) * score_scale + bias[token]
+            s_max = float(s_max_i) * score_scale + bias[token]
+            if config.include_self_in_denominator:
+                dag.submit(int(token), s_min)
+                decision = rule.check(s_max, dag.log_denominator)
+            else:
+                decision = rule.check(s_max, dag.log_denominator)
+                dag.submit(int(token), s_min)
+            if collect_trace and b == 1:
+                ub_trace[token] = decision.log_upper_bound
+            if decision.pruned and not guard[token]:
+                pruned = True
+                break
+        if not pruned:
+            kept[token] = True
+
+    trace = {}
+    if collect_trace:
+        trace["log_upper_bound_first_chunk"] = ub_trace
+    return kept, chunks_fetched, dag.log_denominator, trace
+
+
+def _run_breadth(
+    ps: np.ndarray,
+    margins,
+    guard: np.ndarray,
+    config: TokenPickerConfig,
+    score_scale: float,
+    collect_trace: bool,
+    bias: np.ndarray,
+):
+    """Vectorised chunk rounds (the out-of-order hardware's steady state).
+
+    Round ``b``: tokens still alive fetch their ``b``-th chunk, the
+    denominator absorbs every tightened lower bound, and the prune predicate
+    is applied to all alive tokens at once.
+    """
+    n_tokens, n_chunks = ps.shape
+    log_thr = config.log_threshold
+    s_min = ps * score_scale + margins.mins[1:][None, :] * score_scale + bias[:, None]
+    s_max = ps * score_scale + margins.maxs[1:][None, :] * score_scale + bias[:, None]
+
+    alive = np.ones(n_tokens, dtype=bool)
+    chunks_fetched = np.zeros(n_tokens, dtype=np.int64)
+    current_lb = np.full(n_tokens, -np.inf)
+    ub_trace = np.full(n_tokens, np.nan) if collect_trace else None
+
+    log_den = -np.inf
+    for b in range(n_chunks):
+        chunks_fetched[alive] = b + 1
+        current_lb[alive] = s_min[alive, b]
+        log_den = _logsumexp_1d(current_lb)
+        prune_now = alive & ((s_max[:, b] - log_den) <= log_thr) & ~guard
+        if collect_trace and b == 0:
+            ub_trace[:] = s_max[:, 0] - log_den
+        alive = alive & ~prune_now
+        if not alive.any():
+            break
+
+    trace = {}
+    if collect_trace:
+        trace["log_upper_bound_first_chunk"] = ub_trace
+    return alive, chunks_fetched, float(log_den), trace
+
+
+def _logsumexp_1d(x: np.ndarray) -> float:
+    finite = x[np.isfinite(x)]
+    if finite.size == 0:
+        return -np.inf
+    m = finite.max()
+    return float(m + np.log(np.exp(finite - m).sum()))
+
+
+def _renormalised_probs(scores: np.ndarray, kept: np.ndarray) -> np.ndarray:
+    """Softmax restricted to kept tokens (the hardware's step-1 softmax)."""
+    probs = np.zeros_like(scores, dtype=np.float64)
+    if kept.any():
+        probs[kept] = softmax(scores[kept])
+    return probs
+
+
+def token_picker_attention(
+    q: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    config: TokenPickerConfig,
+    q_scale: Optional[float] = None,
+    k_scale: Optional[float] = None,
+    v_scale: Optional[float] = None,
+    collect_trace: bool = False,
+    score_bias: Optional[np.ndarray] = None,
+) -> TokenPickerResult:
+    """Full pruned attention: step 0 (scores + pruning) then step 1 (x V).
+
+    V is quantized to the same fixed-point format (that is what travels over
+    the DRAM bus) and only the kept tokens' V vectors are fetched and
+    accumulated.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != np.asarray(keys).shape:
+        raise ValueError(
+            f"values shape {values.shape} must match keys shape {np.asarray(keys).shape}"
+        )
+    result = token_picker_scores(
+        q, keys, config, q_scale=q_scale, k_scale=k_scale,
+        collect_trace=collect_trace, score_bias=score_bias,
+    )
+    if result.stats.n_tokens == 0:
+        result.output = np.zeros(np.asarray(q).shape[-1])
+        return result
+    vs = float(v_scale) if v_scale is not None else float(
+        compute_scale(values, config.quant)
+    )
+    v_q = quantize(values, config.quant, scale=vs)
+    v_deq = v_q.dequantize()
+    result.output = result.probs @ v_deq
+    return result
+
+
+def exact_threshold_pruning(scores: np.ndarray, threshold: float) -> np.ndarray:
+    """Keep mask from *exact* probabilities (estimation-only design point).
+
+    Models the configuration that streams all of K (full precision scores
+    on-chip) and uses the threshold only to skip V fetches.  This is the
+    upper bound on V pruning for a given ``thr`` and the paper's
+    "probability estimation without out-of-order K access" variant.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.size == 0:
+        return np.zeros(0, dtype=bool)
+    m = scores.max()
+    e = np.exp(scores - m)
+    p = e / e.sum()
+    kept = p > threshold
+    if not kept.any():
+        kept[int(np.argmax(scores))] = True
+    return kept
+
+
+@dataclass
+class BatchedPickerResult:
+    """Vectorised per-head results (breadth schedule).
+
+    Arrays are stacked over heads: ``kept`` is (H, t), ``chunks_fetched``
+    (H, t), ``probs`` (H, t), ``outputs`` (H, d) (zeros when values were not
+    provided), ``log_denominators`` (H,).
+    """
+
+    kept: np.ndarray
+    chunks_fetched: np.ndarray
+    scores: np.ndarray
+    probs: np.ndarray
+    outputs: Optional[np.ndarray]
+    log_denominators: np.ndarray
+    quant: QuantConfig
+    head_dim: int
+
+    def stats(self) -> PruneStats:
+        """Aggregate accounting over all heads."""
+        h, t = self.kept.shape
+        return PruneStats(
+            n_tokens=h * t,
+            n_kept=int(self.kept.sum()),
+            k_chunks_fetched=int(self.chunks_fetched.sum()),
+            v_vectors_fetched=int(self.kept.sum()),
+            head_dim=self.head_dim,
+            quant=self.quant,
+        )
+
+
+def token_picker_attention_batched(
+    q: np.ndarray,
+    keys: np.ndarray,
+    values: Optional[np.ndarray],
+    config: TokenPickerConfig,
+    score_bias: Optional[np.ndarray] = None,
+    q_scales: Optional[np.ndarray] = None,
+    k_scales: Optional[np.ndarray] = None,
+    v_scales: Optional[np.ndarray] = None,
+) -> BatchedPickerResult:
+    """Vectorised breadth-schedule Token-Picker over heads.
+
+    ``q``: (H, d); ``keys``/``values``: (H, t, d).  Scales are per head —
+    computed from the data by default, or passed explicitly as (H,) arrays
+    (``q_scales``/``k_scales``/``v_scales``) when a deployment freezes them
+    at calibration time (see :class:`repro.core.session.TokenPickerSession`);
+    out-of-range values then saturate.
+    This is the kernel the LM evaluation uses: one call per (layer,
+    position) covers every head at once.  Only the breadth schedule is
+    supported (it is the one the out-of-order hardware realises).
+    ``score_bias`` is an optional (H, t) known additive score term (ALiBi).
+    """
+    if config.schedule != "breadth":
+        raise ValueError("batched kernel supports only the breadth schedule")
+    quant = config.quant
+    q = np.asarray(q, dtype=np.float64)
+    keys = np.asarray(keys, dtype=np.float64)
+    if q.ndim != 2 or keys.ndim != 3 or keys.shape[0] != q.shape[0]:
+        raise ValueError("q must be (H, d) and keys (H, t, d)")
+    n_heads, head_dim = q.shape
+    n_tokens = keys.shape[1]
+    if score_bias is None:
+        bias = np.zeros((n_heads, n_tokens))
+    else:
+        bias = np.asarray(score_bias, dtype=np.float64)
+        if bias.shape != (n_heads, n_tokens):
+            raise ValueError(
+                f"score_bias must have shape ({n_heads}, {n_tokens}), "
+                f"got {bias.shape}"
+            )
+    if n_tokens == 0:
+        return BatchedPickerResult(
+            kept=np.zeros((n_heads, 0), dtype=bool),
+            chunks_fetched=np.zeros((n_heads, 0), dtype=np.int64),
+            scores=np.zeros((n_heads, 0)),
+            probs=np.zeros((n_heads, 0)),
+            outputs=np.zeros((n_heads, head_dim)) if values is not None else None,
+            log_denominators=np.full(n_heads, -np.inf),
+            quant=quant,
+            head_dim=head_dim,
+        )
+
+    # Per-head symmetric scales (data-derived unless frozen ones are given).
+    def _head_scales(explicit, data, axes) -> np.ndarray:
+        if explicit is not None:
+            scales = np.asarray(explicit, dtype=np.float64)
+            if scales.shape != (n_heads,) or np.any(scales <= 0):
+                raise ValueError("explicit scales must be positive with shape (H,)")
+            return scales
+        max_abs = np.abs(data).max(axis=axes)
+        return np.where(max_abs > 0, max_abs / quant.qmax, 1.0)
+
+    q_scale = _head_scales(q_scales, q, 1)
+    k_scale = _head_scales(k_scales, keys, (1, 2))
+    q_codes = np.clip(
+        np.rint(q / q_scale[:, None]), quant.qmin, quant.qmax
+    ).astype(np.int64)
+    k_codes = np.clip(
+        np.rint(keys / k_scale[:, None, None]), quant.qmin, quant.qmax
+    ).astype(np.int64)
+    score_scale = q_scale * k_scale / math.sqrt(head_dim)  # (H,)
+
+    from repro.core.margins import margin_pairs_batch
+
+    planes = chunk_plane_values(k_codes, quant)  # (H, t, d, C)
+    ps = np.cumsum(np.einsum("htdc,hd->htc", planes, q_codes), axis=2)
+    mins, maxs = margin_pairs_batch(q_codes, quant)  # (H, C+1)
+
+    scale3 = score_scale[:, None, None]
+    s_min = ps * scale3 + mins[:, None, 1:] * scale3 + bias[:, :, None]
+    s_max = ps * scale3 + maxs[:, None, 1:] * scale3 + bias[:, :, None]
+
+    guard = _guard_mask(n_tokens, config.prompt_guard)[None, :]
+    log_thr = config.log_threshold
+    alive = np.ones((n_heads, n_tokens), dtype=bool)
+    chunks_fetched = np.zeros((n_heads, n_tokens), dtype=np.int64)
+    current_lb = np.full((n_heads, n_tokens), -np.inf)
+    log_den = np.full(n_heads, -np.inf)
+
+    for b in range(quant.n_chunks):
+        np.copyto(chunks_fetched, b + 1, where=alive)
+        np.copyto(current_lb, s_min[:, :, b], where=alive)
+        m = current_lb.max(axis=1)
+        log_den = m + np.log(
+            np.exp(np.clip(current_lb - m[:, None], -700.0, 0.0)).sum(axis=1)
+        )
+        prune_now = alive & ((s_max[:, :, b] - log_den[:, None]) <= log_thr) & ~guard
+        alive &= ~prune_now
+        if not alive.any():
+            break
+
+    exact_scores = ps[:, :, -1] * scale3[:, :, 0] + bias
+    probs = np.zeros_like(exact_scores)
+    for h in range(n_heads):
+        if alive[h].any():
+            kept_scores = exact_scores[h, alive[h]]
+            mh = kept_scores.max()
+            e = np.exp(kept_scores - mh)
+            probs[h, alive[h]] = e / e.sum()
+
+    outputs = None
+    if values is not None:
+        values = np.asarray(values, dtype=np.float64)
+        v_scale = _head_scales(v_scales, values, (1, 2))
+        v_deq = (
+            np.clip(
+                np.rint(values / v_scale[:, None, None]), quant.qmin, quant.qmax
+            )
+            * v_scale[:, None, None]
+        )
+        outputs = np.einsum("ht,htd->hd", probs, v_deq)
+
+    return BatchedPickerResult(
+        kept=alive,
+        chunks_fetched=chunks_fetched,
+        scores=exact_scores,
+        probs=probs,
+        outputs=outputs,
+        log_denominators=log_den,
+        quant=quant,
+        head_dim=head_dim,
+    )
+
+
+def multi_head_token_picker(
+    q: np.ndarray,
+    keys: np.ndarray,
+    values: Optional[np.ndarray],
+    config: TokenPickerConfig,
+) -> list:
+    """Convenience: run the algorithm independently per head.
+
+    ``q`` is ``(H, d)``, ``keys``/``values`` are ``(H, t, d)``.  Returns a
+    list of :class:`TokenPickerResult`, one per head.  Scales are computed
+    per head, matching the per-head calibration the models use.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    keys = np.asarray(keys, dtype=np.float64)
+    if q.ndim != 2 or keys.ndim != 3 or q.shape[0] != keys.shape[0]:
+        raise ValueError("q must be (H, d) and keys (H, t, d)")
+    results = []
+    for h in range(q.shape[0]):
+        if values is None:
+            results.append(token_picker_scores(q[h], keys[h], config))
+        else:
+            results.append(
+                token_picker_attention(q[h], keys[h], values[h], config)
+            )
+    return results

@@ -1,0 +1,138 @@
+"""Streaming decode-session API with prompt-phase scale calibration.
+
+The functional entry points quantize with per-call oracle scales (the max
+|value| of the tensors they are handed).  Real hardware cannot rescan the
+whole KV cache every step: scales are fixed when the prompt phase loads
+K/V on-chip (Sec. 4) and reused for every generated token.
+:class:`TokenPickerSession` models that deployment:
+
+* :meth:`observe_prompt` calibrates per-head Q/K/V scales from the prompt
+  (widened by a safety factor for headroom),
+* :meth:`step` runs certified pruning for one decode step with the frozen
+  scales, accumulating traffic statistics across the whole generation,
+* values outside the calibrated range saturate, and the session counts
+  those clip events — the observable that tells a deployment its
+  calibration window was too narrow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import TokenPickerConfig
+from repro.core.pruning import BatchedPickerResult, token_picker_attention_batched
+from repro.model.attention import AccessCounter
+
+
+@dataclass
+class SessionScales:
+    """Frozen per-head quantization scales (set at prompt time)."""
+
+    q_scale: np.ndarray  # (H,)
+    k_scale: np.ndarray  # (H,)
+    v_scale: np.ndarray  # (H,)
+
+
+class TokenPickerSession:
+    """Per-sequence streaming state for generation-phase pruning."""
+
+    def __init__(
+        self,
+        config: Optional[TokenPickerConfig] = None,
+        safety_factor: float = 1.25,
+    ) -> None:
+        if safety_factor < 1.0:
+            raise ValueError("safety_factor must be >= 1 (headroom only)")
+        self.config = config or TokenPickerConfig()
+        if self.config.schedule != "breadth":
+            raise ValueError("sessions use the breadth schedule (hardware order)")
+        self.safety_factor = safety_factor
+        self.scales: Optional[SessionScales] = None
+        self.counter = AccessCounter()
+        self.clip_events = 0
+        self.steps = 0
+
+    # ------------------------------------------------------------ calibration
+    def observe_prompt(
+        self, keys: np.ndarray, values: np.ndarray, queries: Optional[np.ndarray] = None
+    ) -> SessionScales:
+        """Fix per-head scales from the prompt-phase tensors.
+
+        ``keys``/``values``: (H, t, d); ``queries``: optional (H, t, d) —
+        when absent, K statistics stand in for Q (they share the residual
+        stream's magnitude at calibration quality).
+        """
+        keys = np.asarray(keys, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if keys.ndim != 3 or values.shape != keys.shape:
+            raise ValueError("keys and values must both be (H, t, d)")
+        qmax = self.config.quant.qmax
+        factor = self.safety_factor
+
+        def scale_of(x: np.ndarray) -> np.ndarray:
+            max_abs = np.abs(x).max(axis=(1, 2))
+            return np.where(max_abs > 0, max_abs * factor / qmax, 1.0)
+
+        q_src = np.asarray(queries, dtype=np.float64) if queries is not None else keys
+        self.scales = SessionScales(
+            q_scale=scale_of(q_src), k_scale=scale_of(keys), v_scale=scale_of(values)
+        )
+        return self.scales
+
+    def _count_clips(self, x: np.ndarray, scale: np.ndarray) -> None:
+        limit = scale * self.config.quant.qmax
+        while limit.ndim < x.ndim:
+            limit = limit[..., None]
+        self.clip_events += int((np.abs(x) > limit).sum())
+
+    # ------------------------------------------------------------------ decode
+    def step(
+        self,
+        q: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        score_bias: Optional[np.ndarray] = None,
+    ) -> BatchedPickerResult:
+        """Pruned attention for one decode step with the frozen scales.
+
+        ``q``: (H, d); ``keys``/``values``: (H, t, d).  Requires
+        :meth:`observe_prompt` first.
+        """
+        if self.scales is None:
+            raise RuntimeError("call observe_prompt before step")
+        q = np.asarray(q, dtype=np.float64)
+        keys = np.asarray(keys, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        self._count_clips(q, self.scales.q_scale)
+        self._count_clips(keys, self.scales.k_scale)
+
+        # the kernel saturates into the frozen scales itself
+        result = token_picker_attention_batched(
+            q, keys, values, self.config, score_bias=score_bias,
+            q_scales=self.scales.q_scale,
+            k_scales=self.scales.k_scale,
+            v_scales=self.scales.v_scale,
+        )
+
+        stats = result.stats()
+        c = self.counter
+        c.k_bits += stats.k_bits_fetched
+        c.v_bits += stats.v_bits_fetched
+        c.baseline_k_bits += stats.baseline_k_bits
+        c.baseline_v_bits += stats.baseline_v_bits
+        c.instances += q.shape[0]
+        c.tokens_seen += stats.n_tokens
+        c.tokens_kept += stats.n_kept
+        self.steps += 1
+        return result
+
+    @property
+    def clip_rate(self) -> float:
+        """Clipped elements per token seen (calibration-quality signal)."""
+        if self.counter.tokens_seen == 0:
+            return 0.0
+        return self.clip_events / self.counter.tokens_seen

@@ -1,0 +1,148 @@
+"""Independent certificate verification for pruning results.
+
+Given the raw instance and a :class:`TokenPickerResult`, re-derive every
+invariant the method promises from first principles — quantization
+round-trip, margin soundness, prune safety, accounting consistency —
+*without* reusing the algorithm's own intermediate state.  Used by tests,
+by the examples, and available to users who integrate the pruner and want
+a runtime audit (`verify_result(...)` raising on any violation, or
+returning a structured report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import TokenPickerConfig
+from repro.core.margins import margin_pairs, score_bounds
+from repro.core.pruning import TokenPickerResult, _quantize_operands
+from repro.core.quantization import partial_values
+
+
+class CertificateViolation(AssertionError):
+    """A pruning-certificate invariant failed verification."""
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of :func:`verify_result`."""
+
+    n_tokens: int
+    n_checked_invariants: int
+    violations: List[str] = field(default_factory=list)
+    max_pruned_probability: float = 0.0
+    threshold: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def verify_result(
+    q: np.ndarray,
+    keys: np.ndarray,
+    config: TokenPickerConfig,
+    result: TokenPickerResult,
+    score_bias: Optional[np.ndarray] = None,
+    raise_on_violation: bool = True,
+) -> VerificationReport:
+    """Re-check every certificate invariant of a pruning result.
+
+    Invariants:
+
+    1. **accounting** — chunk counts in ``[1, n_chunks]``; kept tokens
+       fetched everything; stats match the masks.
+    2. **score fidelity** — the reported exact scores equal an independent
+       requantization and dot product (plus bias).
+    3. **margin soundness** — for every token and every chunk prefix the
+       reported score lies inside the margin interval.
+    4. **prune safety** — the softmax over the reported scores gives every
+       pruned token probability <= threshold.
+    5. **output consistency** — reported probabilities are the softmax of
+       kept scores (zero elsewhere) and sum to one when anything is kept.
+    """
+    report = VerificationReport(
+        n_tokens=int(result.kept.size),
+        n_checked_invariants=5,
+        threshold=config.threshold,
+    )
+
+    def violation(msg: str) -> None:
+        report.violations.append(msg)
+
+    quant = config.quant
+    n_tokens = keys.shape[0]
+    bias = (
+        np.zeros(n_tokens)
+        if score_bias is None
+        else np.asarray(score_bias, dtype=np.float64)
+    )
+
+    # 1. accounting
+    if result.kept.shape != (n_tokens,) or result.chunks_fetched.shape != (n_tokens,):
+        violation("result array shapes do not match the instance")
+    else:
+        if np.any(result.chunks_fetched < 1) or np.any(
+            result.chunks_fetched > quant.n_chunks
+        ):
+            violation("chunk counts outside [1, n_chunks]")
+        if np.any(result.chunks_fetched[result.kept] != quant.n_chunks):
+            violation("a kept token did not fetch all chunks")
+        s = result.stats
+        if s.n_kept != int(result.kept.sum()):
+            violation("stats.n_kept mismatch")
+        if s.k_chunks_fetched != int(result.chunks_fetched.sum()):
+            violation("stats.k_chunks_fetched mismatch")
+
+    # 2. score fidelity (independent requantization)
+    if n_tokens > 0:
+        q_codes, k_codes, score_scale = _quantize_operands(
+            q, keys, quant, None, None
+        )
+        independent = (k_codes @ q_codes).astype(np.float64) * score_scale + bias
+        if not np.allclose(independent, result.scores, atol=1e-9):
+            violation("reported scores do not match independent recomputation")
+
+        # 3. margin soundness at every prefix
+        margins = margin_pairs(q_codes, quant)
+        dots = k_codes @ q_codes
+        for b in range(quant.n_chunks + 1):
+            ps = partial_values(k_codes, b, quant) @ q_codes
+            lo, hi = score_bounds(ps, b, margins)
+            if np.any(lo > dots) or np.any(dots > hi):
+                violation(f"margin bounds violated at chunk prefix {b}")
+                break
+
+        # 4. prune safety
+        scores = result.scores
+        p = np.exp(scores - scores.max())
+        p = p / p.sum()
+        pruned = ~result.kept
+        if pruned.any():
+            report.max_pruned_probability = float(p[pruned].max())
+            if report.max_pruned_probability > config.threshold + 1e-9:
+                violation(
+                    "pruned token above threshold: "
+                    f"{report.max_pruned_probability:.3e} > {config.threshold:.3e}"
+                )
+
+        # 5. output consistency
+        if result.kept.any():
+            kept_scores = scores[result.kept]
+            m = kept_scores.max()
+            e = np.exp(kept_scores - m)
+            expected = np.zeros_like(scores)
+            expected[result.kept] = e / e.sum()
+            if not np.allclose(expected, result.probs, atol=1e-9):
+                violation("probabilities are not the softmax over kept tokens")
+            if abs(result.probs.sum() - 1.0) > 1e-9:
+                violation("probabilities do not sum to 1")
+        elif np.any(result.probs != 0):
+            violation("no kept tokens but nonzero probabilities")
+
+    if report.violations and raise_on_violation:
+        raise CertificateViolation("; ".join(report.violations))
+    return report

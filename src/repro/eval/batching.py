@@ -1,0 +1,88 @@
+"""Batched-serving model: ties Fig. 2's motivation to Fig. 10's result.
+
+The paper's argument chain: batching amortises the weights (Fig. 2), which
+makes the *per-sequence* KV traffic the bottleneck, which is what ToPick
+attacks (Figs. 8/10).  This module closes the loop quantitatively: a decode
+step at batch B moves
+
+    weights + embeddings            (shared, once)
+    + B x KV traffic                (private per sequence)
+
+and the end-to-end step speedup from ToPick is therefore
+
+    speedup(B) = (shared + B*kv) / (shared + B*kv/r)
+
+where ``r`` is the attention-level access reduction.  As B grows the
+speedup approaches ``r``; at B=1 it is marginal — exactly why the paper
+evaluates the attention engine in a batched-serving context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.eval.memory_model import step_memory_breakdown
+from repro.model.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class BatchScalingPoint:
+    """End-to-end decode-step traffic at one batch size."""
+
+    batch_size: int
+    shared_bytes: int
+    kv_bytes: int
+    kv_bytes_pruned: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.shared_bytes + self.kv_bytes
+
+    @property
+    def total_bytes_pruned(self) -> float:
+        return self.shared_bytes + self.kv_bytes_pruned
+
+    @property
+    def step_speedup(self) -> float:
+        """Traffic-limited end-to-end speedup of the decode step."""
+        return self.total_bytes / self.total_bytes_pruned
+
+    @property
+    def kv_fraction(self) -> float:
+        return self.kv_bytes / self.total_bytes
+
+
+def batch_scaling_curve(
+    config: ModelConfig,
+    attention_reduction: float,
+    batch_sizes: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    context_length: int = None,
+) -> List[BatchScalingPoint]:
+    """End-to-end speedup of ToPick across batch sizes for one model.
+
+    ``attention_reduction`` is the KV-access reduction the attention engine
+    achieves (e.g. the measured Fig. 8 total reduction ~2.6-2.9x).
+    """
+    if attention_reduction < 1.0:
+        raise ValueError("attention_reduction must be >= 1")
+    points = []
+    for b in batch_sizes:
+        bd = step_memory_breakdown(config, b, context_length)
+        shared = bd.weight_bytes + bd.embedding_bytes
+        points.append(
+            BatchScalingPoint(
+                batch_size=b,
+                shared_bytes=shared,
+                kv_bytes=bd.kv_bytes,
+                kv_bytes_pruned=bd.kv_bytes / attention_reduction,
+            )
+        )
+    return points
+
+
+def asymptotic_speedup(points: Sequence[BatchScalingPoint]) -> float:
+    """Speedup at the largest evaluated batch (approaches the reduction)."""
+    if not points:
+        raise ValueError("need at least one point")
+    return max(points, key=lambda p: p.batch_size).step_speedup

@@ -1,0 +1,139 @@
+"""Score-distribution analyses: Fig. 3 (variability) and Fig. 4(a) (locality).
+
+* :func:`score_histogram` — the correlation-score histogram of an instance
+  (Fig. 3's curves) plus its dominant-token count.
+* :func:`instance_variability` — dominant-token fractions across a batch of
+  instances at identical (layer, head, context) settings: the spread that
+  defeats fixed-ratio pruning.
+* :func:`attention_locality_profile` — average attention probability per
+  relative token position, harvested from a trained LM (Fig. 4(a)'s
+  heatmap rows: first token, aggregated middle, last 10 positions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.model.transformer import TinyGPT
+from repro.workloads.scores import AttentionInstance
+
+
+@dataclass(frozen=True)
+class ScoreHistogram:
+    """Correlation-score histogram of one attention instance."""
+
+    bin_edges: np.ndarray
+    counts: np.ndarray
+    dominant_tokens: int
+    context_length: int
+
+    @property
+    def dominant_fraction(self) -> float:
+        return self.dominant_tokens / self.context_length
+
+    @property
+    def score_std(self) -> float:
+        centers = 0.5 * (self.bin_edges[:-1] + self.bin_edges[1:])
+        total = self.counts.sum()
+        if total == 0:
+            return 0.0
+        mean = float((centers * self.counts).sum() / total)
+        var = float((self.counts * (centers - mean) ** 2).sum() / total)
+        return float(np.sqrt(var))
+
+
+def score_histogram(
+    instance: AttentionInstance,
+    n_bins: int = 40,
+    dominance_threshold: float = 1e-3,
+) -> ScoreHistogram:
+    """Histogram of scores plus the count of dominant tokens (p > thr)."""
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    scores = instance.keys @ instance.q / np.sqrt(instance.q.shape[-1])
+    counts, edges = np.histogram(scores, bins=n_bins)
+    return ScoreHistogram(
+        bin_edges=edges,
+        counts=counts,
+        dominant_tokens=instance.dominant_count(dominance_threshold),
+        context_length=instance.context_length,
+    )
+
+
+def instance_variability(
+    instances: Sequence[AttentionInstance],
+    dominance_threshold: float = 1e-3,
+) -> np.ndarray:
+    """Dominant-token fraction of each instance (sorted ascending)."""
+    fracs = np.array(
+        [
+            inst.dominant_count(dominance_threshold) / inst.context_length
+            for inst in instances
+        ]
+    )
+    return np.sort(fracs)
+
+
+def attention_locality_profile(
+    model: TinyGPT,
+    tokens: np.ndarray,
+    n_recent: int = 10,
+    min_context: int = 32,
+) -> np.ndarray:
+    """Average attention probability by relative position (Fig. 4a).
+
+    Returns an array of shape ``(n_layers * n_heads, n_recent + 2)`` whose
+    columns are ``[token 0 (sink), middle aggregate, t-(n_recent-1), ...,
+    t-1, t]`` — the same layout as the paper's heatmap (middle column
+    aggregates everything that is neither the sink nor recent).
+
+    Probabilities are taken from a full teacher-forced forward pass at
+    every query position with context >= ``min_context``.
+    """
+    tokens = np.asarray(tokens)
+    if tokens.ndim != 1:
+        raise ValueError("tokens must be 1-D")
+    if len(tokens) <= min_context:
+        raise ValueError("sequence shorter than min_context")
+    _, cache = model.forward(tokens[None, :])
+    _, layer_caches, _, _ = cache
+    n_heads = model.config.n_heads
+    n_layers = model.config.n_layers
+    profile = np.zeros((n_layers * n_heads, n_recent + 2))
+    n_queries = 0
+
+    t_total = len(tokens)
+    for li in range(n_layers):
+        probs = layer_caches[li][5]  # softmax cache: (B, H, T, T)
+        p = probs[0]  # (H, T, T)
+        for pos in range(min_context, t_total):
+            row = p[:, pos, : pos + 1]  # (H, pos+1)
+            sink = row[:, 0]
+            recent = row[:, max(1, pos + 1 - n_recent):]
+            # pad recent to n_recent columns (oldest first)
+            pad = n_recent - recent.shape[1]
+            if pad > 0:
+                recent = np.concatenate(
+                    [np.zeros((n_heads, pad)), recent], axis=1
+                )
+            middle = 1.0 - sink - recent.sum(axis=1)
+            base = li * n_heads
+            profile[base : base + n_heads, 0] += sink
+            profile[base : base + n_heads, 1] += np.clip(middle, 0.0, 1.0)
+            profile[base : base + n_heads, 2:] += recent
+        n_queries += t_total - min_context
+    profile /= max(1, t_total - min_context)
+    return profile
+
+
+def locality_summary(profile: np.ndarray) -> dict:
+    """Aggregate Fig. 4(a) observations across heads."""
+    return {
+        "mean_sink_mass": float(profile[:, 0].mean()),
+        "mean_recent_mass": float(profile[:, 2:].sum(axis=1).mean()),
+        "mean_middle_mass": float(profile[:, 1].mean()),
+        "max_current_token_mass": float(profile[:, -1].max()),
+    }

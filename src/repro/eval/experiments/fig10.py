@@ -1,0 +1,176 @@
+"""Experiment driver for Fig. 10: speedup and energy per model.
+
+Runs the cycle-approximate accelerator on per-model workloads:
+
+* speedup of ToPick and ToPick-0.3 over the baseline accelerator
+  (Fig. 10a; paper average 2.28x / 2.48x),
+* normalized energy breakdown DRAM / on-chip buffer / compute
+  (Fig. 10b; ToPick lands at 39-46% of baseline, ToPick-0.3 at 37-42%),
+* the ablation split the text reports: estimation alone (``v_only``)
+  gives 1.73x, out-of-order K access multiplies a further 1.32x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import TokenPickerConfig
+from repro.hw.accelerator import ToPickAccelerator, WorkloadResult
+from repro.hw.energy import EnergyBreakdown
+from repro.model.config import FIG8_MODELS, HW_EVAL_CONTEXT, get_model_config
+from repro.utils.tables import format_table
+from repro.workloads.scores import sample_workload
+
+#: Paper speedups per model (Fig. 10a): (ToPick, ToPick-0.3).
+PAPER_SPEEDUPS = {
+    "gpt2-large": (2.03, 2.29),
+    "gpt2-xl": (2.02, 2.20),
+    "opt-1.3b": (2.25, 2.62),
+    "opt-2.7b": (2.33, 2.57),
+    "opt-6.7b": (2.47, 2.58),
+    "opt-13b": (2.24, 2.50),
+    "llama-2-7b": (2.37, 2.52),
+    "llama-2-13b": (2.46, 2.62),
+}
+#: Paper normalized energies (Fig. 10b): (ToPick-K,V, ToPick-0.3).
+PAPER_ENERGY = {
+    "gpt2-large": (0.46, 0.41),
+    "gpt2-xl": (0.46, 0.42),
+    "opt-1.3b": (0.43, 0.37),
+    "opt-2.7b": (0.42, 0.38),
+    "opt-6.7b": (0.40, 0.38),
+    "opt-13b": (0.41, 0.39),
+    "llama-2-7b": (0.41, 0.38),
+    "llama-2-13b": (0.39, 0.37),
+}
+
+
+@dataclass
+class Fig10ModelRow:
+    model: str
+    context: int
+    speedup: Dict[str, float]  # config -> x over baseline
+    normalized_energy: Dict[str, float]
+    energy_breakdown: Dict[str, EnergyBreakdown]  # normalized to baseline total
+
+
+@dataclass
+class Fig10Result:
+    rows_by_model: List[Fig10ModelRow]
+    thresholds: Dict[str, float]
+    mean_speedup: Dict[str, float]
+    mean_energy_efficiency: Dict[str, float]
+    ablation: Dict[str, float]  # estimation-only and OoO multipliers
+
+    def rows(self) -> List[list]:
+        out = []
+        for r in self.rows_by_model:
+            ps, pe = PAPER_SPEEDUPS[r.model], PAPER_ENERGY[r.model]
+            out.append(
+                [
+                    r.model,
+                    f"{r.speedup['topick']:.2f} ({ps[0]})",
+                    f"{r.speedup['topick-0.3']:.2f} ({ps[1]})",
+                    f"{r.normalized_energy['topick']:.2f} ({pe[0]})",
+                    f"{r.normalized_energy['topick-0.3']:.2f} ({pe[1]})",
+                ]
+            )
+        return out
+
+    def format(self) -> str:
+        table = format_table(
+            self.rows(),
+            headers=["model", "speedup ToPick (paper)", "speedup -0.3 (paper)",
+                     "energy ToPick (paper)", "energy -0.3 (paper)"],
+            title="Fig. 10 - speedup and normalized energy vs baseline",
+        )
+        lines = [
+            f"mean speedup: ToPick {self.mean_speedup['topick']:.2f}x "
+            f"(paper 2.28x), ToPick-0.3 {self.mean_speedup['topick-0.3']:.2f}x "
+            f"(paper 2.48x)",
+            f"mean energy efficiency: ToPick "
+            f"{self.mean_energy_efficiency['topick']:.2f}x (paper 2.41x), "
+            f"ToPick-0.3 {self.mean_energy_efficiency['topick-0.3']:.2f}x "
+            f"(paper 2.63x)",
+            f"ablation: estimation-only speedup "
+            f"{self.ablation['estimation_only']:.2f}x (paper 1.73x), "
+            f"out-of-order multiplier {self.ablation['ooo_multiplier']:.2f}x "
+            f"(paper 1.32x)",
+        ]
+        return table + "\n" + "\n".join(lines)
+
+
+def run_fig10(
+    thresholds: Optional[Dict[str, float]] = None,
+    n_instances: int = 4,
+    seed: int = 0,
+    models=FIG8_MODELS,
+    scale_thresholds: bool = True,
+) -> Fig10Result:
+    """Regenerate Fig. 10 with the cycle-approximate accelerator.
+
+    Thresholds are calibration-context values, transferred to each model's
+    evaluation context (see :func:`run_fig8`).
+    """
+    from repro.core.thresholds import scale_threshold_for_context
+    from repro.eval.pretrained import CALIBRATION_CONTEXT
+
+    if thresholds is None:
+        from repro.eval.pretrained import get_calibrated_thresholds
+
+        thresholds = get_calibrated_thresholds()
+    configs = {name: thresholds[name] for name in ("topick", "topick-0.3")}
+
+    rows = []
+    est_speedups, ooo_multipliers = [], []
+    for mi, name in enumerate(models):
+        model_cfg = get_model_config(name)
+        ctx = HW_EVAL_CONTEXT[name]
+        workload = sample_workload(
+            ctx, head_dim=model_cfg.head_dim, n_instances=n_instances,
+            seed=seed * 1000 + mi,
+        )
+        speedup, norm_energy, breakdowns = {}, {}, {}
+        base_acc = ToPickAccelerator(config=TokenPickerConfig())
+        base = base_acc.run_workload(workload, variant="baseline")
+        base_energy = base.energy()
+        for cfg_name, thr in configs.items():
+            if scale_thresholds:
+                thr = scale_threshold_for_context(thr, CALIBRATION_CONTEXT, ctx)
+            acc = ToPickAccelerator(config=TokenPickerConfig(threshold=thr))
+            run = acc.run_workload(workload, variant="topick")
+            speedup[cfg_name] = base.cycles / run.cycles
+            e = run.energy()
+            norm_energy[cfg_name] = e.total / base_energy.total
+            breakdowns[cfg_name] = e.normalised_to(base_energy)
+            if cfg_name == "topick":
+                v_only = acc.run_workload(workload, variant="v_only")
+                est_speedups.append(base.cycles / v_only.cycles)
+                ooo_multipliers.append(v_only.cycles / run.cycles)
+        rows.append(
+            Fig10ModelRow(
+                model=name, context=ctx, speedup=speedup,
+                normalized_energy=norm_energy, energy_breakdown=breakdowns,
+            )
+        )
+
+    mean_speedup = {
+        c: float(np.mean([r.speedup[c] for r in rows])) for c in configs
+    }
+    mean_eff = {
+        c: float(np.mean([1.0 / r.normalized_energy[c] for r in rows]))
+        for c in configs
+    }
+    return Fig10Result(
+        rows_by_model=rows,
+        thresholds=dict(configs),
+        mean_speedup=mean_speedup,
+        mean_energy_efficiency=mean_eff,
+        ablation={
+            "estimation_only": float(np.mean(est_speedups)),
+            "ooo_multiplier": float(np.mean(ooo_multipliers)),
+        },
+    )

@@ -1,0 +1,58 @@
+"""Experiment driver for Fig. 2: memory-transfer breakdown vs batch size."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.eval.memory_model import (
+    FIG2_BATCH_SIZES,
+    FIG2_MODELS,
+    MemoryBreakdown,
+    fig2_breakdowns,
+    kv_fraction_summary,
+)
+from repro.utils.tables import format_table
+
+#: Paper's headline numbers (Sec. 2.2.1): KV fraction at B=1 and B=64.
+PAPER_KV_FRACTION = {1: 0.078, 64: 0.843}
+
+
+@dataclass
+class Fig2Result:
+    """All cells of Fig. 2 plus the batch-size summary."""
+
+    breakdowns: List[MemoryBreakdown]
+    kv_by_batch: Dict[int, float]
+
+    def rows(self) -> List[list]:
+        return [
+            [
+                bd.model,
+                bd.batch_size,
+                f"{bd.kv_fraction:.3f}",
+                f"{bd.weight_fraction:.3f}",
+                f"{bd.embedding_fraction:.3f}",
+            ]
+            for bd in self.breakdowns
+        ]
+
+    def format(self) -> str:
+        table = format_table(
+            self.rows(),
+            headers=["model", "batch", "KV frac", "weights frac", "embed frac"],
+            title="Fig. 2 - memory access breakdown (generation phase)",
+        )
+        summary = ", ".join(
+            f"B={b}: {f:.1%}" for b, f in self.kv_by_batch.items()
+        )
+        paper = ", ".join(f"B={b}: {f:.1%}" for b, f in PAPER_KV_FRACTION.items())
+        return f"{table}\nmean KV fraction  {summary}\npaper             {paper}"
+
+
+def run_fig2() -> Fig2Result:
+    """Regenerate Fig. 2 from the analytic memory model."""
+    breakdowns = fig2_breakdowns(FIG2_MODELS, FIG2_BATCH_SIZES)
+    return Fig2Result(
+        breakdowns=breakdowns, kv_by_batch=kv_fraction_summary(breakdowns)
+    )

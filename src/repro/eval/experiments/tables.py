@@ -1,0 +1,71 @@
+"""Experiment drivers for Table 1 (configuration) and Table 2 (area/power)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.hw.area import AreaPowerReport, area_power_report
+from repro.hw.params import HardwareParams
+from repro.utils.tables import format_table
+
+
+@dataclass
+class Table1Result:
+    params: HardwareParams
+
+    def rows(self) -> List[list]:
+        p = self.params
+        return [
+            ["Main memory", f"HBM2; {p.n_channels} channels, "
+             f"{p.peak_bandwidth_gbs:.0f} GB/s aggregate"],
+            ["On-chip buffer", f"{p.k_buffer_bytes // 1024} KB K + "
+             f"{p.v_buffer_bytes // 1024} KB V SRAM; "
+             f"{p.operand_buffer_bytes} B operand buffer"],
+            ["PE lane", f"{p.n_lanes} lanes x {p.lane_dim}-dim multipliers; "
+             f"{p.scoreboard_entries}-entry scoreboard"],
+            ["Number format", f"{p.quant.total_bits}-bit operands in "
+             f"{p.quant.n_chunks} x {p.quant.chunk_bits}-bit chunks"],
+            ["Clock", f"{p.clock_ghz * 1000:.0f} MHz"],
+        ]
+
+    def format(self) -> str:
+        return format_table(
+            self.rows(), headers=["component", "configuration"],
+            title="Table 1 - ToPick hardware configuration",
+        )
+
+
+def run_table1(params: HardwareParams = None) -> Table1Result:
+    """Regenerate Table 1 from the hardware parameters."""
+    return Table1Result(params=params or HardwareParams())
+
+
+@dataclass
+class Table2Result:
+    report: AreaPowerReport
+
+    def rows(self) -> List[list]:
+        return [[n, f"{a:.3f}", f"{p:.2f}"] for n, a, p in self.report.rows()]
+
+    def format(self) -> str:
+        r = self.report
+        table = format_table(
+            self.rows(), headers=["module", "area (mm^2)", "power (mW)"],
+            title="Table 2 - area and power breakdown at 500 MHz",
+        )
+        overheads = (
+            f"V-prune modules (MarginGen+DAG+PEC): "
+            f"+{r.v_module_area_overhead:.1%} area, "
+            f"+{r.v_module_power_overhead:.1%} power (paper +1.0% / +1.3%)\n"
+            f"K-prune modules (Scoreboard+RPDU): "
+            f"+{r.k_module_area_overhead:.1%} area, "
+            f"+{r.k_module_power_overhead:.1%} power (paper +4.9% / +5.6%)\n"
+            f"paper totals: 8.593 mm^2, 1492.78 mW"
+        )
+        return f"{table}\n{overheads}"
+
+
+def run_table2(n_lanes: int = 16) -> Table2Result:
+    """Regenerate Table 2 and the overhead analysis (Sec. 5.2.3)."""
+    return Table2Result(report=area_power_report(n_lanes))

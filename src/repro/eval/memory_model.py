@@ -1,0 +1,104 @@
+"""Analytic memory-transfer model for the generation phase (Fig. 2).
+
+Per decode step, three categories of off-chip traffic (Sec. 2.2.1):
+
+* **pre-trained weights** — attention/FFN/LN matrices, loaded once per step
+  and *shared* across the batch (this is what dynamic batching amortises);
+* **word embedding** — the tied input/output embedding (and learned
+  positions), also shared: dominated by the LM-head matmul reading the
+  full ``V x d`` matrix to produce logits;
+* **KV caching** — every sequence's cached keys/values are private, so this
+  term scales with batch size *and* context length.
+
+Fig. 2 plots the fraction of each category for GPT2-XL (S=1024),
+OPT-6.7B (S=2048) and LLaMa-2-7B (S=4096) at batch sizes 1..64: KV grows
+from 7.8% (B=1) to 84.3% (B=64) on average, which motivates the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.model.config import ModelConfig
+
+#: Batch sizes shown in Fig. 2.
+FIG2_BATCH_SIZES = (1, 4, 16, 64)
+#: Models shown in Fig. 2 (name -> context length used there).
+FIG2_MODELS = {"gpt2-xl": 1024, "opt-6.7b": 2048, "llama-2-7b": 4096}
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Per-decode-step off-chip bytes for one (model, batch, context)."""
+
+    model: str
+    batch_size: int
+    context_length: int
+    weight_bytes: int
+    embedding_bytes: int
+    kv_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.weight_bytes + self.embedding_bytes + self.kv_bytes
+
+    @property
+    def kv_fraction(self) -> float:
+        return self.kv_bytes / self.total_bytes
+
+    @property
+    def weight_fraction(self) -> float:
+        return self.weight_bytes / self.total_bytes
+
+    @property
+    def embedding_fraction(self) -> float:
+        return self.embedding_bytes / self.total_bytes
+
+
+def step_memory_breakdown(
+    config: ModelConfig,
+    batch_size: int,
+    context_length: int = None,
+) -> MemoryBreakdown:
+    """Off-chip bytes moved for one generated token at a batch size."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    ctx = config.max_context if context_length is None else context_length
+    if not 1 <= ctx <= config.max_context:
+        raise ValueError(
+            f"context_length must be in [1, {config.max_context}], got {ctx}"
+        )
+    kv = batch_size * config.kv_cache_bytes(ctx)
+    return MemoryBreakdown(
+        model=config.name,
+        batch_size=batch_size,
+        context_length=ctx,
+        weight_bytes=config.weight_bytes,
+        embedding_bytes=config.embedding_bytes,
+        kv_bytes=kv,
+    )
+
+
+def fig2_breakdowns(
+    models: Dict[str, int] = None,
+    batch_sizes: Sequence[int] = FIG2_BATCH_SIZES,
+) -> List[MemoryBreakdown]:
+    """All (model, batch) cells of Fig. 2, in plot order."""
+    from repro.model.config import get_model_config
+
+    models = dict(FIG2_MODELS if models is None else models)
+    out = []
+    for name, ctx in models.items():
+        cfg = get_model_config(name)
+        for b in batch_sizes:
+            out.append(step_memory_breakdown(cfg, b, ctx))
+    return out
+
+
+def kv_fraction_summary(breakdowns: Sequence[MemoryBreakdown]) -> Dict[int, float]:
+    """Mean KV fraction per batch size (the 7.8% -> 84.3% headline)."""
+    by_batch: Dict[int, List[float]] = {}
+    for bd in breakdowns:
+        by_batch.setdefault(bd.batch_size, []).append(bd.kv_fraction)
+    return {b: sum(v) / len(v) for b, v in sorted(by_batch.items())}

@@ -1,0 +1,124 @@
+"""Terminal plots for the figure drivers (ASCII bars, histograms, heatmaps).
+
+The paper's figures are bar charts, histograms and a heatmap; the drivers
+print their numeric series, and these helpers render the same data as
+terminal graphics so `tokenpicker figX` output *looks* like the figure it
+regenerates.  Pure-text, dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+_SHADES = " .:-=+*#%@"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    max_value: Optional[float] = None,
+    unit: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    values = [float(v) for v in values]
+    peak = max_value if max_value is not None else (max(values) if values else 1.0)
+    if peak <= 0:
+        peak = 1.0
+    label_w = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        filled = int(round(min(value / peak, 1.0) * width))
+        bar = "#" * filled + " " * (width - filled)
+        lines.append(f"{label.ljust(label_w)} |{bar}| {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def histogram(
+    counts: Sequence[float],
+    bin_edges: Sequence[float],
+    height: int = 8,
+    title: Optional[str] = None,
+) -> str:
+    """Vertical histogram from precomputed counts (Fig. 3 style)."""
+    counts = np.asarray(counts, dtype=float)
+    if counts.size == 0:
+        return title or ""
+    if len(bin_edges) != len(counts) + 1:
+        raise ValueError("need len(bin_edges) == len(counts) + 1")
+    if height < 1:
+        raise ValueError("height must be >= 1")
+    peak = counts.max() if counts.max() > 0 else 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        cut = peak * (level - 0.5) / height
+        rows.append("".join("#" if c >= cut else " " for c in counts))
+    lines = [title] if title else []
+    lines.extend(rows)
+    lines.append("-" * len(counts))
+    lines.append(f"[{bin_edges[0]:.2f} .. {bin_edges[-1]:.2f}]  peak={peak:.0f}")
+    return "\n".join(lines)
+
+
+def heatmap(
+    matrix: np.ndarray,
+    row_labels: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Shade-character heatmap (Fig. 4a style); values scaled per matrix."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    peak = matrix.max() if matrix.size and matrix.max() > 0 else 1.0
+    if row_labels is not None and len(row_labels) != matrix.shape[0]:
+        raise ValueError("row_labels length mismatch")
+    label_w = max((len(l) for l in row_labels), default=0) if row_labels else 0
+    lines = [title] if title else []
+    for i, row in enumerate(matrix):
+        cells = "".join(
+            _SHADES[min(int(v / peak * (len(_SHADES) - 1)), len(_SHADES) - 1)]
+            for v in row
+        )
+        prefix = (row_labels[i].ljust(label_w) + " ") if row_labels else ""
+        lines.append(f"{prefix}[{cells}]")
+    lines.append(f"scale: ' '=0 .. '@'={peak:.3f}")
+    return "\n".join(lines)
+
+
+def series_plot(
+    xs: Sequence[float],
+    series: dict,
+    width: int = 50,
+    height: int = 10,
+    title: Optional[str] = None,
+) -> str:
+    """Multiple named series as a scatter of letters (Fig. 8/10 lines)."""
+    if height < 2 or width < 2:
+        raise ValueError("width and height must be >= 2")
+    xs = np.asarray(xs, dtype=float)
+    all_vals = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    lo, hi = float(all_vals.min()), float(all_vals.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefghij"
+    for si, (name, ys) in enumerate(series.items()):
+        ys = np.asarray(ys, dtype=float)
+        for x, y in zip(xs, ys):
+            col = int((x - xs.min()) / max(xs.max() - xs.min(), 1e-12) * (width - 1))
+            row = int((1.0 - (y - lo) / (hi - lo)) * (height - 1))
+            grid[row][col] = markers[si % len(markers)]
+    lines = [title] if title else []
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"y: [{lo:.3g}, {hi:.3g}]  {legend}")
+    return "\n".join(lines)

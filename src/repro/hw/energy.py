@@ -1,0 +1,103 @@
+"""Event-count energy model (Fig. 10b's DRAM / on-chip buffer / compute).
+
+The paper integrates DRAMsim3 access energy with CACTI SRAM numbers and
+synthesized compute power.  Offline we use per-event energy constants in
+the range standard for HBM2 + 65 nm designs, chosen so the *baseline*
+accelerator reproduces the paper's qualitative breakdown (off-chip access
+dominates; on-chip buffer traffic is the second contributor — compare the
+1053 mW buffer power in Table 2).  All reported results are normalised to
+the baseline, which is what Fig. 10(b) plots, so only the ratios between
+the constants matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energies in picojoules."""
+
+    dram_pj_per_bit: float = 3.9  # HBM2 interface + array
+    sram_pj_per_byte: float = 2.5  # 192 KB buffer read or write (CACTI-like)
+    operand_pj_per_byte: float = 0.15  # small operand buffer
+    scoreboard_pj_per_access: float = 0.45  # 67-bit entry read or write
+    mac_pj: float = 0.18  # one 12b x 4b multiply-accumulate slice
+    exp_pj: float = 1.1  # fixed-point EXP evaluation
+    margin_pj: float = 0.9  # one margin-pair generation
+    dag_update_pj: float = 0.35  # one partial-exp aggregation
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if getattr(self, f.name) < 0:
+                raise ValueError(f"{f.name} must be non-negative")
+
+
+@dataclass
+class EventCounts:
+    """Raw activity counters produced by the simulators."""
+
+    dram_bits: int = 0
+    sram_bytes: int = 0  # on-chip K/V buffer traffic (write + read)
+    operand_bytes: int = 0
+    scoreboard_accesses: int = 0
+    macs: int = 0
+    exp_evals: int = 0
+    margin_gens: int = 0
+    dag_updates: int = 0
+
+    def merged(self, other: "EventCounts") -> "EventCounts":
+        return EventCounts(
+            dram_bits=self.dram_bits + other.dram_bits,
+            sram_bytes=self.sram_bytes + other.sram_bytes,
+            operand_bytes=self.operand_bytes + other.operand_bytes,
+            scoreboard_accesses=self.scoreboard_accesses + other.scoreboard_accesses,
+            macs=self.macs + other.macs,
+            exp_evals=self.exp_evals + other.exp_evals,
+            margin_gens=self.margin_gens + other.margin_gens,
+            dag_updates=self.dag_updates + other.dag_updates,
+        )
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy in picojoules split into the Fig. 10(b) categories."""
+
+    dram: float
+    onchip_buffer: float
+    compute: float
+
+    @property
+    def total(self) -> float:
+        return self.dram + self.onchip_buffer + self.compute
+
+    def normalised_to(self, baseline: "EnergyBreakdown") -> "EnergyBreakdown":
+        """Each category as a fraction of the *baseline total*."""
+        if baseline.total <= 0:
+            raise ValueError("baseline energy must be positive")
+        t = baseline.total
+        return EnergyBreakdown(
+            dram=self.dram / t,
+            onchip_buffer=self.onchip_buffer / t,
+            compute=self.compute / t,
+        )
+
+
+def integrate_energy(
+    counts: EventCounts, params: EnergyParams = EnergyParams()
+) -> EnergyBreakdown:
+    """Convert activity counters into the three-way energy breakdown."""
+    dram = counts.dram_bits * params.dram_pj_per_bit
+    buffer = (
+        counts.sram_bytes * params.sram_pj_per_byte
+        + counts.operand_bytes * params.operand_pj_per_byte
+        + counts.scoreboard_accesses * params.scoreboard_pj_per_access
+    )
+    compute = (
+        counts.macs * params.mac_pj
+        + counts.exp_evals * params.exp_pj
+        + counts.margin_gens * params.margin_pj
+        + counts.dag_updates * params.dag_update_pj
+    )
+    return EnergyBreakdown(dram=dram, onchip_buffer=buffer, compute=compute)

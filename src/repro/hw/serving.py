@@ -1,0 +1,135 @@
+"""Whole-decode-step serving simulation: weights + batched attention.
+
+The accelerator benches (Fig. 10) measure the attention engine alone; a
+serving step also streams the (batch-shared) weights through the FC
+datapath.  This module assembles the full step at cycle granularity:
+
+    step = weight streaming (shared)  +  B x L x H attention instances
+
+with the attention part measured on the cycle-approximate accelerator and
+the FC part bandwidth-bound (the generation phase is memory-bound end to
+end, Sec. 2.1.2).  It is the cycle-level counterpart of
+:mod:`repro.eval.batching` and closes the Fig. 2 -> Fig. 10 argument: the
+end-to-end benefit of ToPick grows with batch size as KV traffic comes to
+dominate the step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import TokenPickerConfig
+from repro.hw.accelerator import ToPickAccelerator
+from repro.hw.dram import streaming_cycles
+from repro.hw.params import HardwareParams
+from repro.model.config import ModelConfig
+from repro.workloads.scores import sample_workload
+
+
+@dataclass(frozen=True)
+class ServingStepResult:
+    """Cycle breakdown of one batched decode step for one design."""
+
+    variant: str
+    batch_size: int
+    weight_cycles: int
+    attention_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.weight_cycles + self.attention_cycles
+
+    @property
+    def attention_fraction(self) -> float:
+        return self.attention_cycles / self.total_cycles if self.total_cycles else 0.0
+
+
+class ServingSimulator:
+    """Batched decode-step latency on the ToPick system."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        context_length: int,
+        hw: Optional[HardwareParams] = None,
+        config: Optional[TokenPickerConfig] = None,
+        n_sample_instances: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if context_length < 1:
+            raise ValueError("context_length must be >= 1")
+        if n_sample_instances < 1:
+            raise ValueError("n_sample_instances must be >= 1")
+        self.model = model
+        self.context_length = context_length
+        self.hw = hw or HardwareParams()
+        self.config = config or TokenPickerConfig()
+        self._workload = sample_workload(
+            context_length,
+            head_dim=model.head_dim,
+            n_instances=n_sample_instances,
+            seed=seed,
+        )
+        self._per_instance_cycles: Dict[str, float] = {}
+
+    def _attention_cycles_per_instance(self, variant: str) -> float:
+        """Mean cycles of one (layer, head) attention instance (cached)."""
+        if variant not in self._per_instance_cycles:
+            acc = ToPickAccelerator(hw=self.hw, config=self.config)
+            result = acc.run_workload(self._workload, variant=variant)
+            self._per_instance_cycles[variant] = result.cycles / len(self._workload)
+        return self._per_instance_cycles[variant]
+
+    def weight_streaming_cycles(self) -> int:
+        """Cycles to stream the (batch-shared) non-attention weights."""
+        return streaming_cycles(
+            self.model.weight_bytes + self.model.embedding_bytes,
+            self.hw.n_channels,
+            self.hw.channel_bytes_per_cycle,
+            self.hw.dram_latency_cycles,
+        )
+
+    def step(self, batch_size: int, variant: str = "topick") -> ServingStepResult:
+        """Latency of one decode step at a batch size for a design point."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        per_instance = self._attention_cycles_per_instance(variant)
+        n_instances = batch_size * self.model.n_layers * self.model.n_heads
+        return ServingStepResult(
+            variant=variant,
+            batch_size=batch_size,
+            weight_cycles=self.weight_streaming_cycles(),
+            attention_cycles=int(round(per_instance * n_instances)),
+        )
+
+    def speedup_curve(
+        self, batch_sizes: Sequence[int] = (1, 4, 16, 64), variant: str = "topick"
+    ) -> List[Dict[str, float]]:
+        """End-to-end step speedup of ``variant`` over baseline per batch."""
+        out = []
+        for b in batch_sizes:
+            base = self.step(b, "baseline")
+            ours = self.step(b, variant)
+            out.append(
+                {
+                    "batch_size": b,
+                    "baseline_cycles": base.total_cycles,
+                    "variant_cycles": ours.total_cycles,
+                    "speedup": base.total_cycles / ours.total_cycles,
+                    "attention_fraction": base.attention_fraction,
+                }
+            )
+        return out
+
+
+def tokens_per_second(
+    result: ServingStepResult, clock_ghz: float = 0.5
+) -> float:
+    """Aggregate decode throughput implied by a step result."""
+    seconds = result.total_cycles / (clock_ghz * 1e9)
+    if seconds <= 0:
+        return 0.0
+    return result.batch_size / seconds

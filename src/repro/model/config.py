@@ -1,0 +1,226 @@
+"""Model configurations: the paper's model zoo and tiny trainable shapes.
+
+Two uses:
+
+1. **Full-scale shapes** of the eight models the paper evaluates
+   (GPT2-Large/XL, OPT-1.3B/2.7B/6.7B/13B, LLaMa-2-7B/13B, plus GPT2-Medium
+   for Fig. 9).  These drive the *analytic* memory models (Fig. 2 breakdown,
+   per-model KV traffic) and the hardware workload shapes — no weights are
+   instantiated at these sizes.
+2. **Tiny trainable shapes** for the NumPy LM substrate: real attention
+   structure and perplexity measurements at laptop scale.
+
+Parameter/byte counts follow the standard transformer arithmetic:
+
+* attention: ``4 d^2`` (+ biases) per layer,
+* FFN: GPT2/OPT ``8 d^2`` (4x expansion, 2 matrices); LLaMa ``3 d f``
+  (SwiGLU, 3 matrices with hidden ``f``),
+* embeddings: ``V d`` (+ positional ``C d`` for learned-position families),
+* KV cache: ``2 L d`` elements per token per sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture shape of an autoregressive transformer LM."""
+
+    name: str
+    n_layers: int
+    d_model: int
+    n_heads: int
+    vocab_size: int
+    max_context: int
+    ffn_hidden: int  # FFN hidden width
+    ffn_matrices: int = 2  # 2 for GELU MLP, 3 for SwiGLU (LLaMa)
+    learned_positions: bool = True
+    #: "learned" (GPT-2 absolute embeddings) or "alibi" (per-head linear
+    #: distance bias).  Tiny trainable models default to ALiBi: it gives the
+    #: recency structure real LLMs exhibit (Fig. 4a) and lets attention
+    #: heads form at laptop scale.
+    position_scheme: str = "learned"
+    weight_bytes_per_param: int = 2  # FP16 deployment (paper's serving setup)
+    kv_bytes_per_element: int = 2
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads != 0:
+            raise ValueError(
+                f"{self.name}: d_model ({self.d_model}) not divisible by "
+                f"n_heads ({self.n_heads})"
+            )
+        for attr in ("n_layers", "d_model", "n_heads", "vocab_size", "max_context", "ffn_hidden"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{self.name}: {attr} must be positive")
+        if self.position_scheme not in ("learned", "alibi"):
+            raise ValueError(
+                f"{self.name}: position_scheme must be 'learned' or 'alibi'"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+    # --- parameter accounting -------------------------------------------------
+    @property
+    def attention_params_per_layer(self) -> int:
+        # W_q, W_k, W_v, W_o plus biases
+        return 4 * self.d_model * self.d_model + 4 * self.d_model
+
+    @property
+    def ffn_params_per_layer(self) -> int:
+        mats = self.ffn_matrices * self.d_model * self.ffn_hidden
+        biases = self.ffn_hidden + self.d_model if self.ffn_matrices == 2 else 0
+        return mats + biases
+
+    @property
+    def layer_params(self) -> int:
+        layernorms = 2 * 2 * self.d_model  # two LNs, gain+bias each
+        return self.attention_params_per_layer + self.ffn_params_per_layer + layernorms
+
+    @property
+    def embedding_params(self) -> int:
+        pos = self.max_context * self.d_model if self.learned_positions else 0
+        return self.vocab_size * self.d_model + pos
+
+    @property
+    def param_count(self) -> int:
+        """Total parameters (tied LM head — embedding reused)."""
+        final_ln = 2 * self.d_model
+        return self.embedding_params + self.n_layers * self.layer_params + final_ln
+
+    # --- byte accounting (generation phase, per decoded token) ----------------
+    @property
+    def weight_bytes(self) -> int:
+        """Bytes of pre-trained weights streamed once per decode step
+        (embedding matrices excluded — counted separately as in Fig. 2)."""
+        non_embedding = self.param_count - self.embedding_params
+        return non_embedding * self.weight_bytes_per_param
+
+    @property
+    def embedding_bytes(self) -> int:
+        """Word/position embedding bytes (Fig. 2's third category)."""
+        return self.embedding_params * self.weight_bytes_per_param
+
+    def kv_bytes_per_token(self) -> int:
+        """KV-cache bytes appended (and re-read) per token per sequence."""
+        return 2 * self.n_layers * self.d_model * self.kv_bytes_per_element
+
+    def kv_cache_bytes(self, context_length: Optional[int] = None) -> int:
+        """Total KV-cache bytes for one sequence at a context length."""
+        ctx = self.max_context if context_length is None else context_length
+        if ctx < 0:
+            raise ValueError(f"context_length must be >= 0, got {ctx}")
+        return self.kv_bytes_per_token() * ctx
+
+
+def _gpt2(name: str, n_layers: int, d_model: int, n_heads: int) -> ModelConfig:
+    return ModelConfig(
+        name=name,
+        n_layers=n_layers,
+        d_model=d_model,
+        n_heads=n_heads,
+        vocab_size=50257,
+        max_context=1024,
+        ffn_hidden=4 * d_model,
+    )
+
+
+def _opt(name: str, n_layers: int, d_model: int, n_heads: int) -> ModelConfig:
+    return ModelConfig(
+        name=name,
+        n_layers=n_layers,
+        d_model=d_model,
+        n_heads=n_heads,
+        vocab_size=50272,
+        max_context=2048,
+        ffn_hidden=4 * d_model,
+    )
+
+
+def _llama2(name: str, n_layers: int, d_model: int, n_heads: int, ffn: int) -> ModelConfig:
+    return ModelConfig(
+        name=name,
+        n_layers=n_layers,
+        d_model=d_model,
+        n_heads=n_heads,
+        vocab_size=32000,
+        max_context=4096,
+        ffn_hidden=ffn,
+        ffn_matrices=3,
+        learned_positions=False,  # RoPE
+    )
+
+
+#: The models in the paper's evaluation (Sec. 5.1.1 + Fig. 9's GPT2-Medium).
+MODEL_ZOO: Dict[str, ModelConfig] = {
+    "gpt2-medium": _gpt2("gpt2-medium", 24, 1024, 16),
+    "gpt2-large": _gpt2("gpt2-large", 36, 1280, 20),
+    "gpt2-xl": _gpt2("gpt2-xl", 48, 1600, 25),
+    "opt-1.3b": _opt("opt-1.3b", 24, 2048, 32),
+    "opt-2.7b": _opt("opt-2.7b", 32, 2560, 32),
+    "opt-6.7b": _opt("opt-6.7b", 32, 4096, 32),
+    "opt-13b": _opt("opt-13b", 40, 5120, 40),
+    "llama-2-7b": _llama2("llama-2-7b", 32, 4096, 32, 11008),
+    "llama-2-13b": _llama2("llama-2-13b", 40, 5120, 40, 13824),
+}
+
+#: Models shown in Fig. 8 / Fig. 10, in the paper's order.
+FIG8_MODELS = (
+    "gpt2-large",
+    "gpt2-xl",
+    "opt-1.3b",
+    "opt-2.7b",
+    "opt-6.7b",
+    "opt-13b",
+    "llama-2-7b",
+    "llama-2-13b",
+)
+
+#: Context lengths used for hardware evaluation (Sec. 5.1.3).
+HW_EVAL_CONTEXT = {
+    "gpt2-medium": 1024,
+    "gpt2-large": 1024,
+    "gpt2-xl": 1024,
+    "opt-1.3b": 2048,
+    "opt-2.7b": 2048,
+    "opt-6.7b": 2048,
+    "opt-13b": 2048,
+    "llama-2-7b": 2048,
+    "llama-2-13b": 2048,
+}
+
+
+def tiny_config(
+    name: str = "tiny",
+    n_layers: int = 2,
+    d_model: int = 64,
+    n_heads: int = 4,
+    vocab_size: int = 64,
+    max_context: int = 256,
+) -> ModelConfig:
+    """A trainable laptop-scale shape for the NumPy LM substrate."""
+    return ModelConfig(
+        name=name,
+        n_layers=n_layers,
+        d_model=d_model,
+        n_heads=n_heads,
+        vocab_size=vocab_size,
+        max_context=max_context,
+        ffn_hidden=4 * d_model,
+        learned_positions=False,
+        position_scheme="alibi",
+    )
+
+
+def get_model_config(name: str) -> ModelConfig:
+    """Look up a zoo model by name (KeyError lists valid names)."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}"
+        ) from None

@@ -1,0 +1,164 @@
+"""Neural-network primitives with explicit forward/backward passes.
+
+The LM substrate is trained with handwritten backpropagation (no autograd
+framework is available in this environment).  Each primitive is a pair of
+pure functions: ``*_forward`` returns ``(output, cache)`` and ``*_backward``
+consumes ``(grad_output, cache)`` and returns input/parameter gradients.
+All math is float64 — the models are tiny, and exact gradients make the
+finite-difference tests in ``tests/test_model_layers.py`` tight.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+import numpy as np
+
+LN_EPS = 1e-5
+_GELU_C = math.sqrt(2.0 / math.pi)
+
+
+# --- linear -------------------------------------------------------------------
+
+def linear_forward(x: np.ndarray, w: np.ndarray, b: np.ndarray):
+    """``y = x @ w + b`` for x of shape (..., in), w (in, out), b (out,)."""
+    return x @ w + b, (x, w)
+
+
+def linear_backward(dy: np.ndarray, cache) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    x, w = cache
+    dx = dy @ w.T
+    dw = x.reshape(-1, x.shape[-1]).T @ dy.reshape(-1, dy.shape[-1])
+    db = dy.reshape(-1, dy.shape[-1]).sum(axis=0)
+    return dx, dw, db
+
+
+# --- layer norm -----------------------------------------------------------------
+
+def layernorm_forward(x: np.ndarray, gain: np.ndarray, bias: np.ndarray):
+    """LayerNorm over the last axis with learnable gain/bias."""
+    mu = x.mean(axis=-1, keepdims=True)
+    xc = x - mu
+    var = (xc * xc).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + LN_EPS)
+    x_hat = xc * inv_std
+    return x_hat * gain + bias, (x_hat, inv_std, gain)
+
+
+def layernorm_backward(dy: np.ndarray, cache):
+    x_hat, inv_std, gain = cache
+    d = x_hat.shape[-1]
+    dgain = (dy * x_hat).reshape(-1, d).sum(axis=0)
+    dbias = dy.reshape(-1, d).sum(axis=0)
+    dx_hat = dy * gain
+    # standard LN backward: project out mean and x_hat components
+    dx = (
+        dx_hat
+        - dx_hat.mean(axis=-1, keepdims=True)
+        - x_hat * (dx_hat * x_hat).mean(axis=-1, keepdims=True)
+    ) * inv_std
+    return dx, dgain, dbias
+
+
+# --- GELU ----------------------------------------------------------------------
+
+def gelu_forward(x: np.ndarray):
+    """tanh-approximation GELU (the GPT-2 variant)."""
+    inner = _GELU_C * (x + 0.044715 * x**3)
+    t = np.tanh(inner)
+    return 0.5 * x * (1.0 + t), (x, t)
+
+
+def gelu_backward(dy: np.ndarray, cache) -> np.ndarray:
+    x, t = cache
+    dinner = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
+    dt = (1.0 - t * t) * dinner
+    return dy * (0.5 * (1.0 + t) + 0.5 * x * dt)
+
+
+# --- softmax / cross-entropy -----------------------------------------------------
+
+def softmax_forward(scores: np.ndarray):
+    """Stable softmax over the last axis; cache is the output itself."""
+    m = scores.max(axis=-1, keepdims=True)
+    e = np.exp(scores - m)
+    p = e / e.sum(axis=-1, keepdims=True)
+    return p, p
+
+
+def softmax_backward(dp: np.ndarray, p: np.ndarray) -> np.ndarray:
+    """Jacobian-vector product of softmax: ``p * (dp - <dp, p>)``."""
+    inner = (dp * p).sum(axis=-1, keepdims=True)
+    return p * (dp - inner)
+
+
+def cross_entropy_forward(logits: np.ndarray, targets: np.ndarray):
+    """Mean token-level cross entropy.
+
+    ``logits`` is (..., V) and ``targets`` (...,) int.  Returns
+    ``(loss, cache)``; positions with target < 0 are ignored (padding).
+    """
+    flat_logits = logits.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1)
+    valid = flat_targets >= 0
+    m = flat_logits.max(axis=-1, keepdims=True)
+    shifted = flat_logits - m
+    logz = np.log(np.exp(shifted).sum(axis=-1)) + m[:, 0]
+    idx = np.where(valid, flat_targets, 0)
+    token_nll = logz - flat_logits[np.arange(flat_logits.shape[0]), idx]
+    n_valid = int(valid.sum())
+    if n_valid == 0:
+        raise ValueError("cross entropy needs at least one valid target")
+    loss = float(token_nll[valid].sum() / n_valid)
+    cache = (flat_logits, idx, valid, logz, n_valid, logits.shape)
+    return loss, cache
+
+
+def cross_entropy_backward(cache) -> np.ndarray:
+    """Gradient of the mean NLL with respect to the logits."""
+    flat_logits, idx, valid, logz, n_valid, shape = cache
+    p = np.exp(flat_logits - logz[:, None])
+    p[np.arange(p.shape[0]), idx] -= 1.0
+    p[~valid] = 0.0
+    return (p / n_valid).reshape(shape)
+
+
+# --- parameter initialisation ------------------------------------------------------
+
+def init_linear(rng: np.random.Generator, d_in: int, d_out: int, scale: float = None):
+    """GPT-2-style init: normal(0, 0.02) weights (or given scale), zero bias."""
+    std = 0.02 if scale is None else scale
+    return rng.normal(0.0, std, size=(d_in, d_out)), np.zeros(d_out)
+
+
+def init_layernorm(d: int):
+    return np.ones(d), np.zeros(d)
+
+
+def adam_update(
+    params: Dict[str, np.ndarray],
+    grads: Dict[str, np.ndarray],
+    state: Dict[str, Dict[str, np.ndarray]],
+    lr: float,
+    step: int,
+    beta1: float = 0.9,
+    beta2: float = 0.999,
+    eps: float = 1e-8,
+    weight_decay: float = 0.0,
+) -> None:
+    """In-place Adam(W) step over a flat parameter dict."""
+    if step < 1:
+        raise ValueError("Adam step counter starts at 1")
+    b1c = 1.0 - beta1**step
+    b2c = 1.0 - beta2**step
+    for name, p in params.items():
+        g = grads[name]
+        if weight_decay and p.ndim >= 2:
+            g = g + weight_decay * p
+        s = state.setdefault(name, {"m": np.zeros_like(p), "v": np.zeros_like(p)})
+        s["m"] = beta1 * s["m"] + (1 - beta1) * g
+        s["v"] = beta2 * s["v"] + (1 - beta2) * (g * g)
+        m_hat = s["m"] / b1c
+        v_hat = s["v"] / b2c
+        p -= lr * m_hat / (np.sqrt(v_hat) + eps)

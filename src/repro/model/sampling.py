@@ -1,0 +1,139 @@
+"""Decoding strategies for the LM substrate.
+
+Greedy and plain-temperature sampling live on
+:meth:`repro.model.transformer.TinyGPT.generate`; the strategies here are
+the standard serving-time samplers (top-k, nucleus) as composable
+logits-to-token functions, so pruned-attention generation can be exercised
+under realistic decoding (chatbot-style serving is the paper's motivating
+workload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.utils.numerics import softmax
+from repro.utils.rng import SeedLike, make_rng
+
+#: A sampler maps logits (V,) to a token id.
+Sampler = Callable[[np.ndarray], int]
+
+
+def greedy_sampler() -> Sampler:
+    """Always the arg-max token."""
+
+    def sample(logits: np.ndarray) -> int:
+        return int(np.argmax(logits))
+
+    return sample
+
+
+def temperature_sampler(temperature: float, seed: SeedLike = 0) -> Sampler:
+    """Softmax sampling at a temperature (> 0)."""
+    if temperature <= 0:
+        raise ValueError("temperature must be positive (use greedy_sampler)")
+    rng = make_rng(seed)
+
+    def sample(logits: np.ndarray) -> int:
+        probs = softmax(np.asarray(logits, dtype=np.float64) / temperature)
+        return int(rng.choice(len(probs), p=probs))
+
+    return sample
+
+
+def top_k_sampler(k: int, temperature: float = 1.0, seed: SeedLike = 0) -> Sampler:
+    """Sample among the ``k`` highest-probability tokens."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    rng = make_rng(seed)
+
+    def sample(logits: np.ndarray) -> int:
+        logits = np.asarray(logits, dtype=np.float64)
+        kk = min(k, logits.shape[-1])
+        top = np.argpartition(-logits, kk - 1)[:kk]
+        probs = softmax(logits[top] / temperature)
+        return int(top[rng.choice(kk, p=probs)])
+
+    return sample
+
+
+def top_p_sampler(p: float, temperature: float = 1.0, seed: SeedLike = 0) -> Sampler:
+    """Nucleus sampling: smallest prefix of the sorted distribution with
+    cumulative probability >= ``p``."""
+    if not 0 < p <= 1:
+        raise ValueError("p must be in (0, 1]")
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    rng = make_rng(seed)
+
+    def sample(logits: np.ndarray) -> int:
+        logits = np.asarray(logits, dtype=np.float64)
+        probs = softmax(logits / temperature)
+        order = np.argsort(-probs)
+        cumulative = np.cumsum(probs[order])
+        cutoff = int(np.searchsorted(cumulative, p)) + 1
+        nucleus = order[:cutoff]
+        nucleus_probs = probs[nucleus] / probs[nucleus].sum()
+        return int(nucleus[rng.choice(cutoff, p=nucleus_probs)])
+
+    return sample
+
+
+@dataclass
+class GenerationResult:
+    """Tokens plus per-step diagnostics from :func:`generate_with_sampler`."""
+
+    tokens: np.ndarray
+    prompt_length: int
+    entropies: np.ndarray  # per generated step, of the full softmax
+
+    @property
+    def generated(self) -> np.ndarray:
+        return self.tokens[self.prompt_length:]
+
+
+def generate_with_sampler(
+    model,
+    prompt: np.ndarray,
+    n_new: int,
+    sampler: Optional[Sampler] = None,
+    backend=None,
+) -> GenerationResult:
+    """Autoregressive generation with an arbitrary sampler and backend.
+
+    The prompt phase runs exact attention (as in the paper); ``backend``
+    (e.g. a TokenPickerBackend) takes over for generated positions.
+    Records the softmax entropy of each step's distribution — a cheap
+    diagnostic of how pruning perturbs the output distribution.
+    """
+    prompt = np.asarray(prompt)
+    if prompt.ndim != 1 or len(prompt) == 0:
+        raise ValueError("prompt must be a non-empty 1-D token array")
+    total = len(prompt) + n_new
+    if total > model.config.max_context:
+        raise ValueError("prompt + n_new exceeds max context")
+    sampler = sampler or greedy_sampler()
+
+    cache = model.new_cache(total)
+    logits = None
+    for token in prompt:
+        logits = model.decode_step(int(token), cache)
+    out = list(prompt)
+    entropies = []
+    for _ in range(n_new):
+        probs = softmax(logits)
+        entropies.append(float(-(probs[probs > 0] * np.log(probs[probs > 0])).sum()))
+        nxt = sampler(logits)
+        out.append(int(nxt))
+        if len(out) < total:
+            logits = model.decode_step(int(nxt), cache, backend)
+    return GenerationResult(
+        tokens=np.asarray(out),
+        prompt_length=len(prompt),
+        entropies=np.asarray(entropies),
+    )

@@ -1,0 +1,31 @@
+"""Byte / bandwidth unit helpers for the memory models."""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def kib(n: float) -> float:
+    """Convert bytes to KiB."""
+    return n / KIB
+
+
+def mib(n: float) -> float:
+    """Convert bytes to MiB."""
+    return n / MIB
+
+
+def gib(n: float) -> float:
+    """Convert bytes to GiB."""
+    return n / GIB
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count (binary units)."""
+    n = float(n)
+    for unit, div in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(n) >= div:
+            return f"{n / div:.2f} {unit}"
+    return f"{n:.0f} B"

@@ -1,0 +1,41 @@
+"""Workload generators: synthetic corpora and attention instances."""
+
+from repro.workloads.corpus import (
+    DELIMITER_TOKEN,
+    induction_corpus,
+    markov_corpus,
+    mixed_corpus,
+    train_eval_split,
+)
+from repro.workloads.traces import (
+    TraceSpec,
+    harvest_instances,
+    harvest_with_bias,
+    harvested_dominance_profile,
+)
+from repro.workloads.scores import (
+    HEAD_ARCHETYPES,
+    AttentionInstance,
+    InstanceParams,
+    fig3_instances,
+    sample_workload,
+    synthetic_instance,
+)
+
+__all__ = [
+    "AttentionInstance",
+    "TraceSpec",
+    "harvest_instances",
+    "harvest_with_bias",
+    "harvested_dominance_profile",
+    "DELIMITER_TOKEN",
+    "HEAD_ARCHETYPES",
+    "InstanceParams",
+    "fig3_instances",
+    "induction_corpus",
+    "markov_corpus",
+    "mixed_corpus",
+    "sample_workload",
+    "synthetic_instance",
+    "train_eval_split",
+]

@@ -1,0 +1,33 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_fast_analytic_experiments(self, capsys):
+        code = main(["fig2", "table1", "table2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Fig. 2" in out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "regenerated in" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "dominant" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_no_args_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_experiment_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig2", "fig3", "fig4", "fig8", "fig9", "fig10", "table1", "table2",
+        }

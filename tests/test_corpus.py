@@ -1,0 +1,128 @@
+"""Tests for the synthetic corpus generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.corpus import (
+    DELIMITER_TOKEN,
+    induction_corpus,
+    markov_corpus,
+    markov_transitions,
+    mixed_corpus,
+    train_eval_split,
+)
+
+
+class TestMarkov:
+    def test_deterministic(self):
+        a = markov_corpus(500, seed=1)
+        b = markov_corpus(500, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_token_range(self):
+        c = markov_corpus(1000, vocab_size=32, seed=2)
+        assert c.min() >= 0 and c.max() < 32
+        assert len(c) == 1000
+
+    def test_transition_seed_fixes_language(self):
+        """Different sampling seeds over the same chain share statistics."""
+        a = markov_corpus(4000, seed=1, transition_seed=9)
+        b = markov_corpus(4000, seed=2, transition_seed=9)
+        # same chain: the sets of observed bigrams overlap heavily
+        bigrams_a = set(zip(a[:-1], a[1:]))
+        bigrams_b = set(zip(b[:-1], b[1:]))
+        overlap = len(bigrams_a & bigrams_b) / max(1, len(bigrams_a | bigrams_b))
+        assert overlap > 0.5
+
+    def test_sparse_transitions(self):
+        """Each state has at most `branching` successors."""
+        c = markov_corpus(5000, vocab_size=16, branching=3, seed=3)
+        successors = {}
+        for s, t in zip(c[:-1], c[1:]):
+            successors.setdefault(int(s), set()).add(int(t))
+        assert max(len(v) for v in successors.values()) <= 3
+
+    def test_low_entropy(self):
+        """Branching-4 chains have far lower bigram entropy than uniform."""
+        c = markov_corpus(20000, vocab_size=64, branching=4, seed=4)
+        counts = {}
+        for s, t in zip(c[:-1], c[1:]):
+            counts.setdefault(int(s), {}).setdefault(int(t), 0)
+            counts[int(s)][int(t)] += 1
+        entropies = []
+        for s, nxt in counts.items():
+            total = sum(nxt.values())
+            p = np.array(list(nxt.values())) / total
+            entropies.append(-(p * np.log(p)).sum())
+        assert np.mean(entropies) < np.log(8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            markov_corpus(0)
+        with pytest.raises(ValueError):
+            markov_transitions(1, 1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            markov_transitions(8, 9, np.random.default_rng(0))
+
+
+class TestInduction:
+    def test_contains_delimiters(self):
+        c = induction_corpus(2000, seed=5)
+        assert (c == DELIMITER_TOKEN).sum() > 5
+
+    def test_motifs_repeat(self):
+        """Repeated motifs create exact long-range matches."""
+        c = induction_corpus(2000, noise=0.0, seed=6)
+        # find a delimiter followed by a motif; the motif repeats right after
+        delims = np.flatnonzero(c == DELIMITER_TOKEN)
+        found_repeat = False
+        for d in delims[:-1]:
+            nxt = delims[delims > d]
+            seg_end = nxt[0] if len(nxt) else len(c)
+            seg = c[d + 1 : seg_end]
+            if len(seg) >= 4:
+                half = len(seg) // 2
+                for m in range(3, half):
+                    if np.array_equal(seg[:m], seg[m : 2 * m]):
+                        found_repeat = True
+                        break
+            if found_repeat:
+                break
+        assert found_repeat
+
+    def test_length_and_range(self):
+        c = induction_corpus(777, vocab_size=32, seed=7)
+        assert len(c) == 777
+        assert c.max() < 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            induction_corpus(100, vocab_size=2)
+        with pytest.raises(ValueError):
+            induction_corpus(100, motif_len_range=(5, 3))
+
+
+class TestMixed:
+    def test_deterministic_and_complete(self):
+        a = mixed_corpus(3000, seed=8)
+        b = mixed_corpus(3000, seed=8)
+        assert np.array_equal(a, b)
+        assert len(a) == 3000
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            mixed_corpus(100, induction_fraction=1.5)
+
+
+class TestSplit:
+    def test_split_sizes(self):
+        c = np.arange(100)
+        tr, ev = train_eval_split(c, 0.2)
+        assert len(tr) == 80 and len(ev) == 20
+        assert np.array_equal(np.concatenate([tr, ev]), c)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            train_eval_split(np.arange(100), 0.0)
+        with pytest.raises(ValueError):
+            train_eval_split(np.arange(2), 0.9)

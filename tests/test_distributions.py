@@ -1,0 +1,125 @@
+"""Tests for distribution analyses (Figs. 3 and 4a) and workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.eval.distributions import (
+    attention_locality_profile,
+    instance_variability,
+    locality_summary,
+    score_histogram,
+)
+from repro.model import TinyGPT, tiny_config
+from repro.workloads import (
+    HEAD_ARCHETYPES,
+    InstanceParams,
+    fig3_instances,
+    sample_workload,
+    synthetic_instance,
+)
+
+
+class TestSyntheticInstances:
+    def test_shapes(self):
+        inst = synthetic_instance(InstanceParams(context_length=128, head_dim=32))
+        assert inst.q.shape == (32,)
+        assert inst.keys.shape == (128, 32)
+        assert inst.values.shape == (128, 32)
+        assert inst.context_length == 128
+
+    def test_deterministic(self):
+        p = InstanceParams(context_length=64)
+        a = synthetic_instance(p, seed=5)
+        b = synthetic_instance(p, seed=5)
+        assert np.allclose(a.q, b.q) and np.allclose(a.keys, b.keys)
+
+    def test_spread_controls_dominance(self):
+        wide = synthetic_instance(
+            InstanceParams(context_length=512, spread=2.5), seed=1
+        )
+        narrow = synthetic_instance(
+            InstanceParams(context_length=512, spread=0.7), seed=1
+        )
+        assert wide.dominant_count() < narrow.dominant_count()
+
+    def test_probs_normalised(self):
+        inst = synthetic_instance(InstanceParams(context_length=64), seed=2)
+        assert np.isclose(inst.exact_probs().sum(), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstanceParams(context_length=0)
+        with pytest.raises(ValueError):
+            InstanceParams(spread=0.0)
+        with pytest.raises(ValueError):
+            InstanceParams(n_dominant=-1)
+
+
+class TestFig3Instances:
+    def test_contrast(self):
+        a, b = fig3_instances(seed=0)
+        fa = a.dominant_count() / 1024
+        fb = b.dominant_count() / 1024
+        # paper: 4.6% vs 23.5%
+        assert fa < 0.10
+        assert fb > 0.15
+
+    def test_histogram(self):
+        a, _ = fig3_instances(seed=0)
+        h = score_histogram(a, n_bins=30)
+        assert h.counts.sum() == 1024
+        assert h.score_std > 0
+        assert h.dominant_tokens == a.dominant_count()
+
+    def test_histogram_validation(self):
+        a, _ = fig3_instances(seed=0)
+        with pytest.raises(ValueError):
+            score_histogram(a, n_bins=0)
+
+
+class TestWorkloadSampling:
+    def test_count_and_variety(self):
+        insts = sample_workload(256, n_instances=10, seed=0)
+        assert len(insts) == 10
+        fractions = instance_variability(insts)
+        assert fractions[0] < fractions[-1]  # genuine spread
+
+    def test_archetypes_cover_locality_range(self):
+        decays = [a.recency_decay for a in HEAD_ARCHETYPES]
+        assert max(decays) > 5 * min(decays)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_workload(128, n_instances=0)
+
+
+class TestLocalityProfile:
+    @pytest.fixture(scope="class")
+    def model(self):
+        cfg = tiny_config(
+            name="loc", n_layers=1, d_model=32, n_heads=2, vocab_size=16,
+            max_context=96,
+        )
+        return TinyGPT(cfg, seed=1)
+
+    def test_profile_shape_and_normalisation(self, model):
+        tokens = np.random.default_rng(0).integers(0, 16, size=96)
+        profile = attention_locality_profile(model, tokens, n_recent=10,
+                                             min_context=32)
+        assert profile.shape == (2, 12)
+        # each row is an average probability distribution split: sums ~1
+        assert np.allclose(profile.sum(axis=1), 1.0, atol=0.02)
+
+    def test_alibi_model_is_recency_weighted(self, model):
+        """Untrained ALiBi models already show the Fig. 4(a) pattern."""
+        tokens = np.random.default_rng(1).integers(0, 16, size=96)
+        profile = attention_locality_profile(model, tokens, min_context=32)
+        summary = locality_summary(profile)
+        # recent tokens carry far more than their uniform share
+        assert summary["mean_recent_mass"] > 10 / 64
+        assert summary["max_current_token_mass"] > 0.05
+
+    def test_short_sequence_rejected(self, model):
+        with pytest.raises(ValueError):
+            attention_locality_profile(model, np.zeros(10, dtype=int),
+                                       min_context=32)

@@ -1,0 +1,95 @@
+"""Tests for the experiment drivers (fast paths; full runs live in benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments.fig2 import run_fig2
+from repro.eval.experiments.fig3 import run_fig3
+from repro.eval.experiments.fig8 import run_fig8
+from repro.eval.experiments.fig9 import FIG9_CELLS, run_fig9
+from repro.eval.experiments.fig10 import run_fig10
+from repro.eval.experiments.tables import run_table1, run_table2
+
+#: Fixed fast thresholds (calibration-context scale) so driver tests never
+#: trigger LM training; calibrated paths are exercised by benchmarks.
+FAST_THRESHOLDS = {"topick": 2.5e-2, "topick-0.3": 3.1e-2, "topick-0.5": 3.7e-2}
+
+
+class TestFig2Driver:
+    def test_rows_and_format(self):
+        r = run_fig2()
+        assert len(r.rows()) == 12
+        text = r.format()
+        assert "Fig. 2" in text and "gpt2-xl" in text
+
+
+class TestFig3Driver:
+    def test_contrast_and_format(self):
+        r = run_fig3(seed=0, n_population=6)
+        assert r.hist_b.dominant_tokens > r.hist_a.dominant_tokens
+        assert "Fig. 3" in r.format()
+        assert len(r.population_fractions) == 6
+
+
+class TestFig8Driver:
+    def test_shapes_and_ordering(self):
+        r = run_fig8(
+            thresholds=FAST_THRESHOLDS,
+            n_instances=2,
+            models=("gpt2-large", "opt-1.3b"),
+            measure_ppl=False,
+        )
+        assert len(r.rows_by_model) == 2
+        for row in r.rows_by_model:
+            assert 0 < row.normalized_access["topick"] < 1
+            assert (
+                row.normalized_access["topick-0.3"]
+                <= row.normalized_access["topick"] + 1e-9
+            )
+        assert "Fig. 8" in r.format()
+        assert r.aggregates["topick"]["total_reduction"] > 1.0
+
+
+class TestFig9Driver:
+    def test_cells_and_designs(self):
+        r = run_fig9(threshold=FAST_THRESHOLDS["topick-0.5"], n_instances=2)
+        assert len(r.cells) == len(FIG9_CELLS)
+        for cell in r.cells:
+            assert set(cell.normalized) == {"spatten", "spatten_ft", "topick-0.5"}
+            assert cell.normalized["spatten_ft"] < cell.normalized["spatten"]
+        # SpAtten improves monotonically along the run-length axis
+        sp = [c.normalized["spatten"] for c in r.cells]
+        assert all(a >= b for a, b in zip(sp, sp[1:]))
+        assert "Fig. 9" in r.format()
+
+
+class TestFig10Driver:
+    def test_speedups_and_energy(self):
+        r = run_fig10(
+            thresholds=FAST_THRESHOLDS,
+            n_instances=2,
+            models=("gpt2-large", "opt-1.3b"),
+        )
+        assert len(r.rows_by_model) == 2
+        for row in r.rows_by_model:
+            assert row.speedup["topick"] > 1.0
+            assert row.normalized_energy["topick"] < 1.0
+            bd = row.energy_breakdown["topick"]
+            assert bd.total < 1.0  # normalized to baseline total
+        assert r.ablation["estimation_only"] > 1.0
+        assert "Fig. 10" in r.format()
+
+
+class TestTableDrivers:
+    def test_table1(self):
+        r = run_table1()
+        text = r.format()
+        assert "HBM2" in text and "500 MHz" in text
+        assert len(r.rows()) == 5
+
+    def test_table2(self):
+        r = run_table2()
+        text = r.format()
+        assert "Table 2" in text
+        assert "paper +1.0% / +1.3%" in text
+        assert r.report.total_area > 0

@@ -1,0 +1,137 @@
+"""Margin soundness: the heart of the certified estimate (Fig. 4b)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import QuantConfig
+from repro.core.margins import margin_pairs, margin_pairs_batch, score_bounds
+from repro.core.quantization import partial_values
+
+CFG = QuantConfig(total_bits=12, chunk_bits=4)
+
+
+def _random_codes(rng, n, cfg=CFG):
+    return rng.integers(cfg.qmin, cfg.qmax + 1, size=n).astype(np.int64)
+
+
+class TestMarginPairs:
+    def test_margins_shrink_monotonically(self):
+        rng = np.random.default_rng(10)
+        q = _random_codes(rng, 64)
+        m = margin_pairs(q, CFG)
+        widths = [m.width(b) for b in range(CFG.n_chunks + 1)]
+        assert all(w1 >= w2 for w1, w2 in zip(widths, widths[1:]))
+        assert widths[-1] == 0.0
+
+    def test_margin_signs(self):
+        rng = np.random.default_rng(11)
+        q = _random_codes(rng, 64)
+        m = margin_pairs(q, CFG)
+        assert np.all(m.maxs >= 0)
+        assert np.all(m.mins <= 0)
+
+    def test_all_positive_query_has_zero_min_margin(self):
+        q = np.abs(_random_codes(np.random.default_rng(12), 32)) + 1
+        m = margin_pairs(q, CFG)
+        assert np.all(m.mins[1:] == 0)
+
+    def test_all_negative_query_has_zero_max_margin(self):
+        q = -(np.abs(_random_codes(np.random.default_rng(13), 32)) + 1)
+        m = margin_pairs(q, CFG)
+        assert np.all(m.maxs[1:] == 0)
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ValueError):
+            margin_pairs(np.zeros((2, 3), dtype=np.int64), CFG)
+
+
+class TestMarginSoundness:
+    """For every chunk prefix: ps_b + M_min <= q.k <= ps_b + M_max."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bounds_contain_true_dot(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        d = 64
+        q = _random_codes(rng, d)
+        keys = _random_codes(rng, 50 * d).reshape(50, d)
+        true_dots = keys @ q
+        m = margin_pairs(q, CFG)
+        for b in range(CFG.n_chunks + 1):
+            partial = partial_values(keys, b, CFG)
+            ps = partial @ q
+            lo, hi = score_bounds(ps, b, m)
+            assert np.all(lo <= true_dots), f"lower bound violated at b={b}"
+            assert np.all(true_dots <= hi), f"upper bound violated at b={b}"
+
+    def test_bounds_tight_for_adversarial_keys(self):
+        """Keys built to sit exactly on the bounds achieve them."""
+        d = 8
+        rng = np.random.default_rng(42)
+        q = _random_codes(rng, d)
+        b = 1
+        resid = CFG.residual_max(b)
+        # Key whose unknown bits are all ones where q > 0, zeros where q < 0
+        # achieves the max bound exactly (and vice versa).
+        base = _random_codes(rng, d)
+        high = partial_values(base, b, CFG)
+        k_max = high + np.where(q > 0, resid, 0)
+        k_min = high + np.where(q < 0, resid, 0)
+        m = margin_pairs(q, CFG)
+        ps = high @ q
+        lo, hi = score_bounds(ps, b, m)
+        assert k_max @ q == hi
+        assert k_min @ q == lo
+
+    @pytest.mark.parametrize("total,chunk", [(8, 2), (8, 4), (16, 4)])
+    def test_soundness_other_formats(self, total, chunk):
+        cfg = QuantConfig(total_bits=total, chunk_bits=chunk)
+        rng = np.random.default_rng(total * 7 + chunk)
+        d = 16
+        q = rng.integers(cfg.qmin, cfg.qmax + 1, size=d).astype(np.int64)
+        keys = rng.integers(cfg.qmin, cfg.qmax + 1, size=(30, d)).astype(np.int64)
+        m = margin_pairs(q, cfg)
+        dots = keys @ q
+        for b in range(cfg.n_chunks + 1):
+            ps = partial_values(keys, b, cfg) @ q
+            lo, hi = score_bounds(ps, b, m)
+            assert np.all(lo <= dots) and np.all(dots <= hi)
+
+
+class TestMarginBatch:
+    def test_batch_matches_single(self):
+        rng = np.random.default_rng(77)
+        qs = rng.integers(CFG.qmin, CFG.qmax + 1, size=(5, 64)).astype(np.int64)
+        mins, maxs = margin_pairs_batch(qs, CFG)
+        assert mins.shape == (5, CFG.n_chunks + 1)
+        for i in range(5):
+            single = margin_pairs(qs[i], CFG)
+            assert np.array_equal(mins[i], single.mins)
+            assert np.array_equal(maxs[i], single.maxs)
+
+
+class TestPaperExampleFig4b:
+    """The worked example in Fig. 4(b): 6-bit operands, 2-bit chunks.
+
+    Q fully known, K has 2 bits known (chunk 0) then 4 bits (chunks 0-1).
+    The score interval shrinks as chunks arrive and always contains the
+    true score.
+    """
+
+    def test_six_bit_margin_narrowing(self):
+        cfg = QuantConfig(total_bits=6, chunk_bits=2)
+        rng = np.random.default_rng(8)
+        d = 4
+        q = rng.integers(cfg.qmin, cfg.qmax + 1, size=d).astype(np.int64)
+        k = rng.integers(cfg.qmin, cfg.qmax + 1, size=d).astype(np.int64)
+        m = margin_pairs(q, cfg)
+        true = int(k @ q)
+        prev_width = None
+        for b in range(cfg.n_chunks + 1):
+            ps = int(partial_values(k, b, cfg) @ q)
+            lo, hi = score_bounds(np.array(ps), b, m)
+            assert lo <= true <= hi
+            width = float(hi - lo)
+            if prev_width is not None:
+                assert width <= prev_width
+            prev_width = width
+        assert prev_width == 0.0

@@ -1,0 +1,63 @@
+"""Tests for the Fig. 2 analytic memory model."""
+
+import pytest
+
+from repro.eval.memory_model import (
+    FIG2_BATCH_SIZES,
+    FIG2_MODELS,
+    fig2_breakdowns,
+    kv_fraction_summary,
+    step_memory_breakdown,
+)
+from repro.model.config import get_model_config
+
+
+class TestStepBreakdown:
+    def test_totals_add_up(self):
+        bd = step_memory_breakdown(get_model_config("gpt2-xl"), 4, 1024)
+        assert bd.total_bytes == bd.weight_bytes + bd.embedding_bytes + bd.kv_bytes
+        assert 0 < bd.kv_fraction < 1
+        assert abs(bd.kv_fraction + bd.weight_fraction + bd.embedding_fraction - 1) < 1e-12
+
+    def test_kv_scales_with_batch(self):
+        cfg = get_model_config("opt-6.7b")
+        b1 = step_memory_breakdown(cfg, 1, 2048)
+        b8 = step_memory_breakdown(cfg, 8, 2048)
+        assert b8.kv_bytes == 8 * b1.kv_bytes
+        assert b8.weight_bytes == b1.weight_bytes  # weights shared
+
+    def test_kv_scales_with_context(self):
+        cfg = get_model_config("gpt2-xl")
+        short = step_memory_breakdown(cfg, 1, 256)
+        long = step_memory_breakdown(cfg, 1, 1024)
+        assert long.kv_bytes == 4 * short.kv_bytes
+
+    def test_validation(self):
+        cfg = get_model_config("gpt2-xl")
+        with pytest.raises(ValueError):
+            step_memory_breakdown(cfg, 0)
+        with pytest.raises(ValueError):
+            step_memory_breakdown(cfg, 1, 99999)
+
+    def test_paper_kv_numbers(self):
+        """GPT2-XL at full context: ~300 MB of KV per sequence (FP16)."""
+        cfg = get_model_config("gpt2-xl")
+        kv_mb = cfg.kv_cache_bytes(1024) / 2**20
+        assert 250 < kv_mb < 350
+
+
+class TestFig2:
+    def test_all_cells_present(self):
+        bds = fig2_breakdowns()
+        assert len(bds) == len(FIG2_MODELS) * len(FIG2_BATCH_SIZES)
+
+    def test_headline_fractions(self):
+        """Paper: KV is 7.8% at B=1 and 84.3% at B=64 (mean of 3 models)."""
+        summary = kv_fraction_summary(fig2_breakdowns())
+        assert summary[1] == pytest.approx(0.078, abs=0.05)
+        assert summary[64] == pytest.approx(0.843, abs=0.06)
+
+    def test_monotone_in_batch(self):
+        summary = kv_fraction_summary(fig2_breakdowns())
+        values = [summary[b] for b in sorted(summary)]
+        assert all(a < b for a, b in zip(values, values[1:]))

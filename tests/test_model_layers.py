@@ -1,0 +1,195 @@
+"""Gradient-correctness tests for the NN primitives (finite differences)."""
+
+import numpy as np
+import pytest
+
+from repro.model.layers import (
+    adam_update,
+    cross_entropy_backward,
+    cross_entropy_forward,
+    gelu_backward,
+    gelu_forward,
+    layernorm_backward,
+    layernorm_forward,
+    linear_backward,
+    linear_forward,
+    softmax_backward,
+    softmax_forward,
+)
+
+RNG = np.random.default_rng(0)
+EPS = 1e-6
+
+
+def numeric_grad(f, x, eps=EPS):
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        fp = f()
+        x[idx] = orig - eps
+        fm = f()
+        x[idx] = orig
+        g[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return g
+
+
+class TestLinear:
+    def test_forward(self):
+        x = np.array([[1.0, 2.0]])
+        w = np.array([[1.0, 0.0], [0.0, 1.0]])
+        b = np.array([0.5, -0.5])
+        y, _ = linear_forward(x, w, b)
+        assert np.allclose(y, [[1.5, 1.5]])
+
+    def test_gradients(self):
+        x = RNG.normal(size=(3, 4))
+        w = RNG.normal(size=(4, 5))
+        b = RNG.normal(size=5)
+        dy = RNG.normal(size=(3, 5))
+
+        def loss():
+            return float((linear_forward(x, w, b)[0] * dy).sum())
+
+        _, cache = linear_forward(x, w, b)
+        dx, dw, db = linear_backward(dy, cache)
+        assert np.allclose(dx, numeric_grad(loss, x), atol=1e-5)
+        assert np.allclose(dw, numeric_grad(loss, w), atol=1e-5)
+        assert np.allclose(db, numeric_grad(loss, b), atol=1e-5)
+
+    def test_batched_3d_input(self):
+        x = RNG.normal(size=(2, 3, 4))
+        w = RNG.normal(size=(4, 5))
+        b = np.zeros(5)
+        y, cache = linear_forward(x, w, b)
+        assert y.shape == (2, 3, 5)
+        dx, dw, db = linear_backward(np.ones_like(y), cache)
+        assert dx.shape == x.shape and dw.shape == w.shape
+
+
+class TestLayerNorm:
+    def test_output_normalised(self):
+        x = RNG.normal(size=(4, 8)) * 3 + 1
+        y, _ = layernorm_forward(x, np.ones(8), np.zeros(8))
+        assert np.allclose(y.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(y.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gradients(self):
+        x = RNG.normal(size=(2, 6))
+        g = RNG.normal(size=6)
+        b = RNG.normal(size=6)
+        dy = RNG.normal(size=(2, 6))
+
+        def loss():
+            return float((layernorm_forward(x, g, b)[0] * dy).sum())
+
+        _, cache = layernorm_forward(x, g, b)
+        dx, dg, db = layernorm_backward(dy, cache)
+        assert np.allclose(dx, numeric_grad(loss, x), atol=1e-5)
+        assert np.allclose(dg, numeric_grad(loss, g), atol=1e-5)
+        assert np.allclose(db, numeric_grad(loss, b), atol=1e-5)
+
+
+class TestGelu:
+    def test_values(self):
+        y, _ = gelu_forward(np.array([0.0]))
+        assert np.isclose(y[0], 0.0)
+        y, _ = gelu_forward(np.array([10.0]))
+        assert np.isclose(y[0], 10.0, atol=1e-3)
+        y, _ = gelu_forward(np.array([-10.0]))
+        assert np.isclose(y[0], 0.0, atol=1e-3)
+
+    def test_gradient(self):
+        x = RNG.normal(size=12)
+        dy = RNG.normal(size=12)
+
+        def loss():
+            return float((gelu_forward(x)[0] * dy).sum())
+
+        _, cache = gelu_forward(x)
+        dx = gelu_backward(dy, cache)
+        assert np.allclose(dx, numeric_grad(loss, x), atol=1e-5)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        p, _ = softmax_forward(RNG.normal(size=(3, 7)) * 5)
+        assert np.allclose(p.sum(axis=-1), 1.0)
+
+    def test_gradient(self):
+        x = RNG.normal(size=(2, 5))
+        dy = RNG.normal(size=(2, 5))
+
+        def loss():
+            return float((softmax_forward(x)[0] * dy).sum())
+
+        p, cache = softmax_forward(x)
+        dx = softmax_backward(dy, cache)
+        assert np.allclose(dx, numeric_grad(loss, x), atol=1e-5)
+
+    def test_stability_with_large_inputs(self):
+        p, _ = softmax_forward(np.array([1000.0, 1000.0]))
+        assert np.allclose(p, 0.5)
+
+
+class TestCrossEntropy:
+    def test_uniform_loss(self):
+        logits = np.zeros((1, 4, 8))
+        targets = np.array([[1, 2, 3, 4]])
+        loss, _ = cross_entropy_forward(logits, targets)
+        assert np.isclose(loss, np.log(8))
+
+    def test_ignores_negative_targets(self):
+        logits = RNG.normal(size=(1, 4, 8))
+        t_all = np.array([[1, 2, 3, 4]])
+        t_masked = np.array([[1, 2, -1, -1]])
+        loss_all, _ = cross_entropy_forward(logits, t_all)
+        loss_masked, _ = cross_entropy_forward(logits, t_masked)
+        assert loss_all != pytest.approx(loss_masked)
+
+    def test_all_masked_rejected(self):
+        with pytest.raises(ValueError):
+            cross_entropy_forward(np.zeros((1, 2, 4)), np.array([[-1, -1]]))
+
+    def test_gradient(self):
+        logits = RNG.normal(size=(2, 3, 6))
+        targets = RNG.integers(0, 6, size=(2, 3))
+
+        def loss():
+            return cross_entropy_forward(logits, targets)[0]
+
+        _, cache = cross_entropy_forward(logits, targets)
+        dl = cross_entropy_backward(cache)
+        assert np.allclose(dl, numeric_grad(loss, logits), atol=1e-5)
+
+    def test_gradient_sums_to_zero_per_position(self):
+        logits = RNG.normal(size=(1, 2, 5))
+        targets = np.array([[1, 3]])
+        _, cache = cross_entropy_forward(logits, targets)
+        dl = cross_entropy_backward(cache)
+        assert np.allclose(dl.sum(axis=-1), 0.0, atol=1e-12)
+
+
+class TestAdam:
+    def test_moves_toward_minimum(self):
+        params = {"w": np.array([5.0])}
+        state = {}
+        for step in range(1, 200):
+            grads = {"w": 2 * params["w"]}  # d/dw w^2
+            adam_update(params, grads, state, lr=0.1, step=step)
+        assert abs(params["w"][0]) < 0.2
+
+    def test_weight_decay_only_on_matrices(self):
+        params = {"w": np.ones((2, 2)), "b": np.ones(2)}
+        state = {}
+        grads = {"w": np.zeros((2, 2)), "b": np.zeros(2)}
+        adam_update(params, grads, state, lr=0.1, step=1, weight_decay=0.1)
+        assert np.all(params["w"] < 1.0)  # decayed
+        assert np.all(params["b"] == 1.0)  # biases untouched
+
+    def test_step_counter_validated(self):
+        with pytest.raises(ValueError):
+            adam_update({}, {}, {}, lr=0.1, step=0)

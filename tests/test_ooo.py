@@ -1,0 +1,124 @@
+"""Tests for the out-of-order score-calculation engine (Sec. 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TokenPickerConfig, token_picker_scores
+from repro.core.ooo import OoOConfig, OutOfOrderEngine
+
+
+def _instance(seed, t=128, d=32, sharpness=2.0):
+    rng = np.random.default_rng(seed)
+    keys = rng.normal(size=(t, d))
+    q = keys[rng.choice(t, 4, replace=False)].sum(axis=0) * sharpness / 2
+    return q, keys
+
+
+class TestOoOConfigValidation:
+    def test_bad_latency(self):
+        with pytest.raises(ValueError):
+            OoOConfig(dram_latency=0)
+
+    def test_bad_rates(self):
+        with pytest.raises(ValueError):
+            OoOConfig(requests_per_cycle=0)
+        with pytest.raises(ValueError):
+            OoOConfig(process_per_cycle=0)
+
+    def test_bad_scoreboard(self):
+        with pytest.raises(ValueError):
+            OoOConfig(scoreboard_entries=0)
+
+
+class TestInOrderEquivalence:
+    """Blocking pipeline must reproduce the depth-first schedule exactly."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_decisions_match_depth_first(self, seed):
+        q, keys = _instance(seed)
+        cfg = TokenPickerConfig(threshold=1e-3, schedule="depth")
+        functional = token_picker_scores(q, keys, cfg)
+        engine = OutOfOrderEngine(cfg, OoOConfig(dram_latency=20, in_order=True))
+        hw = engine.run(q, keys)
+        assert np.array_equal(hw.kept, functional.kept)
+        assert np.array_equal(hw.chunks_fetched, functional.chunks_fetched)
+
+
+class TestSafety:
+    @pytest.mark.parametrize("in_order", [False, True])
+    @pytest.mark.parametrize("latency", [1, 8, 40])
+    def test_no_dominant_token_pruned(self, in_order, latency):
+        q, keys = _instance(7)
+        cfg = TokenPickerConfig(threshold=1e-3)
+        engine = OutOfOrderEngine(cfg, OoOConfig(dram_latency=latency, in_order=in_order))
+        res = engine.run(q, keys)
+        # probabilities of the quantized scores
+        full = token_picker_scores(q, keys, TokenPickerConfig(threshold=1e-12))
+        s = full.scores
+        p = np.exp(s - s.max())
+        p /= p.sum()
+        assert np.all(p[~res.kept] <= cfg.threshold + 1e-12)
+
+
+class TestTiming:
+    def test_ooo_much_faster_than_in_order(self):
+        q, keys = _instance(3, t=256)
+        cfg = TokenPickerConfig(threshold=1e-3)
+        lat = 40
+        ooo = OutOfOrderEngine(cfg, OoOConfig(dram_latency=lat)).run(q, keys)
+        ino = OutOfOrderEngine(cfg, OoOConfig(dram_latency=lat, in_order=True)).run(q, keys)
+        assert ooo.cycles < ino.cycles / 4
+        assert ooo.utilization > ino.utilization
+
+    def test_utilization_approaches_one_for_long_sequences(self):
+        q, keys = _instance(4, t=512)
+        cfg = TokenPickerConfig(threshold=1e-4)
+        res = OutOfOrderEngine(cfg, OoOConfig(dram_latency=20)).run(q, keys)
+        assert res.utilization > 0.5
+
+    def test_latency_one_is_near_ideal(self):
+        q, keys = _instance(5, t=128)
+        cfg = TokenPickerConfig(threshold=1e-3)
+        res = OutOfOrderEngine(cfg, OoOConfig(dram_latency=1)).run(q, keys)
+        # with unit latency every cycle can retire one chunk
+        assert res.cycles <= res.stats.k_chunks_fetched + 8
+
+    def test_scoreboard_limits_occupancy(self):
+        q, keys = _instance(6, t=256)
+        cfg = TokenPickerConfig(threshold=1e-3)
+        for entries in (4, 32):
+            res = OutOfOrderEngine(
+                cfg, OoOConfig(dram_latency=40, scoreboard_entries=entries)
+            ).run(q, keys)
+            assert res.max_scoreboard_occupancy <= entries
+
+    def test_small_scoreboard_slows_execution(self):
+        q, keys = _instance(8, t=256)
+        cfg = TokenPickerConfig(threshold=1e-3)
+        small = OutOfOrderEngine(
+            cfg, OoOConfig(dram_latency=40, scoreboard_entries=2)
+        ).run(q, keys)
+        big = OutOfOrderEngine(
+            cfg, OoOConfig(dram_latency=40, scoreboard_entries=64)
+        ).run(q, keys)
+        assert big.cycles <= small.cycles
+
+
+class TestEdgeCases:
+    def test_empty_sequence(self):
+        engine = OutOfOrderEngine(TokenPickerConfig(), OoOConfig())
+        res = engine.run(np.ones(8), np.zeros((0, 8)))
+        assert res.cycles == 0
+        assert res.stats.n_tokens == 0
+
+    def test_single_token(self):
+        rng = np.random.default_rng(0)
+        engine = OutOfOrderEngine(TokenPickerConfig(), OoOConfig(dram_latency=5))
+        res = engine.run(rng.normal(size=8), rng.normal(size=(1, 8)))
+        assert res.kept.tolist() == [True]
+        assert res.stats.k_chunks_fetched == 3
+
+    def test_requests_accounting(self):
+        q, keys = _instance(9)
+        res = OutOfOrderEngine(TokenPickerConfig(), OoOConfig()).run(q, keys)
+        assert res.requests_issued == res.stats.k_chunks_fetched

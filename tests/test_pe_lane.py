@@ -1,0 +1,193 @@
+"""Tests for the Fig. 7 PE-lane microarchitecture modules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import TokenPickerConfig
+from repro.hw import ToPickAccelerator
+from repro.hw.fixedpoint import ConservativeExpUnit
+from repro.hw.pe_lane import (
+    DAGUnit,
+    PELane,
+    PartialExpCalculator,
+    ProbabilityGenerator,
+    RequestPruneDecisionUnit,
+    Scoreboard,
+    ScoreboardEntry,
+    ScoreboardFullError,
+)
+from repro.workloads import sample_workload
+
+
+class TestScoreboard:
+    def test_store_fetch_release(self):
+        sb = Scoreboard(capacity=4)
+        sb.store(ScoreboardEntry(token=7, chunks_known=1, partial_score=1.0,
+                                 partial_exp=2.0))
+        entry = sb.fetch(7)
+        assert entry.partial_exp == 2.0
+        assert sb.reads == 1 and sb.writes == 1
+        sb.release(7)
+        assert not sb.contains(7)
+        assert len(sb) == 0
+
+    def test_capacity_enforced(self):
+        sb = Scoreboard(capacity=2)
+        for t in range(2):
+            sb.store(ScoreboardEntry(t, 1, 0.0, 1.0))
+        with pytest.raises(ScoreboardFullError):
+            sb.store(ScoreboardEntry(9, 1, 0.0, 1.0))
+
+    def test_update_existing_when_full(self):
+        sb = Scoreboard(capacity=1)
+        sb.store(ScoreboardEntry(0, 1, 0.0, 1.0))
+        sb.store(ScoreboardEntry(0, 2, 0.5, 2.0))  # update, not alloc
+        assert sb.fetch(0).chunks_known == 2
+
+    def test_peak_occupancy(self):
+        sb = Scoreboard(capacity=8)
+        for t in range(5):
+            sb.store(ScoreboardEntry(t, 1, 0.0, 1.0))
+        sb.release(0)
+        assert sb.peak_occupancy == 5
+
+    def test_missing_fetch_raises(self):
+        with pytest.raises(KeyError):
+            Scoreboard().fetch(3)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Scoreboard(0)
+
+
+class TestPEC:
+    def test_float_mode_exact(self):
+        pec = PartialExpCalculator()
+        assert pec.partial_exp(1.5) == pytest.approx(math.exp(1.5))
+
+    def test_delta_non_negative(self):
+        pec = PartialExpCalculator()
+        new, delta = pec.delta(2.0, math.exp(1.0))
+        assert new == pytest.approx(math.exp(2.0))
+        assert delta == pytest.approx(math.exp(2.0) - math.exp(1.0))
+
+    def test_fixed_point_rounds_down(self):
+        pec = PartialExpCalculator(ConservativeExpUnit())
+        for x in np.linspace(-10, 10, 50):
+            assert pec.partial_exp(float(x)) <= math.exp(x) * (1 + 1e-12)
+
+    def test_evaluation_counter(self):
+        pec = PartialExpCalculator()
+        pec.partial_exp(0.0)
+        pec.delta(1.0, 0.5)
+        assert pec.evaluations == 2
+
+
+class TestDAG:
+    def test_aggregation(self):
+        dag = DAGUnit()
+        dag.aggregate(math.exp(1.0))
+        dag.aggregate(math.exp(2.0))
+        assert dag.ln_denominator == pytest.approx(np.logaddexp(1.0, 2.0))
+        assert dag.updates == 2
+
+    def test_empty_is_minus_inf(self):
+        assert DAGUnit().ln_denominator == -math.inf
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            DAGUnit().aggregate(-0.1)
+
+    def test_fixed_point_ln_rounds_down(self):
+        dag = DAGUnit(ConservativeExpUnit())
+        dag.aggregate(10.0)
+        assert dag.ln_denominator <= math.log(10.0) + 1e-12
+
+
+class TestRPDU:
+    def test_predicate(self):
+        rpdu = RequestPruneDecisionUnit(math.log(1e-3))
+        assert rpdu.decide(-10.0, 0.0)  # p'' = e^-10 << 1e-3
+        assert not rpdu.decide(-2.0, 0.0)
+        assert rpdu.decisions == 2 and rpdu.prunes == 1
+
+    def test_never_prunes_empty_denominator(self):
+        rpdu = RequestPruneDecisionUnit(math.log(1e-3))
+        assert not rpdu.decide(-100.0, -math.inf)
+
+
+class TestProbabilityGenerator:
+    def test_probability(self):
+        pg = ProbabilityGenerator()
+        assert pg.probability(1.0, 2.0) == pytest.approx(math.exp(-1.0))
+        assert pg.evaluations == 1
+
+
+class TestPELaneFlow:
+    def _lane(self, thr=1e-3):
+        return PELane(lane_id=0, log_threshold=math.log(thr), n_chunks=3)
+
+    def test_dominant_token_survives_all_chunks(self):
+        lane, dag = self._lane(), DAGUnit()
+        for b in (1, 2, 3):
+            d = lane.process_chunk(
+                token=0, chunks_known=b, partial_score=5.0,
+                s_min=5.0 - 1.0 / b, s_max=5.0 + 1.0 / b,
+                dag=dag, lane_dim=64,
+            )
+        assert d.action == "kept"
+        assert len(lane.scoreboard) == 0
+        assert lane.macs == 3 * 64
+
+    def test_weak_token_pruned_after_dominant(self):
+        lane, dag = self._lane(), DAGUnit()
+        lane.process_chunk(0, 1, 10.0, 9.5, 10.5, dag, 64)
+        d = lane.process_chunk(1, 1, -10.0, -10.5, -9.5, dag, 64)
+        assert d.action == "pruned"
+        assert lane.rpdu.prunes == 1
+
+    def test_guarded_token_never_pruned(self):
+        lane, dag = self._lane(), DAGUnit()
+        lane.process_chunk(0, 1, 10.0, 9.5, 10.5, dag, 64)
+        d = lane.process_chunk(1, 1, -10.0, -10.5, -9.5, dag, 64, guarded=True)
+        assert d.action == "request_next"
+        assert lane.scoreboard.contains(1)
+
+    def test_scoreboard_roundtrip_between_chunks(self):
+        lane, dag = self._lane(1e-9), DAGUnit()
+        d1 = lane.process_chunk(3, 1, 0.0, -1.0, 1.0, dag, 64)
+        assert d1.action == "request_next"
+        d2 = lane.process_chunk(3, 2, 0.2, -0.5, 0.7, dag, 64)
+        assert d2.action == "request_next"
+        assert lane.scoreboard.fetch(3).chunks_known == 2
+
+
+class TestFixedPointAccelerator:
+    def test_fixed_point_keeps_superset(self):
+        """Conservative arithmetic prunes a subset: kept(float) subset of
+        kept(fixed-point) is not guaranteed per token (denominator history
+        differs slightly), but totals must be >= within a small margin and
+        safety must hold."""
+        w = sample_workload(256, n_instances=3, seed=9)
+        cfg = TokenPickerConfig(threshold=2e-3)
+        float_acc = ToPickAccelerator(config=cfg)
+        fxp_acc = ToPickAccelerator(config=cfg, use_fixed_point=True)
+        rf = float_acc.run_workload(w, variant="topick")
+        rx = fxp_acc.run_workload(w, variant="topick")
+        assert rx.n_kept >= rf.n_kept - 2
+        assert abs(rx.n_kept - rf.n_kept) <= 0.05 * max(rf.n_kept, 1) + 3
+
+    def test_fixed_point_safety(self):
+        from repro.core import token_picker_scores
+
+        w = sample_workload(256, n_instances=2, seed=10)
+        cfg = TokenPickerConfig(threshold=2e-3)
+        acc = ToPickAccelerator(config=cfg, use_fixed_point=True)
+        for inst in w:
+            r = acc.run_instance(inst.q, inst.keys, variant="topick")
+            full = token_picker_scores(inst.q, inst.keys, cfg.with_threshold(1e-12))
+            p = np.exp(full.scores - full.scores.max())
+            p /= p.sum()
+            assert np.all(p[~r.kept] <= cfg.threshold + 1e-12)

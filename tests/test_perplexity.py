@@ -1,0 +1,105 @@
+"""Tests for perplexity evaluation with pluggable backends."""
+
+import numpy as np
+import pytest
+
+from repro.core import TokenPickerConfig
+from repro.eval.perplexity import (
+    PPLDeltaMetric,
+    backend_perplexity_and_traffic,
+    corpus_perplexity,
+    sequence_nll,
+)
+from repro.model import TinyGPT, tiny_config
+from repro.model.attention import ExactAttentionBackend, TokenPickerBackend
+from repro.workloads import markov_corpus
+
+
+@pytest.fixture(scope="module")
+def model():
+    cfg = tiny_config(
+        name="ppl-test", n_layers=1, d_model=32, n_heads=2, vocab_size=16,
+        max_context=64,
+    )
+    return TinyGPT(cfg, seed=0)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return markov_corpus(2000, vocab_size=16, seed=1)
+
+
+class TestSequenceNLL:
+    def test_untrained_model_near_uniform(self, model, corpus):
+        r = sequence_nll(model, corpus[:48])
+        assert abs(r.nll - np.log(16)) < 0.5
+        assert r.n_tokens == 47
+
+    def test_ppl_is_exp_nll(self, model, corpus):
+        r = sequence_nll(model, corpus[:32])
+        assert np.isclose(r.ppl, np.exp(r.nll))
+
+    def test_backend_none_matches_exact_backend(self, model, corpus):
+        r1 = sequence_nll(model, corpus[:32])
+        r2 = sequence_nll(model, corpus[:32], ExactAttentionBackend())
+        assert np.isclose(r1.nll, r2.nll, atol=1e-10)
+
+    def test_short_sequence_rejected(self, model):
+        with pytest.raises(ValueError):
+            sequence_nll(model, np.array([1]))
+
+
+class TestCorpusPerplexity:
+    def test_windows_respected(self, model, corpus):
+        r = corpus_perplexity(model, corpus, window=32, max_windows=2)
+        assert r.n_tokens == 2 * 31
+
+    def test_window_capped_to_context(self, model, corpus):
+        r = corpus_perplexity(model, corpus, window=1000, max_windows=1)
+        assert r.n_tokens == model.config.max_context - 1
+
+    def test_tiny_threshold_is_lossless(self, model, corpus):
+        ref = corpus_perplexity(model, corpus, window=32, max_windows=2)
+        pruned = corpus_perplexity(
+            model, corpus,
+            lambda: TokenPickerBackend(TokenPickerConfig(threshold=1e-9)),
+            window=32, max_windows=2,
+        )
+        assert pruned.ppl == pytest.approx(ref.ppl, rel=0.02)
+
+    def test_corpus_too_short(self, model):
+        with pytest.raises(ValueError):
+            corpus_perplexity(model, np.arange(4) % 16, window=32, max_windows=1)
+
+
+class TestTrafficAccounting:
+    def test_ppl_and_traffic_consistent(self, model, corpus):
+        result, counter = backend_perplexity_and_traffic(
+            model, corpus,
+            lambda: TokenPickerBackend(TokenPickerConfig(threshold=1e-2)),
+            window=32, max_windows=2,
+        )
+        assert result.n_tokens == 2 * 31
+        assert counter.tokens_seen > 0
+        assert counter.k_bits <= counter.baseline_k_bits
+        assert counter.v_bits <= counter.baseline_v_bits
+
+    def test_exact_backend_full_traffic(self, model, corpus):
+        _, counter = backend_perplexity_and_traffic(
+            model, corpus, ExactAttentionBackend, window=32, max_windows=1
+        )
+        assert counter.k_bits == counter.baseline_k_bits
+
+
+class TestPPLDeltaMetric:
+    def test_monotone_in_threshold(self, model, corpus):
+        metric = PPLDeltaMetric(model, corpus, window=32, max_windows=2)
+        d_small = metric(1e-9)
+        d_large = metric(0.2)
+        assert d_small == pytest.approx(0.0, abs=0.05)
+        assert d_large >= d_small - 0.05
+        assert len(metric.evaluations) == 2
+
+    def test_reference_cached(self, model, corpus):
+        metric = PPLDeltaMetric(model, corpus, window=32, max_windows=2)
+        assert metric.reference.ppl > 1.0

@@ -1,0 +1,84 @@
+"""Tests for the terminal plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.eval.plots import bar_chart, heatmap, histogram, series_plot
+
+
+class TestBarChart:
+    def test_renders_all_rows(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.split("\n")
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10  # max fills the width
+
+    def test_proportional(self):
+        out = bar_chart(["x", "y"], [1.0, 4.0], width=20)
+        first, second = out.split("\n")
+        assert second.count("#") == 4 * first.count("#")
+
+    def test_title_and_unit(self):
+        out = bar_chart(["x"], [2.0], title="T", unit="x")
+        assert out.startswith("T\n")
+        assert "2x" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)
+
+    def test_zero_values(self):
+        out = bar_chart(["a"], [0.0])
+        assert "#" not in out
+
+
+class TestHistogram:
+    def test_shape(self):
+        counts = [1, 5, 2]
+        edges = [0, 1, 2, 3]
+        out = histogram(counts, edges, height=4)
+        lines = out.split("\n")
+        assert len(lines) == 6  # 4 rows + separator + range line
+        assert lines[0][1] == "#"  # tallest bin filled at the top row
+
+    def test_empty(self):
+        assert histogram([], [0], title="t") == "t"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram([1, 2], [0, 1])
+        with pytest.raises(ValueError):
+            histogram([1], [0, 1], height=0)
+
+
+class TestHeatmap:
+    def test_shading(self):
+        m = np.array([[0.0, 1.0], [0.5, 0.25]])
+        out = heatmap(m, row_labels=["r0", "r1"])
+        lines = out.split("\n")
+        assert lines[0].startswith("r0")
+        assert "@" in lines[0]  # max value gets the densest shade
+        assert lines[0][lines[0].index("[") + 1] == " "  # zero is blank
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros(3))
+        with pytest.raises(ValueError):
+            heatmap(np.zeros((2, 2)), row_labels=["only-one"])
+
+
+class TestSeriesPlot:
+    def test_markers_present(self):
+        out = series_plot([0, 1, 2], {"up": [0, 1, 2], "down": [2, 1, 0]})
+        assert "a" in out and "b" in out
+        assert "a=up" in out and "b=down" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            series_plot([0, 1], {"s": [0, 1]}, height=1)
+
+    def test_flat_series(self):
+        out = series_plot([0, 1], {"flat": [1.0, 1.0]})
+        assert "a" in out

@@ -1,0 +1,186 @@
+"""Property-based tests (hypothesis) for the core safety invariants.
+
+These are the load-bearing guarantees of the paper (Sec. 3.1); each is
+tested over randomly-generated operands rather than hand-picked cases:
+
+1. chunk decomposition reconstructs exactly and bounds partial values;
+2. margins bound the true dot product at every prefix, for any q/k;
+3. the certified estimate dominates the true probability for any subset;
+4. no pruned token ever exceeds the threshold (w.r.t. quantized scores),
+   for any instance, threshold, order and schedule;
+5. the running log-sum matches exact logsumexp under adds and tightenings.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    QuantConfig,
+    TokenPickerConfig,
+    margin_pairs,
+    score_bounds,
+    token_picker_scores,
+)
+from repro.core.quantization import (
+    assemble_from_chunks,
+    partial_values,
+    split_chunks,
+)
+from repro.utils.numerics import RunningLogSum
+
+CFG12 = QuantConfig(total_bits=12, chunk_bits=4)
+CFG8 = QuantConfig(total_bits=8, chunk_bits=2)
+
+codes_12 = st.integers(min_value=CFG12.qmin, max_value=CFG12.qmax)
+codes_8 = st.integers(min_value=CFG8.qmin, max_value=CFG8.qmax)
+
+
+@st.composite
+def code_vectors(draw, cfg, min_dim=1, max_dim=24):
+    dim = draw(st.integers(min_dim, max_dim))
+    elems = st.integers(min_value=cfg.qmin, max_value=cfg.qmax)
+    return np.array(draw(st.lists(elems, min_size=dim, max_size=dim)),
+                    dtype=np.int64)
+
+
+class TestChunkProperties:
+    @given(values=st.lists(codes_12, min_size=1, max_size=50))
+    def test_roundtrip(self, values):
+        vals = np.array(values, dtype=np.int32)
+        assert np.array_equal(
+            assemble_from_chunks(split_chunks(vals, CFG12), CFG12), vals
+        )
+
+    @given(values=st.lists(codes_8, min_size=1, max_size=50),
+           b=st.integers(0, CFG8.n_chunks))
+    def test_partial_bounds(self, values, b):
+        vals = np.array(values, dtype=np.int32)
+        partial = partial_values(vals, b, CFG8)
+        resid = vals.astype(np.int64) - partial
+        assert np.all(resid >= 0)
+        assert np.all(resid <= CFG8.residual_max(b))
+
+
+class TestMarginProperties:
+    @given(data=st.data())
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_margins_sound_for_any_operands(self, data):
+        q = data.draw(code_vectors(CFG12, max_dim=16))
+        n_keys = data.draw(st.integers(1, 8))
+        keys = np.stack(
+            [data.draw(code_vectors(CFG12, min_dim=len(q), max_dim=len(q)))
+             for _ in range(n_keys)]
+        )
+        margins = margin_pairs(q, CFG12)
+        dots = keys @ q
+        for b in range(CFG12.n_chunks + 1):
+            ps = partial_values(keys, b, CFG12) @ q
+            lo, hi = score_bounds(ps, b, margins)
+            assert np.all(lo <= dots)
+            assert np.all(dots <= hi)
+
+    @given(q=code_vectors(CFG12, max_dim=32))
+    def test_margin_widths_monotone(self, q):
+        m = margin_pairs(q, CFG12)
+        widths = [m.width(b) for b in range(CFG12.n_chunks + 1)]
+        assert all(a >= b for a, b in zip(widths, widths[1:]))
+        assert widths[-1] == 0.0
+
+
+class TestPruningSafety:
+    @given(
+        seed=st.integers(0, 10_000),
+        thr=st.sampled_from([1e-4, 1e-3, 1e-2, 1e-1]),
+        order=st.sampled_from(["sink_recency", "recency", "chronological"]),
+        schedule=st.sampled_from(["breadth", "depth"]),
+        t=st.integers(2, 40),
+        sharp=st.floats(0.2, 4.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_pruned_token_above_threshold(
+        self, seed, thr, order, schedule, t, sharp
+    ):
+        rng = np.random.default_rng(seed)
+        d = 16
+        keys = rng.normal(size=(t, d))
+        q = keys[rng.integers(t)] * sharp + rng.normal(size=d) * 0.5
+        cfg = TokenPickerConfig(
+            threshold=thr, order=order, schedule=schedule, prompt_guard=0
+        )
+        r = token_picker_scores(q, keys, cfg)
+        # probabilities of the quantized scores the algorithm acted on
+        s = r.scores
+        p = np.exp(s - s.max())
+        p /= p.sum()
+        assert np.all(p[~r.kept] <= thr + 1e-9)
+        # and at least one token survives unless everything is prunable
+        assert r.kept.any() or (p <= thr + 1e-9).all()
+
+    @given(seed=st.integers(0, 10_000), t=st.integers(2, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_chunks_fetched_valid(self, seed, t):
+        rng = np.random.default_rng(seed)
+        keys = rng.normal(size=(t, 8))
+        q = rng.normal(size=8)
+        r = token_picker_scores(q, keys, TokenPickerConfig())
+        assert np.all((1 <= r.chunks_fetched) & (r.chunks_fetched <= 3))
+        assert np.all(r.chunks_fetched[r.kept] == 3)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_threshold_monotonicity(self, seed):
+        """A larger threshold never keeps more tokens (breadth schedule)."""
+        rng = np.random.default_rng(seed)
+        keys = rng.normal(size=(24, 8))
+        q = keys[3] * 2 + rng.normal(size=8) * 0.3
+        cfg_lo = TokenPickerConfig(threshold=1e-3)
+        cfg_hi = TokenPickerConfig(threshold=1e-2)
+        r_lo = token_picker_scores(q, keys, cfg_lo)
+        r_hi = token_picker_scores(q, keys, cfg_hi)
+        assert r_hi.stats.n_kept <= r_lo.stats.n_kept
+        # and hi-threshold kept set is a subset of lo-threshold kept set
+        assert not np.any(r_hi.kept & ~r_lo.kept)
+
+
+class TestRunningLogSumProperties:
+    @given(terms=st.lists(st.floats(-50, 50), min_size=1, max_size=60))
+    def test_matches_logsumexp(self, terms):
+        s = RunningLogSum()
+        for t in terms:
+            s.add(t)
+        assert np.isclose(s.log_value, np.logaddexp.reduce(np.array(terms)),
+                          atol=1e-9)
+
+    @given(
+        terms=st.lists(st.floats(-30, 30), min_size=2, max_size=30),
+        deltas=st.lists(st.floats(0, 10), min_size=2, max_size=30),
+    )
+    def test_replace_matches_recompute(self, terms, deltas):
+        n = min(len(terms), len(deltas))
+        terms, deltas = terms[:n], deltas[:n]
+        s = RunningLogSum()
+        for t in terms:
+            s.add(t)
+        for t, d in zip(terms, deltas):
+            s.replace(t, t + d)
+        expected = np.logaddexp.reduce(np.array(terms) + np.array(deltas))
+        assert np.isclose(s.log_value, expected, atol=1e-6)
+
+
+class TestBiasProperties:
+    @given(seed=st.integers(0, 5_000), scale=st.floats(0.1, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_bias_preserves_safety(self, seed, scale):
+        """ALiBi-style bias shifts bounds, not the certificate."""
+        rng = np.random.default_rng(seed)
+        t, d = 20, 8
+        keys = rng.normal(size=(t, d))
+        q = rng.normal(size=d) * scale
+        bias = -0.1 * np.arange(t)[::-1].astype(float)
+        cfg = TokenPickerConfig(threshold=1e-2, prompt_guard=0)
+        r = token_picker_scores(q, keys, cfg, score_bias=bias)
+        p = np.exp(r.scores - r.scores.max())
+        p /= p.sum()
+        assert np.all(p[~r.kept] <= cfg.threshold + 1e-9)

@@ -1,0 +1,99 @@
+"""Tests for decoding strategies."""
+
+import numpy as np
+import pytest
+
+from repro.model import TinyGPT, tiny_config
+from repro.model.sampling import (
+    generate_with_sampler,
+    greedy_sampler,
+    temperature_sampler,
+    top_k_sampler,
+    top_p_sampler,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TinyGPT(
+        tiny_config(name="samp", n_layers=1, d_model=16, n_heads=2,
+                    vocab_size=11, max_context=32),
+        seed=2,
+    )
+
+
+LOGITS = np.array([0.0, 5.0, 1.0, -2.0, 4.0])
+
+
+class TestSamplers:
+    def test_greedy(self):
+        assert greedy_sampler()(LOGITS) == 1
+
+    def test_temperature_deterministic_per_seed(self):
+        a = temperature_sampler(1.0, seed=3)
+        b = temperature_sampler(1.0, seed=3)
+        assert [a(LOGITS) for _ in range(5)] == [b(LOGITS) for _ in range(5)]
+
+    def test_low_temperature_approaches_greedy(self):
+        s = temperature_sampler(1e-3, seed=0)
+        assert all(s(LOGITS) == 1 for _ in range(5))
+
+    def test_top_k_restricts_support(self):
+        s = top_k_sampler(2, seed=0)
+        draws = {s(LOGITS) for _ in range(50)}
+        assert draws <= {1, 4}
+
+    def test_top_k_larger_than_vocab(self):
+        s = top_k_sampler(100, seed=0)
+        assert 0 <= s(LOGITS) < 5
+
+    def test_top_p_restricts_support(self):
+        # probs ~ [0.6%, 59%, 1.7%, 0.08%, 22%]; p=0.5 keeps only token 1
+        s = top_p_sampler(0.5, seed=0)
+        assert all(s(LOGITS) == 1 for _ in range(10))
+
+    def test_top_p_one_is_full_distribution(self):
+        s = top_p_sampler(1.0, seed=0)
+        draws = {s(LOGITS) for _ in range(100)}
+        assert len(draws) >= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            temperature_sampler(0.0)
+        with pytest.raises(ValueError):
+            top_k_sampler(0)
+        with pytest.raises(ValueError):
+            top_p_sampler(0.0)
+        with pytest.raises(ValueError):
+            top_k_sampler(3, temperature=0.0)
+
+
+class TestGenerateWithSampler:
+    def test_greedy_matches_model_generate(self, model):
+        prompt = np.array([1, 2, 3])
+        r = generate_with_sampler(model, prompt, 6)
+        expected = model.generate(prompt, 6)
+        assert np.array_equal(r.tokens, expected)
+        assert len(r.generated) == 6
+        assert r.entropies.shape == (6,)
+
+    def test_entropies_positive(self, model):
+        r = generate_with_sampler(model, np.array([1, 2]), 5)
+        assert np.all(r.entropies > 0)
+
+    def test_with_pruned_backend(self, model):
+        from repro.core import TokenPickerConfig
+        from repro.model.attention import TokenPickerBackend
+
+        backend = TokenPickerBackend(TokenPickerConfig(threshold=1e-2))
+        r = generate_with_sampler(
+            model, np.array([1, 2, 3]), 5, top_k_sampler(3, seed=1), backend
+        )
+        assert len(r.tokens) == 8
+        assert backend.counter.tokens_seen > 0
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            generate_with_sampler(model, np.array([]), 3)
+        with pytest.raises(ValueError):
+            generate_with_sampler(model, np.arange(3) % 11, 1000)

@@ -1,0 +1,75 @@
+"""Tests for the batched serving-step simulator."""
+
+import pytest
+
+from repro.core import TokenPickerConfig
+from repro.hw.serving import ServingSimulator, ServingStepResult, tokens_per_second
+from repro.model.config import get_model_config, tiny_config
+
+
+@pytest.fixture(scope="module")
+def sim():
+    # a small zoo model keeps instance simulation fast
+    # the paper's context regime; short contexts blunt the attention
+    # speedup (latency tail) and with it the end-to-end benefit
+    model = get_model_config("gpt2-medium")
+    return ServingSimulator(
+        model, context_length=1024,
+        config=TokenPickerConfig(threshold=2e-3),
+        n_sample_instances=2, seed=1,
+    )
+
+
+class TestServingStep:
+    def test_step_composition(self, sim):
+        r = sim.step(4, "baseline")
+        assert r.total_cycles == r.weight_cycles + r.attention_cycles
+        assert 0 < r.attention_fraction < 1
+
+    def test_weight_cycles_shared_across_batch(self, sim):
+        r1 = sim.step(1, "baseline")
+        r8 = sim.step(8, "baseline")
+        assert r1.weight_cycles == r8.weight_cycles
+        assert r8.attention_cycles == 8 * r1.attention_cycles
+
+    def test_topick_attention_faster(self, sim):
+        base = sim.step(8, "baseline")
+        ours = sim.step(8, "topick")
+        assert ours.attention_cycles < base.attention_cycles
+        assert ours.weight_cycles == base.weight_cycles
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            sim.step(0)
+        with pytest.raises(ValueError):
+            ServingSimulator(get_model_config("gpt2-medium"), 0)
+        with pytest.raises(ValueError):
+            ServingSimulator(
+                get_model_config("gpt2-medium"), 128, n_sample_instances=0
+            )
+
+
+class TestSpeedupCurve:
+    def test_monotone_in_batch(self, sim):
+        curve = sim.speedup_curve(batch_sizes=(1, 4, 16, 64))
+        speedups = [p["speedup"] for p in curve]
+        assert all(a <= b + 1e-9 for a, b in zip(speedups, speedups[1:]))
+        # small at B=1 (weights dominate), substantial at B=64
+        assert speedups[0] < 1.5
+        assert speedups[-1] > 1.3
+
+    def test_attention_fraction_grows(self, sim):
+        curve = sim.speedup_curve(batch_sizes=(1, 16, 64))
+        fracs = [p["attention_fraction"] for p in curve]
+        assert fracs[0] < fracs[-1]
+
+
+class TestThroughput:
+    def test_tokens_per_second(self):
+        r = ServingStepResult(
+            variant="topick", batch_size=16, weight_cycles=1000,
+            attention_cycles=1000,
+        )
+        tps = tokens_per_second(r, clock_ghz=0.5)
+        # 2000 cycles at 500 MHz = 4 us for 16 tokens -> 4M tokens/s
+        assert tps == pytest.approx(16 / (2000 / 0.5e9))

@@ -1,0 +1,144 @@
+"""Tests for the SpAtten comparator model."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import QuantConfig
+from repro.hw.spatten import (
+    SpAttenBackend,
+    SpAttenConfig,
+    baseline_generation_accesses,
+    spatten_generation_accesses,
+    topick_generation_accesses,
+)
+
+
+class TestSpAttenConfig:
+    def test_keep_ratio_schedule(self):
+        cfg = SpAttenConfig(n_layers=5, final_keep_ratio=0.4)
+        assert cfg.keep_ratio(0) == 1.0
+        assert np.isclose(cfg.keep_ratio(4), 0.4)
+        ratios = [cfg.keep_ratio(l) for l in range(5)]
+        assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+
+    def test_single_layer(self):
+        assert SpAttenConfig(n_layers=1, final_keep_ratio=0.3).keep_ratio(0) == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpAttenConfig(n_layers=0)
+        with pytest.raises(ValueError):
+            SpAttenConfig(n_layers=2, final_keep_ratio=0.0)
+        with pytest.raises(ValueError):
+            SpAttenConfig(n_layers=2, v_keep_ratio=1.5)
+        with pytest.raises(ValueError):
+            SpAttenConfig(n_layers=2).keep_ratio(2)
+
+
+class TestSpAttenBackend:
+    def _run(self, backend, t=32, h=2, dh=8, layers=2, seed=0):
+        rng = np.random.default_rng(seed)
+        out = None
+        for step_t in range(4, t):
+            for layer in range(layers):
+                keys = rng.normal(size=(h, step_t, dh))
+                values = rng.normal(size=(h, step_t, dh))
+                q = rng.normal(size=(h, dh))
+                out = backend(layer, q, keys, values)
+        return out
+
+    def test_output_shape(self):
+        backend = SpAttenBackend(SpAttenConfig(n_layers=2, final_keep_ratio=0.5))
+        out = self._run(backend)
+        assert out.shape == (2, 8)
+        assert np.all(np.isfinite(out))
+
+    def test_cascade_prunes_persistently(self):
+        backend = SpAttenBackend(SpAttenConfig(n_layers=2, final_keep_ratio=0.25))
+        self._run(backend, t=40)
+        assert len(backend.cascade_pruned) > 0
+
+    def test_access_counting(self):
+        backend = SpAttenBackend(SpAttenConfig(n_layers=2, final_keep_ratio=0.5))
+        self._run(backend)
+        c = backend.counter
+        assert 0 < c.k_bits <= c.baseline_k_bits
+        assert 0 < c.v_bits <= c.k_bits  # local V pruning on top of token pruning
+        assert c.total_reduction > 1.0
+
+    def test_full_keep_fetches_all_k(self):
+        backend = SpAttenBackend(
+            SpAttenConfig(n_layers=1, final_keep_ratio=1.0, v_keep_ratio=1.0)
+        )
+        self._run(backend, layers=1)
+        c = backend.counter
+        assert c.k_bits == c.baseline_k_bits
+        assert c.v_bits == c.baseline_v_bits
+
+    def test_newest_token_never_pruned(self):
+        backend = SpAttenBackend(SpAttenConfig(n_layers=1, final_keep_ratio=0.1))
+        rng = np.random.default_rng(1)
+        for t in range(4, 30):
+            backend(0, rng.normal(size=(1, 8)), rng.normal(size=(1, t, 8)),
+                    rng.normal(size=(1, t, 8)))
+        # position t-1 is always alive at call time, so it must never be in
+        # the cascade set before being revisited
+        assert 29 not in backend.cascade_pruned or len(backend.importance) > 29
+
+
+class TestGenerationAccessModels:
+    N_LAYERS, N_HEADS, HEAD_DIM = 24, 16, 64
+
+    def _baseline(self, a=256, b=512):
+        return baseline_generation_accesses(
+            a, b, self.N_LAYERS, self.N_HEADS, self.HEAD_DIM
+        )
+
+    def test_baseline_symmetry(self):
+        acc = self._baseline()
+        assert acc.k_bytes == acc.v_bytes
+
+    def test_baseline_grows_with_run_length(self):
+        short = self._baseline(256, 512)
+        long = self._baseline(256, 1024)
+        assert long.total > short.total
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            baseline_generation_accesses(512, 512, 2, 2, 8)
+        with pytest.raises(ValueError):
+            spatten_generation_accesses(
+                10, 5, SpAttenConfig(n_layers=2), 2, 8
+            )
+
+    def test_spatten_beats_baseline(self):
+        cfg = SpAttenConfig(n_layers=self.N_LAYERS, final_keep_ratio=0.5)
+        sp = spatten_generation_accesses(256, 512, cfg, self.N_HEADS, self.HEAD_DIM)
+        base = self._baseline()
+        assert sp.total < base.total
+
+    def test_spatten_long_prompt_advantage(self):
+        """Cascade saves more (relatively) when the prompt is long."""
+        cfg = SpAttenConfig(n_layers=self.N_LAYERS, final_keep_ratio=0.4)
+        short_prompt = spatten_generation_accesses(
+            256, 1024, cfg, self.N_HEADS, self.HEAD_DIM
+        ).total / self._baseline(256, 1024).total
+        long_prompt = spatten_generation_accesses(
+            768, 1024, cfg, self.N_HEADS, self.HEAD_DIM
+        ).total / self._baseline(768, 1024).total
+        assert long_prompt <= short_prompt
+
+    def test_topick_model(self):
+        acc = topick_generation_accesses(
+            256, 512, self.N_LAYERS, self.N_HEADS, self.HEAD_DIM,
+            keep_fraction=0.08, mean_chunks=2.1,
+        )
+        base = self._baseline()
+        assert acc.k_bytes < base.k_bytes
+        assert acc.v_bytes < 0.1 * base.v_bytes
+
+    def test_topick_validation(self):
+        with pytest.raises(ValueError):
+            topick_generation_accesses(1, 2, 1, 1, 8, keep_fraction=0.0, mean_chunks=2)
+        with pytest.raises(ValueError):
+            topick_generation_accesses(1, 2, 1, 1, 8, keep_fraction=0.5, mean_chunks=9)

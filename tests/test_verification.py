@@ -1,0 +1,109 @@
+"""Tests for the independent certificate verifier."""
+
+import numpy as np
+import pytest
+
+from repro.core import TokenPickerConfig, token_picker_attention, token_picker_scores
+from repro.core.verification import (
+    CertificateViolation,
+    VerificationReport,
+    verify_result,
+)
+
+
+def _instance(seed=0, t=96, d=32):
+    rng = np.random.default_rng(seed)
+    keys = rng.normal(size=(t, d))
+    q = keys[5] * 2 + keys[-1] + 0.3 * rng.normal(size=d)
+    return q, keys
+
+
+class TestVerifyHonestResults:
+    @pytest.mark.parametrize("schedule", ["breadth", "depth"])
+    def test_genuine_results_pass(self, schedule):
+        q, keys = _instance()
+        cfg = TokenPickerConfig(threshold=1e-3, schedule=schedule)
+        r = token_picker_scores(q, keys, cfg)
+        report = verify_result(q, keys, cfg, r)
+        assert report.ok
+        assert report.max_pruned_probability <= cfg.threshold + 1e-9
+
+    def test_with_bias(self):
+        q, keys = _instance(1)
+        bias = -0.05 * np.arange(keys.shape[0])[::-1].astype(float)
+        cfg = TokenPickerConfig(threshold=1e-3)
+        r = token_picker_scores(q, keys, cfg, score_bias=bias)
+        assert verify_result(q, keys, cfg, r, score_bias=bias).ok
+
+    def test_full_attention_result(self):
+        q, keys = _instance(2)
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=keys.shape)
+        cfg = TokenPickerConfig(threshold=1e-3)
+        r = token_picker_attention(q, keys, values, cfg)
+        assert verify_result(q, keys, cfg, r).ok
+
+
+class TestVerifyTamperedResults:
+    """Failure injection: corrupt each invariant and expect detection."""
+
+    def _result(self, seed=4):
+        q, keys = _instance(seed)
+        cfg = TokenPickerConfig(threshold=1e-3)
+        return q, keys, cfg, token_picker_scores(q, keys, cfg)
+
+    def test_detects_bad_chunk_count(self):
+        q, keys, cfg, r = self._result()
+        r.chunks_fetched[0] = 0
+        with pytest.raises(CertificateViolation, match="chunk counts"):
+            verify_result(q, keys, cfg, r)
+
+    def test_detects_kept_without_all_chunks(self):
+        q, keys, cfg, r = self._result()
+        kept_idx = int(np.flatnonzero(r.kept)[0])
+        r.chunks_fetched[kept_idx] = 1
+        with pytest.raises(CertificateViolation, match="did not fetch"):
+            verify_result(q, keys, cfg, r)
+
+    def test_detects_score_tampering(self):
+        q, keys, cfg, r = self._result()
+        r.scores[3] += 0.5
+        with pytest.raises(CertificateViolation, match="scores"):
+            verify_result(q, keys, cfg, r)
+
+    def test_detects_unsafe_pruning(self):
+        q, keys, cfg, r = self._result()
+        # prune the most dominant token
+        top = int(np.argmax(r.scores))
+        r.kept[top] = False
+        r.probs = np.zeros_like(r.probs)
+        if r.kept.any():
+            s = r.scores[r.kept]
+            e = np.exp(s - s.max())
+            r.probs[r.kept] = e / e.sum()
+        with pytest.raises(CertificateViolation, match="above threshold"):
+            verify_result(q, keys, cfg, r)
+
+    def test_detects_bad_probabilities(self):
+        q, keys, cfg, r = self._result()
+        r.probs = r.probs * 0.5
+        with pytest.raises(CertificateViolation, match="softmax|sum"):
+            verify_result(q, keys, cfg, r)
+
+    def test_report_without_raise(self):
+        q, keys, cfg, r = self._result()
+        r.scores[3] += 0.5
+        report = verify_result(q, keys, cfg, r, raise_on_violation=False)
+        assert not report.ok
+        assert any("scores" in v for v in report.violations)
+
+
+class TestReport:
+    def test_report_fields(self):
+        q, keys = _instance(7)
+        cfg = TokenPickerConfig(threshold=1e-2)
+        r = token_picker_scores(q, keys, cfg)
+        report = verify_result(q, keys, cfg, r)
+        assert report.n_tokens == keys.shape[0]
+        assert report.n_checked_invariants == 5
+        assert report.threshold == cfg.threshold
