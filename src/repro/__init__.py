@@ -35,6 +35,7 @@ from repro.core import (
     token_picker_attention,
     token_picker_scores,
 )
+from repro.serving import GenerationRequest, ServingEngine
 
 __version__ = "1.0.0"
 

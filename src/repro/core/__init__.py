@@ -36,11 +36,13 @@ from repro.core.ordering import order_rank, processing_order
 from repro.core.pruning import (
     BatchedPickerResult,
     PruneStats,
+    RaggedPickerResult,
     TokenPickerResult,
     exact_threshold_pruning,
     multi_head_token_picker,
     token_picker_attention,
     token_picker_attention_batched,
+    token_picker_attention_ragged,
     token_picker_scores,
 )
 from repro.core.quantization import (
@@ -75,7 +77,9 @@ __all__ = [
     "scale_threshold_for_context",
     "verify_result",
     "BatchedPickerResult",
+    "RaggedPickerResult",
     "token_picker_attention_batched",
+    "token_picker_attention_ragged",
     "CalibrationResult",
     "DenominatorAggregator",
     "MarginPairs",

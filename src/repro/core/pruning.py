@@ -595,6 +595,369 @@ def token_picker_attention_batched(
     )
 
 
+@dataclass
+class RaggedPickerResult:
+    """Results of one fused ragged-batch kernel call.
+
+    ``results[s]`` is bit-identical to what an independent
+    :func:`token_picker_attention_batched` call on sequence ``s`` would
+    return — the fused kernel is a pure packing optimisation, never an
+    approximation.  ``lengths`` holds the per-sequence context lengths and
+    ``pack_order`` the length-sorted order the kernel processed them in.
+    """
+
+    results: list  # List[BatchedPickerResult], in the caller's order
+    lengths: np.ndarray  # int (S,)
+    pack_order: np.ndarray  # int (S,) longest-first packing order
+
+    @property
+    def n_sequences(self) -> int:
+        return len(self.results)
+
+    def stats(self) -> PruneStats:
+        """Aggregate accounting over every sequence in the batch."""
+        if not self.results:
+            raise ValueError("empty ragged batch has no stats")
+        merged = self.results[0].stats()
+        for r in self.results[1:]:
+            merged = merged.merged(r.stats())
+        return merged
+
+
+def _per_sequence_scales(explicit, data_list, axes, n_seqs, n_heads, quant):
+    """Resolve (S, H) scales: explicit array or per-sequence data maxima."""
+    if explicit is not None:
+        scales = np.asarray(explicit, dtype=np.float64)
+        if scales.shape != (n_seqs, n_heads) or np.any(scales <= 0):
+            raise ValueError(
+                "explicit ragged scales must be positive with shape (S, H)"
+            )
+        return scales
+    out = np.empty((n_seqs, n_heads))
+    for s, data in enumerate(data_list):
+        if data.size == 0:  # empty context: scale is never applied
+            out[s] = 1.0
+            continue
+        max_abs = np.abs(data).max(axis=axes)
+        out[s] = np.where(max_abs > 0, max_abs / quant.qmax, 1.0)
+    return out
+
+
+def token_picker_attention_ragged(
+    qs: np.ndarray,
+    keys: "Optional[list]",
+    values: "Optional[list]",
+    config: TokenPickerConfig,
+    score_bias: "Optional[list]" = None,
+    q_scales: Optional[np.ndarray] = None,
+    k_scales: Optional[np.ndarray] = None,
+    v_scales: Optional[np.ndarray] = None,
+    k_planes: "Optional[list]" = None,
+    v_deq: "Optional[list]" = None,
+) -> RaggedPickerResult:
+    """Fused breadth-schedule Token-Picker over a ragged multi-sequence batch.
+
+    ``qs``: (S, H, d) — one query per sequence; ``keys``/``values``: length-S
+    sequences of (H, t_s, d) arrays with *per-sequence* context lengths.
+    Scales, when frozen at calibration time (the serving engine's case), are
+    (S, H) arrays; ``score_bias`` is an optional length-S sequence of
+    (H, t_s) arrays.
+
+    This is the serving engine's hot path: all sequences' tokens are packed
+    (longest first) into one flat token axis so the chunk-plane expansion,
+    the partial-score einsum and every breadth-round predicate run **once
+    per batch** instead of once per sequence.  Only the per-sequence
+    reductions (denominator log-sum-exp, final softmax, V accumulation) are
+    evaluated per sequence — with expressions chosen so every returned
+    array is bit-identical to an independent
+    :func:`token_picker_attention_batched` call on that sequence.  The
+    integer score table makes the heavy arithmetic exact by construction;
+    the float reductions reuse the batched kernel's exact expressions on
+    identically-shaped contiguous arrays.
+
+    A cache that freezes its scales (the engine's KV pool) never changes a
+    token's quantized representation after it is written, so it can encode
+    once at append time and skip the per-step requantization: pass
+    ``k_planes`` (length-S list of (H, C, t_s, d) per-chunk signed plane
+    contributions, i.e. :func:`~repro.core.quantization.
+    chunk_plane_values` transposed chunk-major; requires explicit
+    ``k_scales``) and/or ``v_deq`` (length-S list of (H, t_s, d)
+    quantize-dequantized values) instead of ``keys``/``values``.  The
+    planes are the MSB-first chunk decomposition the paper's DRAM layout
+    streams, and plane-times-query products are exact in float64 for any
+    practical format, so results stay bit-identical.
+    """
+    if config.schedule != "breadth":
+        raise ValueError("ragged kernel supports only the breadth schedule")
+    if keys is None and k_planes is None:
+        raise ValueError("provide keys or pre-encoded k_planes")
+    if k_planes is not None and k_scales is None:
+        raise ValueError(
+            "k_planes requires explicit k_scales (planes carry no scale)"
+        )
+    quant = config.quant
+    qs = np.asarray(qs, dtype=np.float64)
+    if qs.ndim != 3:
+        raise ValueError(f"qs must be (S, H, d), got {qs.shape}")
+    n_seqs, n_heads, head_dim = qs.shape
+
+    def _check_ragged(name, arrays, dtype):
+        if len(arrays) != n_seqs:
+            raise ValueError(
+                f"expected {n_seqs} {name} arrays, got {len(arrays)}"
+            )
+        out = [np.asarray(a, dtype=dtype) for a in arrays]
+        for s, a in enumerate(out):
+            if a.ndim != 3 or a.shape[0] != n_heads or a.shape[2] != head_dim:
+                raise ValueError(
+                    f"{name}[{s}] must be ({n_heads}, t, {head_dim}), "
+                    f"got {a.shape}"
+                )
+        return out
+
+    if k_planes is not None:
+        if len(k_planes) != n_seqs:
+            raise ValueError(
+                f"expected {n_seqs} k_planes arrays, got {len(k_planes)}"
+            )
+        k_planes = [np.asarray(p, dtype=np.float64) for p in k_planes]
+        for s, p in enumerate(k_planes):
+            if (
+                p.ndim != 4
+                or p.shape[0] != n_heads
+                or p.shape[1] != quant.n_chunks
+                or p.shape[3] != head_dim
+            ):
+                raise ValueError(
+                    f"k_planes[{s}] must be ({n_heads}, {quant.n_chunks}, t, "
+                    f"{head_dim}), got {p.shape}"
+                )
+        lengths = np.array([p.shape[2] for p in k_planes], dtype=np.int64)
+    else:
+        keys = _check_ragged("keys", keys, np.float64)
+        lengths = np.array([k.shape[1] for k in keys], dtype=np.int64)
+
+    def _check_value_lengths(name, arrays):
+        for s, a in enumerate(arrays):
+            if a.shape[1] != lengths[s]:
+                raise ValueError(
+                    f"{name}[{s}] has {a.shape[1]} tokens, keys have "
+                    f"{lengths[s]}"
+                )
+        return arrays
+
+    if v_deq is not None:
+        v_deq = _check_value_lengths(
+            "v_deq", _check_ragged("v_deq", v_deq, np.float64)
+        )
+    elif values is not None:
+        values = _check_value_lengths(
+            "values", _check_ragged("values", values, np.float64)
+        )
+    has_values = values is not None or v_deq is not None
+    if score_bias is not None:
+        if len(score_bias) != n_seqs:
+            raise ValueError(f"expected {n_seqs} bias arrays, got {len(score_bias)}")
+        biases = []
+        for s, b in enumerate(score_bias):
+            if b is None:
+                biases.append(np.zeros((n_heads, lengths[s])))
+                continue
+            b = np.asarray(b, dtype=np.float64)
+            if b.shape != (n_heads, lengths[s]):
+                raise ValueError(
+                    f"score_bias[{s}] must have shape ({n_heads}, {lengths[s]}),"
+                    f" got {b.shape}"
+                )
+            biases.append(b)
+    else:
+        biases = [np.zeros((n_heads, int(t))) for t in lengths]
+
+    q_scale = _per_sequence_scales(q_scales, qs, 1, n_seqs, n_heads, quant)
+    k_scale = _per_sequence_scales(k_scales, keys, (1, 2), n_seqs, n_heads, quant)
+    v_scale = (
+        _per_sequence_scales(v_scales, values, (1, 2), n_seqs, n_heads, quant)
+        if values is not None
+        else None
+    )
+
+    results: list = [None] * n_seqs
+    # Empty contexts carry no tokens to pack: emit the rectangular
+    # kernel's empty result directly.
+    for s in np.flatnonzero(lengths == 0):
+        results[s] = BatchedPickerResult(
+            kept=np.zeros((n_heads, 0), dtype=bool),
+            chunks_fetched=np.zeros((n_heads, 0), dtype=np.int64),
+            scores=np.zeros((n_heads, 0)),
+            probs=np.zeros((n_heads, 0)),
+            outputs=np.zeros((n_heads, head_dim)) if has_values else None,
+            log_denominators=np.full(n_heads, -np.inf),
+            quant=quant,
+            head_dim=head_dim,
+        )
+
+    pack_order = np.argsort(-lengths, kind="stable")
+    packed = [int(s) for s in pack_order if lengths[s] > 0]
+    if not packed:
+        return RaggedPickerResult(
+            results=results, lengths=lengths, pack_order=pack_order
+        )
+
+    offsets = np.zeros(len(packed) + 1, dtype=np.int64)
+    offsets[1:] = np.cumsum([lengths[s] for s in packed])
+    total = int(offsets[-1])
+    seq_of_token = np.empty(total, dtype=np.int64)
+    packed_of_token = np.empty(total, dtype=np.int64)
+    for i, s in enumerate(packed):
+        seq_of_token[offsets[i]:offsets[i + 1]] = s
+        packed_of_token[offsets[i]:offsets[i + 1]] = i
+
+    q_codes = np.clip(
+        np.rint(qs / q_scale[:, :, None]), quant.qmin, quant.qmax
+    ).astype(np.int64)
+    score_scale = q_scale * k_scale / math.sqrt(head_dim)  # (S, H)
+
+    from repro.core.margins import margin_pairs_batch
+
+    # Cumulative partial scores ps[t, h, c] over token-major packing
+    # (T, H, d): each sequence is a contiguous slab on the flat token axis.
+    q_tok = q_codes[seq_of_token]  # (T, H, d)
+    if k_planes is not None:
+        # Pre-encoded chunk planes: one dense dot product per chunk, no
+        # per-step requantization or digit extraction.  Plane x query
+        # products are bounded by d * 2^(2N-2), exact in float64 for every
+        # practical format; fall back to integer accumulation otherwise.
+        exact_in_float = (
+            2 * quant.total_bits - 2 + max(head_dim - 1, 1).bit_length() <= 52
+        )
+        contrib = np.empty(
+            (total, n_heads, quant.n_chunks),
+            dtype=np.float64 if exact_in_float else np.int64,
+        )
+        q_tok_f = q_tok.astype(np.float64)
+        for c in range(quant.n_chunks):
+            plane_c = np.concatenate(
+                [k_planes[s][:, c].transpose(1, 0, 2) for s in packed], axis=0
+            )
+            if exact_in_float:
+                np.einsum("thd,thd->th", plane_c, q_tok_f, out=contrib[:, :, c])
+            else:
+                np.einsum(
+                    "thd,thd->th",
+                    plane_c.astype(np.int64),
+                    q_tok,
+                    out=contrib[:, :, c],
+                )
+        ps = np.cumsum(contrib, axis=2)
+    else:
+        packed_keys = np.concatenate(
+            [keys[s].transpose(1, 0, 2) for s in packed], axis=0
+        )
+        k_scale_tok = k_scale[seq_of_token]  # (T, H)
+        packed_codes = np.clip(
+            np.rint(packed_keys / k_scale_tok[:, :, None]),
+            quant.qmin,
+            quant.qmax,
+        ).astype(np.int64)
+        # Chunk-plane partial scores, one chunk at a time: materialising
+        # the full (T, H, d, C) plane tensor (chunk_plane_values) falls
+        # out of cache at serving batch sizes.  The per-chunk loop streams
+        # (T, H, d) once per chunk instead — integer arithmetic
+        # throughout, so the scores stay exact.
+        pattern = packed_codes & ((1 << quant.total_bits) - 1)  # 2's compl.
+        contrib = np.empty((total, n_heads, quant.n_chunks), dtype=np.int64)
+        chunk_mask = (1 << quant.chunk_bits) - 1
+        for c in range(quant.n_chunks):
+            shift = quant.total_bits - (c + 1) * quant.chunk_bits
+            digit = (pattern >> shift) & chunk_mask
+            if c == 0:  # only the sign-carrying first chunk is signed (Eq. 4)
+                sign_threshold = 1 << (quant.chunk_bits - 1)
+                wrap = 1 << quant.chunk_bits
+                digit = np.where(digit >= sign_threshold, digit - wrap, digit)
+            np.einsum(
+                "thd,thd->th", digit << shift, q_tok, out=contrib[:, :, c]
+            )
+        ps = np.cumsum(contrib, axis=2)
+    mins, maxs = margin_pairs_batch(q_codes, quant)  # (S, H, C+1)
+
+    ss_tok = score_scale[seq_of_token]  # (T, H)
+    bias_tok = np.concatenate([biases[s].T for s in packed], axis=0)  # (T, H)
+    scale3 = ss_tok[:, :, None]
+    s_min = ps * scale3 + mins[seq_of_token][:, :, 1:] * scale3 + bias_tok[:, :, None]
+    s_max = ps * scale3 + maxs[seq_of_token][:, :, 1:] * scale3 + bias_tok[:, :, None]
+
+    guard_tok = np.concatenate(
+        [_guard_mask(int(lengths[s]), config.prompt_guard) for s in packed]
+    )
+    log_thr = config.log_threshold
+    alive = np.ones((total, n_heads), dtype=bool)
+    chunks_fetched = np.zeros((total, n_heads), dtype=np.int64)
+    current_lb = np.full((total, n_heads), -np.inf)
+    log_den = np.full((len(packed), n_heads), -np.inf)
+    seq_alive = np.ones(len(packed), dtype=bool)
+
+    for b in range(quant.n_chunks):
+        np.copyto(chunks_fetched, b + 1, where=alive)
+        np.copyto(current_lb, s_min[:, :, b], where=alive)
+        for i in range(len(packed)):
+            if not seq_alive[i]:
+                continue  # denominator is frozen once every token is decided
+            lb_s = np.ascontiguousarray(current_lb[offsets[i]:offsets[i + 1]].T)
+            m = lb_s.max(axis=1)
+            log_den[i] = m + np.log(
+                np.exp(np.clip(lb_s - m[:, None], -700.0, 0.0)).sum(axis=1)
+            )
+        log_den_tok = log_den[packed_of_token]
+        prune_now = (
+            alive
+            & ((s_max[:, :, b] - log_den_tok) <= log_thr)
+            & ~guard_tok[:, None]
+        )
+        alive &= ~prune_now
+        for i in range(len(packed)):
+            if seq_alive[i] and not alive[offsets[i]:offsets[i + 1]].any():
+                seq_alive[i] = False
+        if not seq_alive.any():
+            break
+
+    exact_scores = ps[:, :, -1] * ss_tok + bias_tok  # (T, H)
+
+    for i, s in enumerate(packed):
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
+        alive_s = np.ascontiguousarray(alive[lo:hi].T)  # (H, t)
+        scores_s = np.ascontiguousarray(exact_scores[lo:hi].T)
+        probs = np.zeros_like(scores_s)
+        for h in range(n_heads):
+            if alive_s[h].any():
+                kept_scores = scores_s[h, alive_s[h]]
+                mh = kept_scores.max()
+                e = np.exp(kept_scores - mh)
+                probs[h, alive_s[h]] = e / e.sum()
+        outputs = None
+        if has_values:
+            if v_deq is not None:
+                v_s = v_deq[s]
+            else:
+                vsc = v_scale[s][:, None, None]
+                v_s = (
+                    np.clip(np.rint(values[s] / vsc), quant.qmin, quant.qmax)
+                    * vsc
+                )
+            outputs = np.einsum("ht,htd->hd", probs, v_s)
+        results[s] = BatchedPickerResult(
+            kept=alive_s,
+            chunks_fetched=np.ascontiguousarray(chunks_fetched[lo:hi].T),
+            scores=scores_s,
+            probs=probs,
+            outputs=outputs,
+            log_denominators=log_den[i].copy(),
+            quant=quant,
+            head_dim=head_dim,
+        )
+
+    return RaggedPickerResult(results=results, lengths=lengths, pack_order=pack_order)
+
+
 def multi_head_token_picker(
     q: np.ndarray,
     keys: np.ndarray,

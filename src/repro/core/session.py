@@ -4,37 +4,45 @@ The functional entry points quantize with per-call oracle scales (the max
 |value| of the tensors they are handed).  Real hardware cannot rescan the
 whole KV cache every step: scales are fixed when the prompt phase loads
 K/V on-chip (Sec. 4) and reused for every generated token.
-:class:`TokenPickerSession` models that deployment:
+:class:`TokenPickerSession` models that deployment for a *single* sequence
+whose KV cache the caller owns:
 
 * :meth:`observe_prompt` calibrates per-head Q/K/V scales from the prompt
   (widened by a safety factor for headroom),
 * :meth:`step` runs certified pruning for one decode step with the frozen
   scales, accumulating traffic statistics across the whole generation,
 * values outside the calibrated range saturate, and the session counts
-  those clip events — the observable that tells a deployment its
-  calibration window was too narrow.
+  those clip events across the full Q/K/V saturation path — the
+  observable that tells a deployment its calibration window was too
+  narrow.
+
+Since the serving refactor this class is a thin adapter over
+:class:`repro.serving.engine.ServingEngine` in its external-KV mode: the
+engine freezes the scales, counts the clips and runs the same fused
+kernel it uses for multi-sequence batches (with one sequence, the ragged
+kernel is bit-identical to :func:`~repro.core.pruning.
+token_picker_attention_batched`).  Multi-sequence deployments should use
+the engine directly — it runs one fused step across all sequences instead
+of one kernel call per session.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
 from repro.core.config import TokenPickerConfig
-from repro.core.pruning import BatchedPickerResult, token_picker_attention_batched
+from repro.core.pruning import BatchedPickerResult
 from repro.model.attention import AccessCounter
+from repro.serving.engine import ServingEngine
+from repro.serving.kv_pool import SequenceScales
+from repro.serving.request import RequestStats
 
-
-@dataclass
-class SessionScales:
-    """Frozen per-head quantization scales (set at prompt time)."""
-
-    q_scale: np.ndarray  # (H,)
-    k_scale: np.ndarray  # (H,)
-    v_scale: np.ndarray  # (H,)
+#: Back-compat alias: frozen per-head quantization scales (set at prompt
+#: time).  The canonical definition lives with the KV pool, which freezes
+#: one per pooled sequence.
+SessionScales = SequenceScales
 
 
 class TokenPickerSession:
@@ -47,13 +55,20 @@ class TokenPickerSession:
     ) -> None:
         if safety_factor < 1.0:
             raise ValueError("safety_factor must be >= 1 (headroom only)")
-        self.config = config or TokenPickerConfig()
-        if self.config.schedule != "breadth":
+        config = config or TokenPickerConfig()
+        if config.schedule != "breadth":
             raise ValueError("sessions use the breadth schedule (hardware order)")
+        self.config = config
         self.safety_factor = safety_factor
+        self._engine = ServingEngine(
+            config, max_batch_size=1, safety_factor=safety_factor
+        )
+        self._seq_id: Optional[int] = None
+        # one stats record for the session's whole lifetime: the counter
+        # object identity is stable from construction (callers may hold a
+        # reference), and recalibrations keep accumulating into it
+        self._stats = RequestStats()
         self.scales: Optional[SessionScales] = None
-        self.counter = AccessCounter()
-        self.clip_events = 0
         self.steps = 0
 
     # ------------------------------------------------------------ calibration
@@ -66,28 +81,16 @@ class TokenPickerSession:
         when absent, K statistics stand in for Q (they share the residual
         stream's magnitude at calibration quality).
         """
-        keys = np.asarray(keys, dtype=np.float64)
-        values = np.asarray(values, dtype=np.float64)
-        if keys.ndim != 3 or values.shape != keys.shape:
-            raise ValueError("keys and values must both be (H, t, d)")
-        qmax = self.config.quant.qmax
-        factor = self.safety_factor
-
-        def scale_of(x: np.ndarray) -> np.ndarray:
-            max_abs = np.abs(x).max(axis=(1, 2))
-            return np.where(max_abs > 0, max_abs * factor / qmax, 1.0)
-
-        q_src = np.asarray(queries, dtype=np.float64) if queries is not None else keys
-        self.scales = SessionScales(
-            q_scale=scale_of(q_src), k_scale=scale_of(keys), v_scale=scale_of(values)
+        if self._seq_id is not None:
+            # recalibration: retire the old sequence; the shared stats
+            # record keeps accumulating traffic/clip statistics
+            self._engine.release_external(self._seq_id)
+        self._seq_id = self._engine.admit_external(
+            keys, values, queries=queries, stats=self._stats
         )
+        self._stats.prompt_tokens = np.asarray(keys).shape[1]
+        self.scales = self._engine.scales_of(self._seq_id)
         return self.scales
-
-    def _count_clips(self, x: np.ndarray, scale: np.ndarray) -> None:
-        limit = scale * self.config.quant.qmax
-        while limit.ndim < x.ndim:
-            limit = limit[..., None]
-        self.clip_events += int((np.abs(x) > limit).sum())
 
     # ------------------------------------------------------------------ decode
     def step(
@@ -102,37 +105,32 @@ class TokenPickerSession:
         ``q``: (H, d); ``keys``/``values``: (H, t, d).  Requires
         :meth:`observe_prompt` first.
         """
-        if self.scales is None:
+        if self._seq_id is None:
             raise RuntimeError("call observe_prompt before step")
-        q = np.asarray(q, dtype=np.float64)
-        keys = np.asarray(keys, dtype=np.float64)
-        values = np.asarray(values, dtype=np.float64)
-        self._count_clips(q, self.scales.q_scale)
-        self._count_clips(keys, self.scales.k_scale)
-
-        # the kernel saturates into the frozen scales itself
-        result = token_picker_attention_batched(
-            q, keys, values, self.config, score_bias=score_bias,
-            q_scales=self.scales.q_scale,
-            k_scales=self.scales.k_scale,
-            v_scales=self.scales.v_scale,
+        results = self._engine.step_external(
+            {self._seq_id: (q, keys, values)},
+            score_bias={self._seq_id: score_bias} if score_bias is not None else None,
         )
-
-        stats = result.stats()
-        c = self.counter
-        c.k_bits += stats.k_bits_fetched
-        c.v_bits += stats.v_bits_fetched
-        c.baseline_k_bits += stats.baseline_k_bits
-        c.baseline_v_bits += stats.baseline_v_bits
-        c.instances += q.shape[0]
-        c.tokens_seen += stats.n_tokens
-        c.tokens_kept += stats.n_kept
         self.steps += 1
-        return result
+        return results[self._seq_id]
+
+    # -------------------------------------------------------------- accounting
+    @property
+    def counter(self) -> AccessCounter:
+        """Accumulated K/V traffic of this sequence, in bits.
+
+        The same object for the session's whole lifetime — safe to hold a
+        reference across :meth:`observe_prompt` recalibrations.
+        """
+        return self._stats.counter
+
+    @property
+    def clip_events(self) -> int:
+        """Elements that saturated against the frozen calibration window
+        across the full Q/K/V fetch path."""
+        return self._stats.clip_events
 
     @property
     def clip_rate(self) -> float:
         """Clipped elements per token seen (calibration-quality signal)."""
-        if self.counter.tokens_seen == 0:
-            return 0.0
-        return self.clip_events / self.counter.tokens_seen
+        return self._stats.clip_rate

@@ -20,8 +20,9 @@ evaluates the attention engine in a batched-serving context.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.core.pruning import PruneStats
 from repro.eval.memory_model import step_memory_breakdown
 from repro.model.config import ModelConfig
 
@@ -57,7 +58,7 @@ def batch_scaling_curve(
     config: ModelConfig,
     attention_reduction: float,
     batch_sizes: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
-    context_length: int = None,
+    context_length: Optional[int] = None,
 ) -> List[BatchScalingPoint]:
     """End-to-end speedup of ToPick across batch sizes for one model.
 
@@ -66,6 +67,10 @@ def batch_scaling_curve(
     """
     if attention_reduction < 1.0:
         raise ValueError("attention_reduction must be >= 1")
+    if any(b < 1 for b in batch_sizes):
+        raise ValueError(
+            f"batch_sizes must all be >= 1, got {tuple(batch_sizes)}"
+        )
     points = []
     for b in batch_sizes:
         bd = step_memory_breakdown(config, b, context_length)
@@ -79,6 +84,42 @@ def batch_scaling_curve(
             )
         )
     return points
+
+
+def measured_batch_point(
+    config: ModelConfig,
+    per_sequence_stats: Sequence[PruneStats],
+    context_length: Optional[int] = None,
+    engine_heads: Optional[int] = None,
+) -> BatchScalingPoint:
+    """A scaling point from *measured* per-sequence serving-engine traffic.
+
+    Where :func:`batch_scaling_curve` assumes every sequence achieves one
+    uniform ``attention_reduction``, this takes the real per-sequence
+    accounting of a fused engine step (one :class:`PruneStats` per active
+    sequence) and sums each sequence's actual baseline and fetched KV bits
+    — the ragged, instance-dependent traffic the paper's Fig. 3 argues a
+    fixed ratio cannot capture.  Engine stats cover one layer's heads;
+    they are scaled by ``config.n_layers`` and, when ``engine_heads`` is
+    given, by ``config.n_heads / engine_heads``.
+    """
+    if not per_sequence_stats:
+        raise ValueError("need at least one sequence's stats")
+    if engine_heads is not None and engine_heads < 1:
+        raise ValueError("engine_heads must be >= 1")
+    batch = len(per_sequence_stats)
+    bd = step_memory_breakdown(config, batch, context_length)
+    scale = config.n_layers * (
+        config.n_heads / engine_heads if engine_heads is not None else 1.0
+    )
+    baseline_bits = sum(s.baseline_total_bits for s in per_sequence_stats)
+    fetched_bits = sum(s.total_bits_fetched for s in per_sequence_stats)
+    return BatchScalingPoint(
+        batch_size=batch,
+        shared_bytes=bd.weight_bytes + bd.embedding_bytes,
+        kv_bytes=int(round(baseline_bits * scale / 8)),
+        kv_bytes_pruned=fetched_bits * scale / 8,
+    )
 
 
 def asymptotic_speedup(points: Sequence[BatchScalingPoint]) -> float:

@@ -16,17 +16,22 @@ dominate the step.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.config import TokenPickerConfig
+from repro.core.pruning import PruneStats
 from repro.hw.accelerator import ToPickAccelerator
 from repro.hw.dram import streaming_cycles
 from repro.hw.params import HardwareParams
 from repro.model.config import ModelConfig
 from repro.workloads.scores import sample_workload
+
+if TYPE_CHECKING:  # avoid a runtime hw -> serving dependency
+    from repro.serving.engine import EngineStepReport
 
 
 @dataclass(frozen=True)
@@ -67,20 +72,29 @@ class ServingSimulator:
         self.context_length = context_length
         self.hw = hw or HardwareParams()
         self.config = config or TokenPickerConfig()
-        self._workload = sample_workload(
-            context_length,
-            head_dim=model.head_dim,
-            n_instances=n_sample_instances,
-            seed=seed,
-        )
+        self._n_sample_instances = n_sample_instances
+        self._seed = seed
+        self._workload = None  # sampled lazily: the measured-traffic path
         self._per_instance_cycles: Dict[str, float] = {}
+
+    def _get_workload(self):
+        """Synthetic workload for the sampled (single-instance-mean) path."""
+        if self._workload is None:
+            self._workload = sample_workload(
+                self.context_length,
+                head_dim=self.model.head_dim,
+                n_instances=self._n_sample_instances,
+                seed=self._seed,
+            )
+        return self._workload
 
     def _attention_cycles_per_instance(self, variant: str) -> float:
         """Mean cycles of one (layer, head) attention instance (cached)."""
         if variant not in self._per_instance_cycles:
+            workload = self._get_workload()
             acc = ToPickAccelerator(hw=self.hw, config=self.config)
-            result = acc.run_workload(self._workload, variant=variant)
-            self._per_instance_cycles[variant] = result.cycles / len(self._workload)
+            result = acc.run_workload(workload, variant=variant)
+            self._per_instance_cycles[variant] = result.cycles / len(workload)
         return self._per_instance_cycles[variant]
 
     def weight_streaming_cycles(self) -> int:
@@ -103,6 +117,67 @@ class ServingSimulator:
             batch_size=batch_size,
             weight_cycles=self.weight_streaming_cycles(),
             attention_cycles=int(round(per_instance * n_instances)),
+        )
+
+    def step_from_traffic(
+        self,
+        per_sequence: Sequence[PruneStats],
+        variant: str = "topick",
+        engine_heads: Optional[int] = None,
+    ) -> ServingStepResult:
+        """Decode-step latency from *measured* per-sequence KV traffic.
+
+        ``per_sequence`` holds one :class:`PruneStats` per active sequence
+        — e.g. a serving-engine step report's accounting — so the ragged
+        per-sequence variation the engine actually produced replaces the
+        old single-instance mean.  Each sequence's KV stream is charged
+        its own DRAM latency tail (``streaming_cycles`` per sequence, not
+        one call on the pooled total): private KV traffic does not batch.
+
+        The engine models one layer's heads; traffic is scaled by
+        ``model.n_layers`` and, when ``engine_heads`` is given, by
+        ``model.n_heads / engine_heads`` to cover the full stack.  The
+        ``baseline`` variant charges the unpruned footprint of the same
+        sequences.
+        """
+        if not per_sequence:
+            raise ValueError("need at least one sequence's stats")
+        head_scale = 1.0
+        if engine_heads is not None:
+            if engine_heads < 1:
+                raise ValueError("engine_heads must be >= 1")
+            head_scale = self.model.n_heads / engine_heads
+        attention_cycles = 0
+        for stats in per_sequence:
+            bits = (
+                stats.baseline_total_bits
+                if variant == "baseline"
+                else stats.total_bits_fetched
+            )
+            n_bytes = int(math.ceil(bits * head_scale * self.model.n_layers / 8))
+            attention_cycles += streaming_cycles(
+                n_bytes,
+                self.hw.n_channels,
+                self.hw.channel_bytes_per_cycle,
+                self.hw.dram_latency_cycles,
+            )
+        return ServingStepResult(
+            variant=variant,
+            batch_size=len(per_sequence),
+            weight_cycles=self.weight_streaming_cycles(),
+            attention_cycles=attention_cycles,
+        )
+
+    def step_from_engine(
+        self,
+        report: "EngineStepReport",
+        variant: str = "topick",
+        engine_heads: Optional[int] = None,
+    ) -> ServingStepResult:
+        """Latency of one *engine* step from its per-sequence accounting."""
+        stats = [view.stats for view in report.per_sequence.values()]
+        return self.step_from_traffic(
+            stats, variant=variant, engine_heads=engine_heads
         )
 
     def speedup_curve(

@@ -1,0 +1,59 @@
+"""Continuous-batching serving layer over the Token-Picker kernel.
+
+The paper's argument (Fig. 2 -> Fig. 10) is that certified KV pruning pays
+off *in batched serving*, where the shared weight traffic is amortised and
+per-sequence KV traffic dominates the decode step.  This package is that
+serving context:
+
+* :class:`~repro.serving.engine.ServingEngine` — owns N concurrent
+  sequences and runs one fused ragged-batch decode step across all of
+  them (continuous admission/retirement, bit-identical pruning decisions
+  to stepping sequences alone).
+* :class:`~repro.serving.kv_pool.KVCachePool` — block-pooled (paged) KV
+  storage with per-sequence logical views, frozen per-sequence
+  quantization scales and eviction accounting.
+* :class:`~repro.serving.scheduler.Scheduler` — FIFO continuous-batching
+  admission and longest-first ragged packing.
+* :mod:`~repro.serving.request` — request/response dataclasses with
+  per-request traffic and latency stats.
+"""
+
+from repro.serving.engine import (
+    EngineStepReport,
+    SequenceStepView,
+    ServingEngine,
+)
+from repro.serving.kv_pool import (
+    KVCachePool,
+    PoolExhausted,
+    SequenceScales,
+    count_clips,
+    freeze_scales,
+)
+from repro.serving.request import (
+    CompletedRequest,
+    GenerationRequest,
+    RequestStats,
+    replayable_step_source,
+    synthetic_request,
+    synthetic_step_source,
+)
+from repro.serving.scheduler import Scheduler
+
+__all__ = [
+    "CompletedRequest",
+    "EngineStepReport",
+    "GenerationRequest",
+    "KVCachePool",
+    "PoolExhausted",
+    "RequestStats",
+    "Scheduler",
+    "SequenceScales",
+    "SequenceStepView",
+    "ServingEngine",
+    "count_clips",
+    "freeze_scales",
+    "replayable_step_source",
+    "synthetic_request",
+    "synthetic_step_source",
+]

@@ -1,0 +1,501 @@
+"""The multi-sequence serving engine: one fused decode step for N sequences.
+
+:class:`ServingEngine` is the continuous-batching counterpart of
+:class:`repro.core.session.TokenPickerSession` (which is now a thin
+single-sequence adapter over it).  Per step it
+
+1. admits queued requests while batch slots and KV-pool headroom allow
+   (prefill: prompt K/V into the pool, per-head scales frozen),
+2. draws every active sequence's new ``(q, k_t, v_t)`` from its decode
+   stream, appends the new token to the pooled cache and counts clip
+   events against the frozen calibration window,
+3. runs **one** fused ragged-batch Token-Picker kernel across all active
+   sequences (:func:`repro.core.pruning.token_picker_attention_ragged`) —
+   the breadth-schedule chunk rounds execute once per *batch*, with
+   pruning decisions bit-identical to stepping each sequence alone,
+4. accumulates per-request traffic/latency stats and retires finished
+   sequences, freeing their blocks for the next admission.
+
+Two entry modes share the fused path: the pooled mode above, and an
+*external-KV* mode (:meth:`admit_external` / :meth:`step_external`) where
+the caller owns the cache and hands the full K/V each step — the
+back-compat surface the session adapter uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import TokenPickerConfig
+from repro.core.pruning import (
+    BatchedPickerResult,
+    PruneStats,
+    token_picker_attention_ragged,
+)
+from repro.core.quantization import chunk_plane_values
+from repro.model.attention import AccessCounter
+from repro.serving.kv_pool import (
+    KVCachePool,
+    SequenceScales,
+    count_clips,
+    freeze_scales,
+)
+from repro.serving.request import (
+    CompletedRequest,
+    GenerationRequest,
+    RequestStats,
+    StepSource,
+    synthetic_step_source,
+)
+from repro.serving.scheduler import Scheduler
+
+
+def _encode_kv(keys, values, scales: SequenceScales, quant):
+    """Frozen-scale encoding applied once, when a token enters the pool.
+
+    K is quantized and decomposed into its MSB-first chunk planes — the
+    representation the paper's DRAM layout streams — flattened to
+    ``(H * n_chunks, n, d)`` pseudo-heads for pool storage (float64 holds
+    the integer plane values exactly).  V is stored quantize-dequantized.
+    Both are elementwise identical to what the kernel would re-derive from
+    the raw floats at every later step, so storing them loses nothing and
+    saves the per-step requantization of the whole cache.
+    """
+    k_codes = np.clip(
+        np.rint(keys / scales.k_scale[:, None, None]), quant.qmin, quant.qmax
+    ).astype(np.int64)
+    planes = chunk_plane_values(k_codes, quant)  # (H, n, d, C)
+    n_heads, n, head_dim = keys.shape
+    planes = (
+        planes.transpose(0, 3, 1, 2)  # (H, C, n, d), head-major
+        .reshape(n_heads * quant.n_chunks, n, head_dim)
+        .astype(np.float64)
+    )
+    vsc = scales.v_scale[:, None, None]
+    v_deq = np.clip(np.rint(values / vsc), quant.qmin, quant.qmax) * vsc
+    return planes, v_deq
+
+
+@dataclass(frozen=True)
+class SequenceStepView:
+    """One sequence's share of a fused engine step."""
+
+    seq_id: int
+    request_id: Optional[int]
+    context_length: int
+    stats: PruneStats  # this step's attention accounting (all heads)
+
+    @property
+    def kept_tokens(self) -> int:
+        return self.stats.n_kept
+
+
+@dataclass
+class EngineStepReport:
+    """Everything one :meth:`ServingEngine.step` did.
+
+    ``per_sequence`` carries each active sequence's *measured* traffic for
+    this step — the quantity :meth:`repro.hw.serving.ServingSimulator.
+    step_from_engine` converts to cycles, replacing the old
+    single-instance-mean approximation.
+    """
+
+    step_index: int
+    admitted: List[int] = field(default_factory=list)  # request ids
+    retired: List[CompletedRequest] = field(default_factory=list)
+    n_active: int = 0
+    per_sequence: Dict[int, SequenceStepView] = field(default_factory=dict)
+    results: Dict[int, BatchedPickerResult] = field(default_factory=dict)
+    ragged_utilization: float = 1.0
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.per_sequence)
+
+    @property
+    def tokens_generated(self) -> int:
+        return len(self.per_sequence)
+
+
+@dataclass
+class _ActiveSequence:
+    seq_id: int
+    scales: SequenceScales
+    stats: RequestStats
+    request: Optional[GenerationRequest] = None
+    step_source: Optional[StepSource] = None
+    remaining: int = 0
+    external: bool = False
+    steps: int = 0
+
+
+class ServingEngine:
+    """Continuous-batching Token-Picker serving over a pooled KV cache."""
+
+    def __init__(
+        self,
+        config: Optional[TokenPickerConfig] = None,
+        *,
+        max_batch_size: int = 32,
+        safety_factor: float = 1.25,
+        capacity_tokens: int = 8192,
+        block_size: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if safety_factor < 1.0:
+            raise ValueError("safety_factor must be >= 1 (headroom only)")
+        self.config = config or TokenPickerConfig()
+        if self.config.schedule != "breadth":
+            raise ValueError(
+                "the serving engine uses the breadth schedule (hardware order)"
+            )
+        self.safety_factor = safety_factor
+        self.scheduler = Scheduler(max_batch_size=max_batch_size)
+        self._capacity_tokens = capacity_tokens
+        self._block_size = block_size
+        self._seed = seed
+        self.pool: Optional[KVCachePool] = None  # built on first pooled admit
+        self.counter = AccessCounter()  # engine-wide aggregate
+        self.completed: List[CompletedRequest] = []
+        self._active: Dict[int, _ActiveSequence] = {}
+        self._submitted_at: Dict[int, int] = {}
+        self._next_seq_id = 0
+        self._next_request_id = 0
+        self._step_index = 0
+        self.peak_concurrency = 0
+
+    # ------------------------------------------------------------ properties
+    @property
+    def n_active(self) -> int:
+        """Pooled sequences currently decoding."""
+        return sum(1 for e in self._active.values() if not e.external)
+
+    @property
+    def n_pending(self) -> int:
+        return self.scheduler.n_pending
+
+    @property
+    def step_index(self) -> int:
+        return self._step_index
+
+    @property
+    def max_batch_size(self) -> int:
+        return self.scheduler.max_batch_size
+
+    def stats_of(self, seq_id: int) -> RequestStats:
+        return self._entry(seq_id).stats
+
+    def scales_of(self, seq_id: int) -> SequenceScales:
+        return self._entry(seq_id).scales
+
+    # ------------------------------------------------------------- admission
+    def submit(self, request: GenerationRequest) -> int:
+        """Queue a request; returns its assigned request id.
+
+        Requests whose lifetime footprint (prompt + ``max_new_tokens``)
+        exceeds the pool outright are rejected here — queued, they would
+        head-block FIFO admission forever.
+        """
+        total_blocks = self._capacity_tokens // self._block_size
+        needed = -(-request.total_tokens // self._block_size)
+        if needed > total_blocks:
+            raise ValueError(
+                f"request needs {request.total_tokens} tokens "
+                f"({needed} blocks); the pool holds {total_blocks} blocks"
+            )
+        request.request_id = self._next_request_id
+        self._next_request_id += 1
+        self._submitted_at[request.request_id] = self._step_index
+        self.scheduler.submit(request)
+        return request.request_id
+
+    def _ensure_pool(self, request: GenerationRequest) -> KVCachePool:
+        if self.pool is None:
+            self.pool = KVCachePool(
+                n_heads=request.n_heads,
+                head_dim=request.head_dim,
+                capacity_tokens=self._capacity_tokens,
+                block_size=self._block_size,
+                # K channel holds the chunk-plane decomposition (what the
+                # accelerator's DRAM layout streams): C planes per head
+                k_heads=request.n_heads * self.config.quant.n_chunks,
+            )
+        elif (
+            self.pool.n_heads != request.n_heads
+            or self.pool.head_dim != request.head_dim
+        ):
+            raise ValueError(
+                f"request dims ({request.n_heads}, {request.head_dim}) do not "
+                f"match pool dims ({self.pool.n_heads}, {self.pool.head_dim})"
+            )
+        return self.pool
+
+    def _prefill(self, request: GenerationRequest) -> None:
+        """Admit one request: freeze scales and load the prompt into the pool."""
+        pool = self._ensure_pool(request)
+        seq_id = self._next_seq_id
+        self._next_seq_id += 1
+        scales = freeze_scales(
+            request.prompt_keys,
+            request.prompt_values,
+            self.config.quant,
+            self.safety_factor,
+            queries=request.queries,
+        )
+        # reserve the full lifetime footprint so decode can never hit
+        # PoolExhausted mid-flight (the scheduler's admission contract)
+        pool.register(seq_id, scales=scales, reserve_tokens=request.total_tokens)
+        k_planes, v_dq = _encode_kv(
+            request.prompt_keys, request.prompt_values, scales, self.config.quant
+        )
+        pool.append(seq_id, k_planes, v_dq)
+        stats = RequestStats(
+            prompt_tokens=request.prompt_tokens,
+            submitted_step=self._submitted_at.pop(
+                request.request_id, self._step_index
+            ),
+            admitted_step=self._step_index,
+        )
+        source = request.step_source
+        if source is None:
+            rng = np.random.default_rng(
+                [self._seed, request.request_id or 0]
+                if request.seed is None
+                else request.seed
+            )
+            source = synthetic_step_source(rng, request.n_heads, request.head_dim)
+        self._active[seq_id] = _ActiveSequence(
+            seq_id=seq_id,
+            scales=scales,
+            stats=stats,
+            request=request,
+            step_source=source,
+            remaining=request.max_new_tokens,
+        )
+
+    # ----------------------------------------------------------- fused decode
+    def step(self) -> EngineStepReport:
+        """One fused decode step: admit, batch-attend, account, retire."""
+        now = self._step_index
+        report = EngineStepReport(step_index=now)
+        admitted = self.scheduler.admit(
+            lambda r: self.pool is None or self.pool.can_fit(r.total_tokens),
+            self.n_active,
+            self._prefill,
+        )
+        report.admitted = [r.request_id for r in admitted]
+
+        pooled = [e for e in self._active.values() if not e.external]
+        report.n_active = len(pooled)
+        self.peak_concurrency = max(self.peak_concurrency, len(pooled))
+        if not pooled:
+            self._step_index += 1
+            return report
+
+        # Draw every sequence's new token, count clips, grow the cache.
+        inputs: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        for entry in pooled:
+            q, k_t, v_t = entry.step_source(entry.stats.generated_tokens)
+            q = np.asarray(q, dtype=np.float64)
+            k_t = np.asarray(k_t, dtype=np.float64)
+            v_t = np.asarray(v_t, dtype=np.float64)
+            quant = self.config.quant
+            entry.stats.clip_events += count_clips(q, entry.scales.q_scale, quant)
+            entry.stats.clip_events += count_clips(k_t, entry.scales.k_scale, quant)
+            entry.stats.clip_events += count_clips(v_t, entry.scales.v_scale, quant)
+            # the pool holds what DRAM holds: the frozen-scale chunk-plane
+            # encoding, written once per token
+            k_plane, v_dq = _encode_kv(
+                k_t[:, None, :], v_t[:, None, :], entry.scales, quant
+            )
+            self.pool.append(entry.seq_id, k_plane, v_dq)
+            planes_flat, v_view = self.pool.view(entry.seq_id)
+            t = planes_flat.shape[1]
+            inputs[entry.seq_id] = (
+                q,
+                planes_flat.reshape(-1, quant.n_chunks, t, planes_flat.shape[2]),
+                v_view,
+            )
+
+        order = Scheduler.pack_order(
+            {sid: inputs[sid][1].shape[2] for sid in inputs}
+        )
+        entries = [self._active[sid] for sid in order]
+        results = self._fused(
+            entries,
+            qs=np.stack([inputs[sid][0] for sid in order]),
+            k_planes=[inputs[sid][1] for sid in order],
+            v_deq=[inputs[sid][2] for sid in order],
+        )
+        report.ragged_utilization = Scheduler.ragged_utilization(
+            [inputs[sid][1].shape[2] for sid in order]
+        )
+
+        for entry in pooled:
+            result, step_stats = results[entry.seq_id]
+            report.results[entry.seq_id] = result
+            report.per_sequence[entry.seq_id] = SequenceStepView(
+                seq_id=entry.seq_id,
+                request_id=entry.request.request_id if entry.request else None,
+                context_length=self.pool.length(entry.seq_id),
+                stats=step_stats,
+            )
+            entry.stats.generated_tokens += 1
+            entry.remaining -= 1
+            if entry.remaining <= 0:
+                entry.stats.finished_step = now
+                self.pool.free(entry.seq_id)
+                done = CompletedRequest(
+                    request_id=entry.request.request_id, stats=entry.stats
+                )
+                self.completed.append(done)
+                report.retired.append(done)
+                del self._active[entry.seq_id]
+        self.scheduler.note_retired(len(report.retired))
+        self._step_index += 1
+        return report
+
+    def run_until_drained(
+        self, max_steps: int = 100_000
+    ) -> List[EngineStepReport]:
+        """Step until queue and batch are empty; returns every step report."""
+        reports: List[EngineStepReport] = []
+        while (self.n_pending or self.n_active) and len(reports) < max_steps:
+            reports.append(self.step())
+        if self.n_pending or self.n_active:
+            raise RuntimeError(f"engine not drained after {max_steps} steps")
+        return reports
+
+    def _fused(
+        self,
+        entries: Sequence[_ActiveSequence],
+        qs: np.ndarray,
+        keys: Optional[List[np.ndarray]] = None,
+        values: Optional[List[np.ndarray]] = None,
+        k_planes: Optional[List[np.ndarray]] = None,
+        v_deq: Optional[List[np.ndarray]] = None,
+        score_bias: Optional[List[Optional[np.ndarray]]] = None,
+    ) -> Dict[int, Tuple[BatchedPickerResult, PruneStats]]:
+        """Shared fused-kernel call + traffic accounting for both modes."""
+        ragged = token_picker_attention_ragged(
+            qs,
+            keys,
+            values,
+            self.config,
+            score_bias=score_bias,
+            q_scales=np.stack([e.scales.q_scale for e in entries]),
+            k_scales=np.stack([e.scales.k_scale for e in entries]),
+            v_scales=np.stack([e.scales.v_scale for e in entries]),
+            k_planes=k_planes,
+            v_deq=v_deq,
+        )
+        out: Dict[int, Tuple[BatchedPickerResult, PruneStats]] = {}
+        for entry, result in zip(entries, ragged.results):
+            stats = result.stats()
+            for counter in (entry.stats.counter, self.counter):
+                counter.k_bits += stats.k_bits_fetched
+                counter.v_bits += stats.v_bits_fetched
+                counter.baseline_k_bits += stats.baseline_k_bits
+                counter.baseline_v_bits += stats.baseline_v_bits
+                counter.instances += qs.shape[1]
+                counter.tokens_seen += stats.n_tokens
+                counter.tokens_kept += stats.n_kept
+            entry.steps += 1
+            out[entry.seq_id] = (result, stats)
+        return out
+
+    # ----------------------------------------------------- external-KV mode
+    def admit_external(
+        self,
+        prompt_keys: np.ndarray,
+        prompt_values: np.ndarray,
+        queries: Optional[np.ndarray] = None,
+        stats: Optional[RequestStats] = None,
+    ) -> int:
+        """Register a sequence whose KV cache the *caller* owns.
+
+        Scales are frozen from the prompt exactly as pooled admission does,
+        but nothing is written to the pool: every :meth:`step_external`
+        call supplies the full (H, t, d) K/V.  This is the session
+        adapter's path.  Passing an existing ``stats`` keeps accumulating
+        into it — how a session preserves its traffic/clip history across
+        recalibrations.
+        """
+        scales = freeze_scales(
+            prompt_keys,
+            prompt_values,
+            self.config.quant,
+            self.safety_factor,
+            queries=queries,
+        )
+        seq_id = self._next_seq_id
+        self._next_seq_id += 1
+        keys = np.asarray(prompt_keys)
+        if stats is None:
+            stats = RequestStats(
+                prompt_tokens=keys.shape[1],
+                submitted_step=self._step_index,
+                admitted_step=self._step_index,
+            )
+        self._active[seq_id] = _ActiveSequence(
+            seq_id=seq_id,
+            scales=scales,
+            stats=stats,
+            external=True,
+        )
+        return seq_id
+
+    def release_external(self, seq_id: int) -> RequestStats:
+        """Drop an external sequence, returning its accumulated stats."""
+        entry = self._entry(seq_id)
+        if not entry.external:
+            raise ValueError(f"sequence {seq_id} is pooled; it retires itself")
+        del self._active[seq_id]
+        return entry.stats
+
+    def step_external(
+        self,
+        inputs: Mapping[int, Tuple[np.ndarray, np.ndarray, np.ndarray]],
+        score_bias: Optional[Mapping[int, np.ndarray]] = None,
+    ) -> Dict[int, BatchedPickerResult]:
+        """Fused decode step over external-KV sequences.
+
+        ``inputs[seq_id] = (q (H, d), keys (H, t, d), values (H, t, d))``.
+        Clip events are counted over the *full* provided tensors (the
+        caller re-supplies the whole cache, so the whole cache is checked
+        against the frozen window — the original session semantics).
+        """
+        if not inputs:
+            return {}
+        entries = []
+        qs, keys, values, biases = [], [], [], []
+        quant = self.config.quant
+        order = Scheduler.pack_order(
+            {sid: np.asarray(kv[1]).shape[1] for sid, kv in inputs.items()}
+        )
+        for sid in order:
+            entry = self._entry(sid)
+            if not entry.external:
+                raise ValueError(f"sequence {sid} is pooled; use step()")
+            q, k, v = (np.asarray(x, dtype=np.float64) for x in inputs[sid])
+            entry.stats.clip_events += count_clips(q, entry.scales.q_scale, quant)
+            entry.stats.clip_events += count_clips(k, entry.scales.k_scale, quant)
+            entry.stats.clip_events += count_clips(v, entry.scales.v_scale, quant)
+            entries.append(entry)
+            qs.append(q)
+            keys.append(k)
+            values.append(v)
+            biases.append(score_bias.get(sid) if score_bias else None)
+        fused = self._fused(
+            entries, np.stack(qs), keys, values, score_bias=biases
+        )
+        return {sid: result for sid, (result, _) in fused.items()}
+
+    def _entry(self, seq_id: int) -> _ActiveSequence:
+        try:
+            return self._active[seq_id]
+        except KeyError:
+            raise KeyError(f"unknown sequence {seq_id}") from None

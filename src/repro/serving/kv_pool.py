@@ -1,0 +1,321 @@
+"""Block-pooled (paged) KV cache shared by every active sequence.
+
+The engine stores all sequences' keys/values in one preallocated pool of
+fixed-size token blocks — the software analogue of a paged KV cache with a
+block table per sequence.  Sequences allocate blocks as they grow, never
+contiguously; :meth:`KVCachePool.view` gathers a sequence's logical
+(H, t, d) tensors for the fused kernel, and retirement returns the blocks
+to the free list.  Alongside the storage, the pool carries
+
+* the **frozen per-sequence quantization scales** (:class:`SequenceScales`,
+  fixed once at prompt/prefill time — Sec. 4's deployment constraint: the
+  hardware cannot rescan the cache to recompute scales), and
+* **eviction accounting**: blocks allocated/freed, peak occupancy and the
+  high-water utilisation that capacity planning reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import QuantConfig
+
+
+@dataclass
+class SequenceScales:
+    """Frozen per-head quantization scales (set at prompt/prefill time)."""
+
+    q_scale: np.ndarray  # (H,)
+    k_scale: np.ndarray  # (H,)
+    v_scale: np.ndarray  # (H,)
+
+
+def freeze_scales(
+    keys: np.ndarray,
+    values: np.ndarray,
+    quant: QuantConfig,
+    safety_factor: float,
+    queries: Optional[np.ndarray] = None,
+) -> SequenceScales:
+    """Calibrate per-head Q/K/V scales from prompt-phase tensors.
+
+    ``keys``/``values``: (H, t, d); ``queries``: optional (H, t, d) — when
+    absent, K statistics stand in for Q (they share the residual stream's
+    magnitude at calibration quality).  The ``safety_factor`` widens the
+    window for decode-time headroom; out-of-range values later saturate.
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if keys.ndim != 3 or values.shape != keys.shape:
+        raise ValueError("keys and values must both be (H, t, d)")
+    qmax = quant.qmax
+
+    def scale_of(x: np.ndarray) -> np.ndarray:
+        max_abs = np.abs(x).max(axis=(1, 2))
+        return np.where(max_abs > 0, max_abs * safety_factor / qmax, 1.0)
+
+    q_src = np.asarray(queries, dtype=np.float64) if queries is not None else keys
+    return SequenceScales(
+        q_scale=scale_of(q_src), k_scale=scale_of(keys), v_scale=scale_of(values)
+    )
+
+
+def count_clips(x: np.ndarray, scale: np.ndarray, quant: QuantConfig) -> int:
+    """Elements of ``x`` that saturate under frozen per-head ``scale``."""
+    limit = np.asarray(scale) * quant.qmax
+    while limit.ndim < np.ndim(x):
+        limit = limit[..., None]
+    return int((np.abs(x) > limit).sum())
+
+
+class PoolExhausted(RuntimeError):
+    """Raised when an allocation cannot be satisfied from the free list."""
+
+
+@dataclass
+class _SequenceEntry:
+    """Block table + logical length of one pooled sequence."""
+
+    blocks: List[int] = field(default_factory=list)
+    length: int = 0
+    scales: Optional[SequenceScales] = None
+    reserved_blocks: int = 0  # lifetime budget admission promised this seq
+    # contiguous staging mirror for :meth:`KVCachePool.view` — grown
+    # amortised, filled incrementally (only tokens newer than staged)
+    stage_k: Optional[np.ndarray] = None
+    stage_v: Optional[np.ndarray] = None
+    staged: int = 0
+
+
+class KVCachePool:
+    """Fixed-capacity paged KV storage with per-sequence logical views.
+
+    One K and one V array of shape ``(n_blocks, H, block_size, d)`` back
+    every sequence; a per-sequence block table maps logical token positions
+    to (block, slot) pairs.  All writes are copies into pool storage;
+    :meth:`view` serves gathered, *read-only* contiguous mirrors (staged
+    incrementally, so a decode step pays for its new tokens only), and a
+    freed sequence's mirror is dropped with its blocks.
+    """
+
+    def __init__(
+        self,
+        n_heads: int,
+        head_dim: int,
+        capacity_tokens: int = 8192,
+        block_size: int = 16,
+        k_heads: Optional[int] = None,
+    ) -> None:
+        """``k_heads`` lets the K channel carry a different leading axis
+        than V — e.g. the engine stores chunk-plane-decomposed keys as
+        ``n_heads * n_chunks`` pseudo-heads while V keeps ``n_heads``."""
+        if n_heads < 1 or head_dim < 1:
+            raise ValueError("n_heads and head_dim must be >= 1")
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        if capacity_tokens < block_size:
+            raise ValueError(
+                f"capacity_tokens ({capacity_tokens}) must hold at least one "
+                f"block ({block_size})"
+            )
+        self.n_heads = n_heads
+        self.head_dim = head_dim
+        self.k_heads = k_heads if k_heads is not None else n_heads
+        if self.k_heads < 1:
+            raise ValueError("k_heads must be >= 1")
+        self.block_size = block_size
+        self.n_blocks = capacity_tokens // block_size
+        self._k = np.zeros((self.n_blocks, self.k_heads, block_size, head_dim))
+        self._v = np.zeros((self.n_blocks, n_heads, block_size, head_dim))
+        self._free: List[int] = list(range(self.n_blocks - 1, -1, -1))
+        self._seqs: Dict[int, _SequenceEntry] = {}
+        # eviction accounting
+        self.blocks_allocated_total = 0
+        self.blocks_freed_total = 0
+        self.peak_blocks_in_use = 0
+
+    # --------------------------------------------------------------- capacity
+    @property
+    def capacity_tokens(self) -> int:
+        return self.n_blocks * self.block_size
+
+    @property
+    def blocks_in_use(self) -> int:
+        return self.n_blocks - len(self._free)
+
+    @property
+    def blocks_free(self) -> int:
+        return len(self._free)
+
+    @property
+    def tokens_cached(self) -> int:
+        return sum(e.length for e in self._seqs.values())
+
+    @property
+    def utilization(self) -> float:
+        """Occupied fraction of the pool, in blocks."""
+        return self.blocks_in_use / self.n_blocks if self.n_blocks else 0.0
+
+    @property
+    def n_sequences(self) -> int:
+        return len(self._seqs)
+
+    def blocks_needed(self, n_tokens: int) -> int:
+        return -(-n_tokens // self.block_size)
+
+    @property
+    def outstanding_reserved_blocks(self) -> int:
+        """Blocks promised to live sequences but not yet allocated."""
+        return sum(
+            max(0, e.reserved_blocks - len(e.blocks))
+            for e in self._seqs.values()
+        )
+
+    def can_fit(self, n_tokens: int) -> bool:
+        """Whether a *new* sequence of ``n_tokens`` lifetime fits right now.
+
+        Counts free blocks net of every live sequence's unallocated
+        reservation, so admitting on this check can never starve an
+        already-admitted sequence's growth.
+        """
+        return self.blocks_needed(n_tokens) <= (
+            self.blocks_free - self.outstanding_reserved_blocks
+        )
+
+    # ------------------------------------------------------------- lifecycle
+    def register(
+        self,
+        seq_id: int,
+        scales: Optional[SequenceScales] = None,
+        reserve_tokens: int = 0,
+    ) -> None:
+        """Create an empty sequence entry (its frozen scales travel here).
+
+        ``reserve_tokens`` earmarks the sequence's lifetime block budget:
+        blocks are still allocated lazily as tokens arrive, but the
+        reservation is held out of :meth:`can_fit` and other sequences'
+        growth headroom until this sequence is freed.
+        """
+        if seq_id in self._seqs:
+            raise ValueError(f"sequence {seq_id} already registered")
+        reserved = self.blocks_needed(reserve_tokens)
+        if reserved > self.blocks_free - self.outstanding_reserved_blocks:
+            raise PoolExhausted(
+                f"cannot reserve {reserved} blocks for sequence {seq_id}: "
+                f"{self.blocks_free - self.outstanding_reserved_blocks} "
+                "unreserved blocks available"
+            )
+        self._seqs[seq_id] = _SequenceEntry(
+            scales=scales, reserved_blocks=reserved
+        )
+
+    def scales_of(self, seq_id: int) -> Optional[SequenceScales]:
+        return self._entry(seq_id).scales
+
+    def length(self, seq_id: int) -> int:
+        return self._entry(seq_id).length
+
+    def append(self, seq_id: int, keys: np.ndarray, values: np.ndarray) -> None:
+        """Append ``n`` tokens — (H, n, d) — growing the block table as needed.
+
+        Prefill passes the whole prompt at once; decode appends one token
+        per step.  Raises :class:`PoolExhausted` (leaving the sequence
+        unchanged) when the free list cannot cover the growth.
+        """
+        entry = self._entry(seq_id)
+        keys = np.asarray(keys, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if keys.ndim != 3 or keys.shape[0] != self.k_heads or keys.shape[2] != self.head_dim:
+            raise ValueError(
+                f"keys must be ({self.k_heads}, n, {self.head_dim}), got {keys.shape}"
+            )
+        if values.shape != (self.n_heads, keys.shape[1], self.head_dim):
+            raise ValueError(
+                f"values must be ({self.n_heads}, {keys.shape[1]}, "
+                f"{self.head_dim}), got {values.shape}"
+            )
+        n = keys.shape[1]
+        new_len = entry.length + n
+        grow = self.blocks_needed(new_len) - len(entry.blocks)
+        # growth may draw on this sequence's own reservation, but never on
+        # blocks promised to other sequences
+        own_outstanding = max(0, entry.reserved_blocks - len(entry.blocks))
+        available = len(self._free) - (
+            self.outstanding_reserved_blocks - own_outstanding
+        )
+        if grow > available:
+            raise PoolExhausted(
+                f"sequence {seq_id} needs {grow} blocks, {available} "
+                "available beyond other sequences' reservations"
+            )
+        for _ in range(grow):
+            entry.blocks.append(self._free.pop())
+        self.blocks_allocated_total += max(grow, 0)
+        self.peak_blocks_in_use = max(self.peak_blocks_in_use, self.blocks_in_use)
+
+        pos = entry.length
+        written = 0
+        while written < n:
+            block = entry.blocks[pos // self.block_size]
+            slot = pos % self.block_size
+            take = min(self.block_size - slot, n - written)
+            self._k[block, :, slot:slot + take] = keys[:, written:written + take]
+            self._v[block, :, slot:slot + take] = values[:, written:written + take]
+            pos += take
+            written += take
+        entry.length = new_len
+
+    def view(self, seq_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The sequence's logical (H, t, d) K and V tensors (read-only).
+
+        Decode touches every cached token each step, so the pool keeps a
+        contiguous staging mirror per sequence and copies only the tokens
+        appended since the previous view — O(new tokens), not O(context).
+        The returned arrays alias the mirror and are marked read-only;
+        they stay valid until the sequence is freed.
+        """
+        entry = self._entry(seq_id)
+        if entry.length == 0:
+            return (
+                np.zeros((self.k_heads, 0, self.head_dim)),
+                np.zeros((self.n_heads, 0, self.head_dim)),
+            )
+        if entry.stage_k is None or entry.stage_k.shape[1] < entry.length:
+            capacity = max(2 * entry.length, 64)
+            stage_k = np.empty((self.k_heads, capacity, self.head_dim))
+            stage_v = np.empty((self.n_heads, capacity, self.head_dim))
+            if entry.staged:
+                stage_k[:, :entry.staged] = entry.stage_k[:, :entry.staged]
+                stage_v[:, :entry.staged] = entry.stage_v[:, :entry.staged]
+            entry.stage_k, entry.stage_v = stage_k, stage_v
+        pos = entry.staged - entry.staged % self.block_size
+        while pos < entry.length:
+            block = entry.blocks[pos // self.block_size]
+            take = min(self.block_size, entry.length - pos)
+            entry.stage_k[:, pos:pos + take] = self._k[block, :, :take]
+            entry.stage_v[:, pos:pos + take] = self._v[block, :, :take]
+            pos += take
+        entry.staged = entry.length
+        k = entry.stage_k[:, :entry.length]
+        v = entry.stage_v[:, :entry.length]
+        k.flags.writeable = False
+        v.flags.writeable = False
+        return k, v
+
+    def free(self, seq_id: int) -> int:
+        """Retire a sequence, returning its blocks to the free list."""
+        entry = self._seqs.pop(seq_id, None)
+        if entry is None:
+            raise KeyError(f"unknown sequence {seq_id}")
+        self._free.extend(reversed(entry.blocks))
+        self.blocks_freed_total += len(entry.blocks)
+        return len(entry.blocks)
+
+    def _entry(self, seq_id: int) -> _SequenceEntry:
+        try:
+            return self._seqs[seq_id]
+        except KeyError:
+            raise KeyError(f"unknown sequence {seq_id}") from None

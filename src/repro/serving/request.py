@@ -1,0 +1,214 @@
+"""Request/response surface of the serving engine.
+
+A :class:`GenerationRequest` carries a sequence's prompt-phase K/V (the
+tensors the engine calibrates quantization scales from and prefills into
+the KV pool) plus a decode-step source that yields the per-step
+``(q, k_t, v_t)`` triples an upstream model would produce.  The engine
+attaches a :class:`RequestStats` to every request — per-request DRAM
+traffic, clip events and queue/service latency in steps — and hands back a
+:class:`CompletedRequest` when the sequence retires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.model.attention import AccessCounter
+
+#: One decode step's new tensors: ``(q (H, d), k_t (H, d), v_t (H, d))``.
+StepTensors = Tuple[np.ndarray, np.ndarray, np.ndarray]
+#: Called with the 0-based decode-step index of the sequence.
+StepSource = Callable[[int], StepTensors]
+
+
+@dataclass
+class GenerationRequest:
+    """One sequence's admission ticket into the serving engine.
+
+    Attributes:
+        prompt_keys / prompt_values: (H, t, d) prompt-phase tensors; they
+            seed the KV pool and freeze the per-head quantization scales.
+        max_new_tokens: decode steps to run before the request retires.
+        queries: optional (H, t, d) prompt-phase queries for Q-scale
+            calibration (K statistics stand in when absent).
+        step_source: per-step ``(q, k_t, v_t)`` generator; when ``None``
+            the engine synthesises a query-aligned stream from ``seed``.
+        seed: seed for the default synthetic step source.
+        request_id: assigned by the engine at submit time.
+    """
+
+    prompt_keys: np.ndarray
+    prompt_values: np.ndarray
+    max_new_tokens: int
+    queries: Optional[np.ndarray] = None
+    step_source: Optional[StepSource] = None
+    seed: Optional[int] = None
+    request_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.prompt_keys = np.asarray(self.prompt_keys, dtype=np.float64)
+        self.prompt_values = np.asarray(self.prompt_values, dtype=np.float64)
+        if self.prompt_keys.ndim != 3:
+            raise ValueError(
+                f"prompt_keys must be (H, t, d), got {self.prompt_keys.shape}"
+            )
+        if self.prompt_values.shape != self.prompt_keys.shape:
+            raise ValueError(
+                f"prompt_values shape {self.prompt_values.shape} must match "
+                f"prompt_keys shape {self.prompt_keys.shape}"
+            )
+        if self.prompt_keys.shape[1] < 1:
+            raise ValueError("prompt must contain at least one token")
+        if self.max_new_tokens < 1:
+            raise ValueError(
+                f"max_new_tokens must be >= 1, got {self.max_new_tokens}"
+            )
+        if self.queries is not None:
+            self.queries = np.asarray(self.queries, dtype=np.float64)
+            if self.queries.ndim != 3 or self.queries.shape[0] != self.prompt_keys.shape[0]:
+                raise ValueError("queries must be (H, t, d)")
+
+    @property
+    def n_heads(self) -> int:
+        return self.prompt_keys.shape[0]
+
+    @property
+    def prompt_tokens(self) -> int:
+        return self.prompt_keys.shape[1]
+
+    @property
+    def head_dim(self) -> int:
+        return self.prompt_keys.shape[2]
+
+    @property
+    def total_tokens(self) -> int:
+        """KV-pool footprint when the request finishes."""
+        return self.prompt_tokens + self.max_new_tokens
+
+
+@dataclass
+class RequestStats:
+    """Per-request traffic, clipping and latency accounting.
+
+    Traffic is accumulated into an :class:`AccessCounter` (same unit and
+    semantics as the model backends), so a request's KV-bit reduction is
+    directly comparable to the paper's Fig. 8 numbers.  Latencies are in
+    engine steps: one step is one fused batched decode iteration.
+    """
+
+    prompt_tokens: int = 0
+    generated_tokens: int = 0
+    clip_events: int = 0
+    counter: AccessCounter = field(default_factory=AccessCounter)
+    submitted_step: int = -1
+    admitted_step: int = -1
+    finished_step: int = -1
+
+    @property
+    def queue_delay_steps(self) -> int:
+        """Steps spent waiting for admission (continuous-batching queue)."""
+        if self.admitted_step < 0:
+            return -1
+        return self.admitted_step - self.submitted_step
+
+    @property
+    def service_steps(self) -> int:
+        """Steps between admission and retirement."""
+        if self.finished_step < 0:
+            return -1
+        return self.finished_step - self.admitted_step
+
+    @property
+    def total_latency_steps(self) -> int:
+        if self.finished_step < 0:
+            return -1
+        return self.finished_step - self.submitted_step
+
+    @property
+    def kv_reduction(self) -> float:
+        """Total KV-bit reduction achieved for this request."""
+        return self.counter.total_reduction
+
+    @property
+    def clip_rate(self) -> float:
+        """Clipped elements per token seen (calibration-quality signal)."""
+        if self.counter.tokens_seen == 0:
+            return 0.0
+        return self.clip_events / self.counter.tokens_seen
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """Terminal response for one retired request."""
+
+    request_id: int
+    stats: RequestStats
+
+    @property
+    def generated_tokens(self) -> int:
+        return self.stats.generated_tokens
+
+
+def synthetic_step_source(
+    rng: np.random.Generator, n_heads: int, head_dim: int
+) -> StepSource:
+    """Default decode stream: queries aligned with the step's own key.
+
+    Mirrors the structure the session tests use — the new token's query
+    correlates with recent keys, so attention has dominant tokens to find
+    and the pruner has realistic work to do.
+    """
+
+    def source(step: int) -> StepTensors:
+        k = rng.normal(size=(n_heads, head_dim))
+        v = rng.normal(size=(n_heads, head_dim))
+        q = 2.0 * k + 0.3 * rng.normal(size=(n_heads, head_dim))
+        return q, k, v
+
+    return source
+
+
+def replayable_step_source(
+    rng: np.random.Generator, n_heads: int, head_dim: int, n_steps: int
+):
+    """A :func:`synthetic_step_source`-distributed stream, pre-drawn.
+
+    Returns ``(source, stream)``: the source replays the recorded
+    ``stream`` (a list of ``(q, k_t, v_t)``), so a per-sequence session
+    can be fed the exact same tensors the engine consumed — the basis of
+    the fused-vs-looped bit-identity comparisons in the example, the
+    throughput benchmark and the engine tests.
+    """
+    stream = []
+    for _ in range(n_steps):
+        k = rng.normal(size=(n_heads, head_dim))
+        v = rng.normal(size=(n_heads, head_dim))
+        q = 2.0 * k + 0.3 * rng.normal(size=(n_heads, head_dim))
+        stream.append((q, k, v))
+
+    def source(step: int) -> StepTensors:
+        return stream[step]
+
+    return source, stream
+
+
+def synthetic_request(
+    rng: np.random.Generator,
+    n_heads: int,
+    prompt_tokens: int,
+    head_dim: int,
+    max_new_tokens: int,
+) -> GenerationRequest:
+    """A fully synthetic request (prompt + reproducible decode stream)."""
+    keys = rng.normal(size=(n_heads, prompt_tokens, head_dim))
+    values = rng.normal(size=(n_heads, prompt_tokens, head_dim))
+    seed = int(rng.integers(0, 2**31 - 1))
+    return GenerationRequest(
+        prompt_keys=keys,
+        prompt_values=values,
+        max_new_tokens=max_new_tokens,
+        seed=seed,
+    )

@@ -1,0 +1,92 @@
+"""Continuous-batching admission control and ragged-batch packing.
+
+The scheduler owns the pending queue: requests are admitted FIFO whenever a
+batch slot *and* enough KV-pool headroom for the request's full lifetime
+(prompt + ``max_new_tokens``) are available — the conservative admission
+rule that makes mid-flight pool exhaustion impossible, so the engine never
+needs preemption.  Finished sequences retire every step, which is exactly
+what frees slots and blocks for the next admission: batches re-fill
+continuously instead of draining in lockstep.
+
+Packing for the fused kernel is longest-context-first
+(:meth:`Scheduler.pack_order`): the ragged kernel lays sequences out as
+contiguous slabs on one flat token axis, and length-sorted order keeps the
+per-round alive frontier dense at the front of that axis.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Sequence
+
+from repro.serving.request import GenerationRequest
+
+
+class Scheduler:
+    """FIFO continuous-batching admission over a shared KV pool."""
+
+    def __init__(self, max_batch_size: int = 32) -> None:
+        if max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        self.max_batch_size = max_batch_size
+        self.pending: Deque[GenerationRequest] = deque()
+        self.admitted_total = 0
+        self.retired_total = 0
+
+    # ------------------------------------------------------------- admission
+    def submit(self, request: GenerationRequest) -> None:
+        self.pending.append(request)
+
+    @property
+    def n_pending(self) -> int:
+        return len(self.pending)
+
+    def admit(
+        self,
+        can_fit: Callable[[GenerationRequest], bool],
+        n_active: int,
+        prefill: Callable[[GenerationRequest], None],
+    ) -> List[GenerationRequest]:
+        """Admit queued requests while slots and pool headroom allow.
+
+        ``can_fit`` is re-evaluated per candidate (each ``prefill`` commits
+        blocks, shrinking the headroom the next candidate sees).  FIFO
+        order is strict — a large request at the head blocks later ones
+        until capacity frees up (no starvation of big prompts).
+        """
+        admitted: List[GenerationRequest] = []
+        while (
+            self.pending
+            and n_active + len(admitted) < self.max_batch_size
+            and can_fit(self.pending[0])
+        ):
+            request = self.pending.popleft()
+            prefill(request)
+            admitted.append(request)
+        self.admitted_total += len(admitted)
+        return admitted
+
+    def note_retired(self, n: int) -> None:
+        self.retired_total += n
+
+    # --------------------------------------------------------------- packing
+    @staticmethod
+    def pack_order(lengths: Dict[int, int]) -> List[int]:
+        """Sequence ids, longest context first (ties keep insertion order)."""
+        return sorted(lengths, key=lambda sid: -lengths[sid])
+
+    @staticmethod
+    def ragged_utilization(lengths: Sequence[int]) -> float:
+        """Packed-token fraction vs a rectangular pad-to-max batch.
+
+        1.0 means the flat packing wastes nothing; a rectangular batch
+        would compute ``1 / ragged_utilization`` times more token-rounds.
+        """
+        if not lengths:
+            return 1.0
+        longest = max(lengths)
+        if longest == 0:
+            return 1.0
+        return sum(lengths) / (longest * len(lengths))

@@ -1,0 +1,65 @@
+"""Tests for the analytic batched-serving traffic model."""
+
+import pytest
+
+from repro.eval.batching import (
+    asymptotic_speedup,
+    batch_scaling_curve,
+    measured_batch_point,
+)
+from repro.model.config import get_model_config
+
+
+@pytest.fixture(scope="module")
+def model():
+    return get_model_config("gpt2-medium")
+
+
+class TestBatchScalingCurve:
+    def test_speedup_grows_with_batch(self, model):
+        points = batch_scaling_curve(model, 2.5, batch_sizes=(1, 8, 64))
+        speedups = [p.step_speedup for p in points]
+        assert speedups == sorted(speedups)
+        assert speedups[-1] < 2.5  # bounded by the attention reduction
+        assert asymptotic_speedup(points) == speedups[-1]
+
+    def test_default_context_is_model_max(self, model):
+        points = batch_scaling_curve(model, 2.0, batch_sizes=(4,))
+        explicit = batch_scaling_curve(
+            model, 2.0, batch_sizes=(4,), context_length=model.max_context
+        )
+        assert points[0] == explicit[0]
+
+    def test_rejects_bad_reduction(self, model):
+        with pytest.raises(ValueError):
+            batch_scaling_curve(model, 0.9)
+
+    def test_rejects_batch_sizes_below_one(self, model):
+        with pytest.raises(ValueError, match="batch_sizes"):
+            batch_scaling_curve(model, 2.0, batch_sizes=(1, 0, 4))
+        with pytest.raises(ValueError, match="batch_sizes"):
+            batch_scaling_curve(model, 2.0, batch_sizes=(-3,))
+
+
+class TestMeasuredPoint:
+    def test_matches_uniform_curve_when_traffic_uniform(self, model):
+        """With identical per-sequence stats the measured point reproduces
+        the analytic curve's reduction ratio."""
+        from repro.core import QuantConfig
+        from repro.core.pruning import PruneStats
+
+        stats = PruneStats(
+            n_tokens=1024,
+            n_kept=128,
+            k_chunks_fetched=1500,
+            v_vectors_fetched=128,
+            head_dim=model.head_dim,
+            quant=QuantConfig(),
+        )
+        point = measured_batch_point(
+            model, [stats] * 8, context_length=1024, engine_heads=model.n_heads
+        )
+        assert point.batch_size == 8
+        reduction = stats.baseline_total_bits / stats.total_bits_fetched
+        assert point.kv_bytes / point.kv_bytes_pruned == pytest.approx(reduction)
+        assert 1.0 < point.step_speedup < reduction

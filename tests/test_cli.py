@@ -19,6 +19,24 @@ class TestCLI:
         assert main(["fig3"]) == 0
         assert "dominant" in capsys.readouterr().out
 
+    def test_serve_sim(self, capsys):
+        code = main([
+            "serve-sim", "--batch-size", "4", "--n-requests", "6",
+            "--context-length", "48", "--max-new-tokens", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Continuous-batching serving simulation" in out
+        assert "peak concurrency: 4" in out
+        assert "KV-bit reduction" in out
+        assert "tokens/s" in out
+
+    def test_all_excludes_serve_sim(self, capsys):
+        """`all` regenerates the paper artifacts only."""
+        from repro import cli
+
+        assert "serve-sim" not in cli.EXPERIMENTS
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"])

@@ -1,0 +1,187 @@
+"""Tests for the block-pooled (paged) KV cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import QuantConfig
+from repro.serving.kv_pool import (
+    KVCachePool,
+    PoolExhausted,
+    count_clips,
+    freeze_scales,
+)
+
+
+def _pool(**kw):
+    defaults = dict(n_heads=2, head_dim=4, capacity_tokens=64, block_size=8)
+    defaults.update(kw)
+    return KVCachePool(**defaults)
+
+
+class TestStorage:
+    def test_append_view_roundtrip(self):
+        rng = np.random.default_rng(0)
+        pool = _pool()
+        pool.register(0)
+        k1, v1 = rng.normal(size=(2, 11, 4)), rng.normal(size=(2, 11, 4))
+        pool.append(0, k1, v1)
+        k2, v2 = rng.normal(size=(2, 1, 4)), rng.normal(size=(2, 1, 4))
+        pool.append(0, k2, v2)
+        keys, values = pool.view(0)
+        assert np.array_equal(keys, np.concatenate([k1, k2], axis=1))
+        assert np.array_equal(values, np.concatenate([v1, v2], axis=1))
+        assert pool.length(0) == 12
+
+    def test_views_are_read_only(self):
+        rng = np.random.default_rng(1)
+        pool = _pool()
+        pool.register(0)
+        k = rng.normal(size=(2, 5, 4))
+        pool.append(0, k, rng.normal(size=(2, 5, 4)))
+        keys, values = pool.view(0)
+        with pytest.raises(ValueError):
+            keys[:] = 0.0
+        with pytest.raises(ValueError):
+            values[:] = 0.0
+        assert np.array_equal(pool.view(0)[0], k)
+
+    def test_incremental_staging_tracks_appends(self):
+        rng = np.random.default_rng(9)
+        pool = _pool(capacity_tokens=128)
+        pool.register(0)
+        ref_k = rng.normal(size=(2, 3, 4))
+        ref_v = rng.normal(size=(2, 3, 4))
+        pool.append(0, ref_k, ref_v)
+        assert np.array_equal(pool.view(0)[0], ref_k)
+        for _ in range(40):  # crosses block and capacity-regrowth boundaries
+            k = rng.normal(size=(2, 1, 4))
+            v = rng.normal(size=(2, 1, 4))
+            pool.append(0, k, v)
+            ref_k = np.concatenate([ref_k, k], axis=1)
+            ref_v = np.concatenate([ref_v, v], axis=1)
+            got_k, got_v = pool.view(0)
+            assert np.array_equal(got_k, ref_k)
+            assert np.array_equal(got_v, ref_v)
+
+    def test_interleaved_sequences_stay_separate(self):
+        rng = np.random.default_rng(2)
+        pool = _pool(capacity_tokens=128)
+        tensors = {}
+        for sid in (0, 1, 2):
+            pool.register(sid)
+            k = rng.normal(size=(2, 3 + sid, 4))
+            v = rng.normal(size=(2, 3 + sid, 4))
+            pool.append(sid, k, v)
+            tensors[sid] = (k, v)
+        for step in range(5):
+            for sid in (2, 0, 1):
+                k = rng.normal(size=(2, 1, 4))
+                v = rng.normal(size=(2, 1, 4))
+                pool.append(sid, k, v)
+                tensors[sid] = (
+                    np.concatenate([tensors[sid][0], k], axis=1),
+                    np.concatenate([tensors[sid][1], v], axis=1),
+                )
+        for sid, (k, v) in tensors.items():
+            got_k, got_v = pool.view(sid)
+            assert np.array_equal(got_k, k)
+            assert np.array_equal(got_v, v)
+
+    def test_blocks_reused_after_free(self):
+        rng = np.random.default_rng(3)
+        pool = _pool(capacity_tokens=16, block_size=8)  # 2 blocks total
+        pool.register(0)
+        pool.append(0, rng.normal(size=(2, 16, 4)), rng.normal(size=(2, 16, 4)))
+        assert pool.blocks_free == 0
+        assert pool.free(0) == 2
+        pool.register(1)
+        k = rng.normal(size=(2, 16, 4))
+        pool.append(1, k, np.zeros_like(k))
+        assert np.array_equal(pool.view(1)[0], k)
+
+
+class TestAccounting:
+    def test_eviction_accounting(self):
+        rng = np.random.default_rng(4)
+        pool = _pool(capacity_tokens=64, block_size=8)
+        for sid in range(3):
+            pool.register(sid)
+            pool.append(
+                sid, rng.normal(size=(2, 9, 4)), rng.normal(size=(2, 9, 4))
+            )  # 2 blocks each
+        assert pool.blocks_in_use == 6
+        assert pool.peak_blocks_in_use == 6
+        assert pool.utilization == pytest.approx(6 / 8)
+        pool.free(1)
+        assert pool.blocks_in_use == 4
+        assert pool.peak_blocks_in_use == 6  # high-water mark sticks
+        assert pool.blocks_allocated_total == 6
+        assert pool.blocks_freed_total == 2
+        assert pool.tokens_cached == 18
+        assert pool.n_sequences == 2
+
+    def test_exhaustion_raises_and_leaves_state(self):
+        rng = np.random.default_rng(5)
+        pool = _pool(capacity_tokens=16, block_size=8)
+        pool.register(0)
+        pool.append(0, rng.normal(size=(2, 12, 4)), rng.normal(size=(2, 12, 4)))
+        before = pool.view(0)
+        with pytest.raises(PoolExhausted):
+            pool.append(
+                0, rng.normal(size=(2, 8, 4)), rng.normal(size=(2, 8, 4))
+            )
+        assert pool.length(0) == 12
+        assert np.array_equal(pool.view(0)[0], before[0])
+        # both blocks are held by sequence 0: a new sequence cannot start
+        assert not pool.can_fit(1)
+        pool.free(0)
+        assert pool.can_fit(16)
+
+
+class TestValidation:
+    def test_constructor(self):
+        with pytest.raises(ValueError):
+            _pool(block_size=0)
+        with pytest.raises(ValueError):
+            _pool(capacity_tokens=4, block_size=8)
+        with pytest.raises(ValueError):
+            _pool(n_heads=0)
+
+    def test_register_and_lookup_errors(self):
+        pool = _pool()
+        pool.register(0)
+        with pytest.raises(ValueError):
+            pool.register(0)
+        with pytest.raises(KeyError):
+            pool.view(99)
+        with pytest.raises(KeyError):
+            pool.free(99)
+
+    def test_append_shape_errors(self):
+        pool = _pool()
+        pool.register(0)
+        with pytest.raises(ValueError):
+            pool.append(0, np.zeros((3, 4, 4)), np.zeros((3, 4, 4)))
+        with pytest.raises(ValueError):
+            pool.append(0, np.zeros((2, 4, 4)), np.zeros((2, 5, 4)))
+
+
+class TestCalibration:
+    def test_freeze_scales_matches_manual(self):
+        rng = np.random.default_rng(6)
+        quant = QuantConfig()
+        keys = rng.normal(size=(2, 32, 4))
+        values = rng.normal(size=(2, 32, 4))
+        scales = freeze_scales(keys, values, quant, safety_factor=1.25)
+        expected_k = np.abs(keys).max(axis=(1, 2)) * 1.25 / quant.qmax
+        assert np.allclose(scales.k_scale, expected_k)
+        assert np.allclose(scales.q_scale, expected_k)  # K stands in for Q
+        queries = rng.normal(size=(2, 32, 4)) * 3
+        with_q = freeze_scales(keys, values, quant, 1.25, queries=queries)
+        assert np.all(with_q.q_scale >= scales.q_scale)
+
+    def test_count_clips(self):
+        quant = QuantConfig()
+        scale = np.array([1.0 / quant.qmax, 2.0 / quant.qmax])
+        x = np.array([[0.5, 1.5], [1.5, 1.5]])  # limits: 1.0 and 2.0 per row
+        assert count_clips(x, scale, quant) == 1

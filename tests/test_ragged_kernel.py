@@ -1,0 +1,307 @@
+"""Ragged-batch kernel equivalence: fused == N independent batched calls.
+
+The serving engine's correctness rests on one property: packing N
+sequences with mixed context lengths into one fused kernel call changes
+*nothing* — every per-sequence output array, every pruning decision and
+every traffic statistic is bit-identical to calling
+``token_picker_attention_batched`` on each sequence alone.  These tests
+assert exact (``array_equal``, not ``allclose``) equality, property-based
+over mixed lengths, head counts, thresholds, chunk formats, biases and
+frozen-vs-derived scales.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    QuantConfig,
+    TokenPickerConfig,
+    token_picker_attention_batched,
+    token_picker_attention_ragged,
+)
+
+
+def _make_batch(rng, n_seqs, n_heads, head_dim, max_len, with_bias):
+    lengths = rng.integers(1, max_len + 1, size=n_seqs)
+    qs, keys, values, biases = [], [], [], []
+    for t in lengths:
+        k = rng.normal(size=(n_heads, int(t), head_dim))
+        v = rng.normal(size=(n_heads, int(t), head_dim))
+        q = k[:, -1] * 2 + 0.3 * rng.normal(size=(n_heads, head_dim))
+        qs.append(q)
+        keys.append(k)
+        values.append(v)
+        biases.append(0.1 * rng.normal(size=(n_heads, int(t))) if with_bias else None)
+    return np.stack(qs), keys, values, (biases if with_bias else None)
+
+
+def _assert_identical(ragged_result, independent):
+    assert np.array_equal(ragged_result.kept, independent.kept)
+    assert np.array_equal(ragged_result.chunks_fetched, independent.chunks_fetched)
+    assert np.array_equal(ragged_result.scores, independent.scores)
+    assert np.array_equal(ragged_result.probs, independent.probs)
+    assert np.array_equal(
+        ragged_result.log_denominators, independent.log_denominators
+    )
+    if independent.outputs is None:
+        assert ragged_result.outputs is None
+    else:
+        assert np.array_equal(ragged_result.outputs, independent.outputs)
+    assert ragged_result.stats() == independent.stats()
+
+
+class TestBitIdenticalEquivalence:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_seqs=st.integers(1, 6),
+        n_heads=st.integers(1, 3),
+        max_len=st.integers(1, 160),
+        threshold=st.sampled_from([1e-2, 2e-3, 1e-4]),
+        with_bias=st.booleans(),
+        frozen_scales=st.booleans(),
+    )
+    def test_property_mixed_lengths(
+        self, seed, n_seqs, n_heads, max_len, threshold, with_bias, frozen_scales
+    ):
+        rng = np.random.default_rng(seed)
+        head_dim = int(rng.integers(4, 33))
+        config = TokenPickerConfig(threshold=threshold)
+        qs, keys, values, biases = _make_batch(
+            rng, n_seqs, n_heads, head_dim, max_len, with_bias
+        )
+        scales = {}
+        if frozen_scales:
+            scales = {
+                "q_scales": rng.uniform(0.005, 0.05, size=(n_seqs, n_heads)),
+                "k_scales": rng.uniform(0.005, 0.05, size=(n_seqs, n_heads)),
+                "v_scales": rng.uniform(0.005, 0.05, size=(n_seqs, n_heads)),
+            }
+        ragged = token_picker_attention_ragged(
+            qs, keys, values, config, score_bias=biases, **scales
+        )
+        for s in range(n_seqs):
+            independent = token_picker_attention_batched(
+                qs[s],
+                keys[s],
+                values[s],
+                config,
+                score_bias=None if biases is None else biases[s],
+                **{k: v[s] for k, v in scales.items()},
+            )
+            _assert_identical(ragged.results[s], independent)
+
+    def test_long_contexts_past_pairwise_summation_blocks(self):
+        """Lengths above numpy's 128-element pairwise-sum block still match."""
+        rng = np.random.default_rng(7)
+        config = TokenPickerConfig(threshold=2e-3)
+        qs, keys, values, _ = _make_batch(rng, 4, 2, 48, 700, with_bias=False)
+        ragged = token_picker_attention_ragged(qs, keys, values, config)
+        for s in range(4):
+            _assert_identical(
+                ragged.results[s],
+                token_picker_attention_batched(qs[s], keys[s], values[s], config),
+            )
+
+    def test_scores_only_mode(self):
+        rng = np.random.default_rng(3)
+        config = TokenPickerConfig(threshold=2e-3)
+        qs, keys, values, _ = _make_batch(rng, 3, 2, 16, 60, with_bias=False)
+        ragged = token_picker_attention_ragged(qs, keys, None, config)
+        for s in range(3):
+            independent = token_picker_attention_batched(
+                qs[s], keys[s], None, config
+            )
+            _assert_identical(ragged.results[s], independent)
+
+    def test_wide_chunk_format(self):
+        quant = QuantConfig(total_bits=8, chunk_bits=2)
+        config = TokenPickerConfig(threshold=2e-3, quant=quant)
+        rng = np.random.default_rng(11)
+        qs, keys, values, _ = _make_batch(rng, 3, 2, 8, 70, with_bias=False)
+        ragged = token_picker_attention_ragged(qs, keys, values, config)
+        for s in range(3):
+            _assert_identical(
+                ragged.results[s],
+                token_picker_attention_batched(qs[s], keys[s], values[s], config),
+            )
+
+    def test_pre_encoded_planes_and_values_match_float_path(self):
+        """The serving pool's encode-once representation (chunk planes +
+        quantize-dequantized V under frozen scales) must reproduce the
+        float path bit for bit."""
+        from repro.core.quantization import chunk_plane_values
+
+        rng = np.random.default_rng(13)
+        config = TokenPickerConfig(threshold=2e-3)
+        quant = config.quant
+        n_seqs, n_heads, head_dim = 4, 2, 24
+        qs, keys, values, _ = _make_batch(
+            rng, n_seqs, n_heads, head_dim, 120, with_bias=False
+        )
+        k_sc = rng.uniform(0.005, 0.05, size=(n_seqs, n_heads))
+        q_sc = rng.uniform(0.005, 0.05, size=(n_seqs, n_heads))
+        v_sc = rng.uniform(0.005, 0.05, size=(n_seqs, n_heads))
+        planes, v_deq = [], []
+        for s in range(n_seqs):
+            codes = np.clip(
+                np.rint(keys[s] / k_sc[s][:, None, None]),
+                quant.qmin,
+                quant.qmax,
+            ).astype(np.int64)
+            planes.append(
+                chunk_plane_values(codes, quant).transpose(0, 3, 1, 2)
+            )
+            vsc = v_sc[s][:, None, None]
+            v_deq.append(
+                np.clip(np.rint(values[s] / vsc), quant.qmin, quant.qmax) * vsc
+            )
+        encoded = token_picker_attention_ragged(
+            qs, None, None, config,
+            q_scales=q_sc, k_scales=k_sc, v_scales=v_sc,
+            k_planes=planes, v_deq=v_deq,
+        )
+        floats = token_picker_attention_ragged(
+            qs, keys, values, config,
+            q_scales=q_sc, k_scales=k_sc, v_scales=v_sc,
+        )
+        for s in range(n_seqs):
+            _assert_identical(encoded.results[s], floats.results[s])
+
+    def test_pre_encoded_planes_wide_format_integer_fallback(self):
+        """Formats too wide for exact float64 dot products must take the
+        integer fallback and still match the float path bit for bit."""
+        from repro.core.quantization import chunk_plane_values
+
+        quant = QuantConfig(total_bits=28, chunk_bits=4)
+        config = TokenPickerConfig(threshold=2e-3, quant=quant)
+        rng = np.random.default_rng(17)
+        n_seqs, n_heads, head_dim = 2, 2, 64
+        qs, keys, values, _ = _make_batch(
+            rng, n_seqs, n_heads, head_dim, 40, with_bias=False
+        )
+        k_sc = rng.uniform(1e-8, 2e-8, size=(n_seqs, n_heads))
+        q_sc = rng.uniform(1e-8, 2e-8, size=(n_seqs, n_heads))
+        planes = []
+        for s in range(n_seqs):
+            codes = np.clip(
+                np.rint(keys[s] / k_sc[s][:, None, None]),
+                quant.qmin,
+                quant.qmax,
+            ).astype(np.int64)
+            planes.append(
+                chunk_plane_values(codes, quant).transpose(0, 3, 1, 2)
+            )
+        encoded = token_picker_attention_ragged(
+            qs, None, None, config,
+            q_scales=q_sc, k_scales=k_sc, k_planes=planes,
+        )
+        floats = token_picker_attention_ragged(
+            qs, keys, None, config, q_scales=q_sc, k_scales=k_sc
+        )
+        for s in range(n_seqs):
+            _assert_identical(encoded.results[s], floats.results[s])
+
+    def test_planes_require_scales(self):
+        rng = np.random.default_rng(0)
+        config = TokenPickerConfig()
+        qs = rng.normal(size=(1, 2, 8))
+        planes = [np.zeros((2, config.quant.n_chunks, 5, 8))]
+        with pytest.raises(ValueError, match="k_scales"):
+            token_picker_attention_ragged(qs, None, None, config, k_planes=planes)
+        with pytest.raises(ValueError, match="keys or"):
+            token_picker_attention_ragged(qs, None, None, config)
+
+    def test_empty_context_sequences_mix(self):
+        rng = np.random.default_rng(5)
+        config = TokenPickerConfig(threshold=2e-3)
+        h, d = 2, 8
+        keys = [
+            np.zeros((h, 0, d)),
+            rng.normal(size=(h, 20, d)),
+            np.zeros((h, 0, d)),
+        ]
+        values = [np.zeros((h, 0, d)), rng.normal(size=(h, 20, d)), np.zeros((h, 0, d))]
+        qs = rng.normal(size=(3, h, d))
+        ragged = token_picker_attention_ragged(qs, keys, values, config)
+        for s in range(3):
+            _assert_identical(
+                ragged.results[s],
+                token_picker_attention_batched(qs[s], keys[s], values[s], config),
+            )
+        assert ragged.stats().n_tokens == 2 * 20
+
+
+class TestAggregates:
+    def test_merged_stats_and_lengths(self):
+        rng = np.random.default_rng(0)
+        config = TokenPickerConfig(threshold=2e-3)
+        qs, keys, values, _ = _make_batch(rng, 5, 2, 16, 90, with_bias=False)
+        ragged = token_picker_attention_ragged(qs, keys, values, config)
+        assert ragged.n_sequences == 5
+        assert np.array_equal(
+            ragged.lengths, np.array([k.shape[1] for k in keys])
+        )
+        merged = ragged.stats()
+        assert merged.n_tokens == sum(2 * k.shape[1] for k in keys)
+        assert merged.k_chunks_fetched == sum(
+            r.stats().k_chunks_fetched for r in ragged.results
+        )
+
+    def test_pack_order_longest_first(self):
+        rng = np.random.default_rng(1)
+        config = TokenPickerConfig(threshold=2e-3)
+        qs, keys, values, _ = _make_batch(rng, 6, 2, 8, 64, with_bias=False)
+        ragged = token_picker_attention_ragged(qs, keys, values, config)
+        packed_lengths = ragged.lengths[ragged.pack_order]
+        assert all(
+            a >= b for a, b in zip(packed_lengths, packed_lengths[1:])
+        )
+
+
+class TestValidation:
+    def test_both_schedules(self):
+        """The fused kernels realise the hardware's breadth order only;
+        the depth reference stays a per-sequence schedule."""
+        rng = np.random.default_rng(0)
+        depth = TokenPickerConfig(schedule="depth")
+        qs = rng.normal(size=(2, 2, 8))
+        keys = [rng.normal(size=(2, 5, 8))] * 2
+        with pytest.raises(ValueError, match="breadth"):
+            token_picker_attention_ragged(qs, keys, None, depth)
+        with pytest.raises(ValueError, match="breadth"):
+            token_picker_attention_batched(qs[0], keys[0], None, depth)
+        breadth = TokenPickerConfig(schedule="breadth")
+        assert token_picker_attention_ragged(qs, keys, None, breadth).n_sequences == 2
+
+    def test_shape_errors(self):
+        rng = np.random.default_rng(0)
+        config = TokenPickerConfig()
+        qs = rng.normal(size=(2, 2, 8))
+        good = [rng.normal(size=(2, 5, 8))] * 2
+        with pytest.raises(ValueError):
+            token_picker_attention_ragged(qs[0], good, None, config)
+        with pytest.raises(ValueError):
+            token_picker_attention_ragged(qs, good[:1], None, config)
+        with pytest.raises(ValueError):
+            token_picker_attention_ragged(
+                qs, [rng.normal(size=(3, 5, 8))] * 2, None, config
+            )
+        with pytest.raises(ValueError):
+            token_picker_attention_ragged(
+                qs, good, [rng.normal(size=(2, 6, 8))] * 2, config
+            )
+        with pytest.raises(ValueError):
+            token_picker_attention_ragged(
+                qs, good, None, config, score_bias=[np.zeros((2, 4))] * 2
+            )
+        with pytest.raises(ValueError):
+            token_picker_attention_ragged(
+                qs, good, None, config, q_scales=np.zeros((2, 2))
+            )

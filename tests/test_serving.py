@@ -64,6 +64,51 @@ class TestSpeedupCurve:
         assert fracs[0] < fracs[-1]
 
 
+class TestMeasuredTraffic:
+    def _stats(self, fetched_chunks, kept, n_tokens=256, head_dim=64):
+        from repro.core import QuantConfig
+        from repro.core.pruning import PruneStats
+
+        return PruneStats(
+            n_tokens=n_tokens,
+            n_kept=kept,
+            k_chunks_fetched=fetched_chunks,
+            v_vectors_fetched=kept,
+            head_dim=head_dim,
+            quant=QuantConfig(),
+        )
+
+    def test_step_from_traffic_prices_each_sequence(self, sim):
+        light = self._stats(fetched_chunks=300, kept=20)
+        heavy = self._stats(fetched_chunks=700, kept=200)
+        r = sim.step_from_traffic([light, heavy], engine_heads=4)
+        assert r.batch_size == 2
+        single = sim.step_from_traffic([light, heavy][:1], engine_heads=4)
+        assert r.attention_cycles > single.attention_cycles
+        # per-sequence latency tails: two streams cost more than one
+        # pooled stream of the same bytes
+        pooled = self._stats(fetched_chunks=1000, kept=220, n_tokens=512)
+        assert (
+            r.attention_cycles
+            >= sim.step_from_traffic([pooled], engine_heads=4).attention_cycles
+        )
+
+    def test_baseline_variant_charges_unpruned_footprint(self, sim):
+        stats = self._stats(fetched_chunks=300, kept=20)
+        ours = sim.step_from_traffic([stats], engine_heads=4)
+        base = sim.step_from_traffic([stats], "baseline", engine_heads=4)
+        assert base.attention_cycles > ours.attention_cycles
+        assert base.weight_cycles == ours.weight_cycles
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            sim.step_from_traffic([])
+        with pytest.raises(ValueError):
+            sim.step_from_traffic(
+                [self._stats(fetched_chunks=10, kept=5)], engine_heads=0
+            )
+
+
 class TestThroughput:
     def test_tokens_per_second(self):
         r = ServingStepResult(

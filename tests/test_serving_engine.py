@@ -1,0 +1,291 @@
+"""Tests for the continuous-batching serving engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import TokenPickerConfig
+from repro.core.session import TokenPickerSession
+from repro.eval.batching import measured_batch_point
+from repro.model.config import get_model_config
+from repro.serving import (
+    GenerationRequest,
+    Scheduler,
+    ServingEngine,
+    replayable_step_source,
+    synthetic_request,
+)
+
+CFG = TokenPickerConfig(threshold=2e-3)
+
+
+def _engine(**kw):
+    defaults = dict(max_batch_size=8, capacity_tokens=4096, seed=0)
+    defaults.update(kw)
+    return ServingEngine(CFG, **defaults)
+
+
+def _replayable_request(rng, n_heads=2, prompt=48, head_dim=16, max_new=4):
+    """Request whose decode stream is recorded, so sessions can replay it."""
+    keys = rng.normal(size=(n_heads, prompt, head_dim))
+    values = rng.normal(size=(n_heads, prompt, head_dim))
+    source, stream = replayable_step_source(rng, n_heads, head_dim, max_new)
+    request = GenerationRequest(
+        prompt_keys=keys,
+        prompt_values=values,
+        max_new_tokens=max_new,
+        step_source=source,
+    )
+    return request, stream
+
+
+class TestLifecycle:
+    def test_submit_step_retire(self):
+        rng = np.random.default_rng(0)
+        engine = _engine()
+        rid = engine.submit(
+            synthetic_request(rng, 2, prompt_tokens=32, head_dim=16, max_new_tokens=3)
+        )
+        assert engine.n_pending == 1
+        reports = engine.run_until_drained()
+        assert len(reports) == 3
+        assert engine.n_active == 0 and engine.n_pending == 0
+        assert len(engine.completed) == 1
+        done = engine.completed[0]
+        assert done.request_id == rid
+        assert done.generated_tokens == 3
+        assert done.stats.queue_delay_steps == 0
+        assert done.stats.service_steps == 2
+        assert done.stats.counter.tokens_seen > 0
+        assert engine.pool.blocks_in_use == 0
+
+    def test_continuous_admission_and_fifo_order(self):
+        rng = np.random.default_rng(1)
+        engine = _engine(max_batch_size=2)
+        # staggered lengths: sequences retire one at a time, so freed
+        # slots refill while the other sequence keeps decoding
+        ids = [
+            engine.submit(
+                synthetic_request(rng, 2, 16, 16, max_new_tokens=new)
+            )
+            for new in (2, 5, 4, 3, 2)
+        ]
+        first = engine.step()
+        assert first.admitted == ids[:2]  # FIFO
+        reports = engine.run_until_drained()
+        # continuous refill: retirements and admissions share a step, the
+        # batch never drains to zero between waves
+        refills = [r for r in reports if r.admitted and r.retired]
+        assert refills, "no step both retired and admitted sequences"
+        assert all(
+            r.batch_size > 0 for r in [first] + reports[:-1]
+        )
+        assert len(engine.completed) == 5
+        assert [c.request_id for c in engine.completed[:2]] == ids[:2]
+        waits = {c.request_id: c.stats.queue_delay_steps for c in engine.completed}
+        assert waits[ids[0]] == 0
+        assert waits[ids[4]] > 0  # queued behind the first batch
+
+    def test_admission_blocked_by_pool_capacity(self):
+        rng = np.random.default_rng(2)
+        # room for one request's lifetime footprint only
+        engine = _engine(max_batch_size=8, capacity_tokens=48, block_size=8)
+        for _ in range(2):
+            engine.submit(synthetic_request(rng, 2, 32, 16, max_new_tokens=4))
+        report = engine.step()
+        assert len(report.admitted) == 1  # second waits for blocks, not slots
+        assert engine.n_pending == 1
+        engine.run_until_drained()
+        assert len(engine.completed) == 2
+
+    def test_admission_reserves_lifetime_growth(self):
+        """Admission must account for admitted sequences' future tokens,
+        not just blocks already written — otherwise decode can exhaust the
+        pool mid-flight."""
+        rng = np.random.default_rng(10)
+        # 4 blocks; each request needs 3 blocks over its lifetime
+        engine = _engine(max_batch_size=8, capacity_tokens=64, block_size=16)
+        engine.submit(synthetic_request(rng, 2, 16, 16, max_new_tokens=17))
+        engine.submit(synthetic_request(rng, 2, 17, 16, max_new_tokens=30))
+        report = engine.step()
+        assert len(report.admitted) == 1  # second would overcommit blocks
+        engine.run_until_drained()  # must never raise PoolExhausted
+        assert len(engine.completed) == 2
+
+    def test_oversized_request_rejected_at_submit(self):
+        rng = np.random.default_rng(11)
+        engine = _engine(capacity_tokens=64, block_size=16)
+        with pytest.raises(ValueError, match="pool holds"):
+            engine.submit(
+                synthetic_request(rng, 2, 100, 16, max_new_tokens=1)
+            )
+        assert engine.n_pending == 0
+
+    def test_sustains_32_concurrent_sequences(self):
+        """Acceptance: >= 32 concurrent sequences with continuous
+        admission/retirement through one fused step per iteration."""
+        rng = np.random.default_rng(3)
+        engine = _engine(max_batch_size=32, capacity_tokens=32 * 48)
+        for _ in range(40):
+            engine.submit(synthetic_request(rng, 2, 24, 16, max_new_tokens=4))
+        reports = engine.run_until_drained()
+        assert engine.peak_concurrency == 32
+        assert max(r.batch_size for r in reports) == 32
+        assert len(engine.completed) == 40
+        assert engine.pool.blocks_in_use == 0
+        assert engine.counter.total_reduction > 1.0
+
+    def test_ragged_utilization_reflects_context_spread(self):
+        rng = np.random.default_rng(9)
+        engine = _engine(max_batch_size=2)
+        engine.submit(synthetic_request(rng, 2, 16, 16, max_new_tokens=2))
+        engine.submit(synthetic_request(rng, 2, 64, 16, max_new_tokens=2))
+        report = engine.step()
+        # contexts 17 and 65 after the first decode token
+        assert report.ragged_utilization == pytest.approx((17 + 65) / (2 * 65))
+
+    def test_empty_step_is_admission_tick(self):
+        engine = _engine()
+        report = engine.step()
+        assert report.batch_size == 0 and not report.admitted
+        assert engine.step_index == 1
+
+    def test_run_until_drained_guard(self):
+        rng = np.random.default_rng(4)
+        engine = _engine()
+        engine.submit(synthetic_request(rng, 2, 16, 16, max_new_tokens=5))
+        with pytest.raises(RuntimeError):
+            engine.run_until_drained(max_steps=2)
+
+
+class TestEquivalenceWithSessions:
+    def test_fused_steps_match_looped_sessions_exactly(self):
+        """The engine's fused ragged step must reproduce, bit for bit, the
+        pruning decisions and traffic stats of per-sequence sessions."""
+        rng = np.random.default_rng(5)
+        config = TokenPickerConfig(threshold=1e-2)
+        engine = ServingEngine(config, max_batch_size=6, capacity_tokens=4096)
+        pairs = [
+            _replayable_request(rng, prompt=int(rng.integers(16, 80)), max_new=5)
+            for _ in range(6)
+        ]
+        for request, _ in pairs:
+            engine.submit(request)
+
+        kept_per_request = {}
+        for report in engine.run_until_drained():
+            for sid, view in report.per_sequence.items():
+                kept_per_request.setdefault(view.request_id, []).append(
+                    report.results[sid].kept
+                )
+
+        for request, stream in pairs:
+            session = TokenPickerSession(config)
+            session.observe_prompt(request.prompt_keys, request.prompt_values)
+            keys, values = request.prompt_keys, request.prompt_values
+            for step, (q, k, v) in enumerate(stream):
+                keys = np.concatenate([keys, k[:, None, :]], axis=1)
+                values = np.concatenate([values, v[:, None, :]], axis=1)
+                result = session.step(q, keys, values)
+                assert np.array_equal(
+                    kept_per_request[request.request_id][step], result.kept
+                )
+            done = next(
+                c
+                for c in engine.completed
+                if c.request_id == request.request_id
+            )
+            assert done.stats.counter.k_bits == session.counter.k_bits
+            assert done.stats.counter.v_bits == session.counter.v_bits
+            assert done.stats.counter.tokens_seen == session.counter.tokens_seen
+            assert done.stats.counter.tokens_kept == session.counter.tokens_kept
+            # clip semantics differ by design: the pooled engine checks each
+            # element once (when it enters the cache), the external-KV
+            # session rescans the full provided K/V every step
+            assert done.stats.clip_events <= session.clip_events
+
+
+class TestTrafficConsumers:
+    @pytest.fixture(scope="class")
+    def drained(self):
+        rng = np.random.default_rng(6)
+        engine = _engine(max_batch_size=8)
+        for _ in range(8):
+            engine.submit(synthetic_request(rng, 4, 64, 16, max_new_tokens=3))
+        reports = engine.run_until_drained()
+        return engine, max(reports, key=lambda r: r.batch_size)
+
+    def test_step_from_engine(self, drained):
+        from repro.hw.serving import ServingSimulator
+
+        engine, full = drained
+        sim = ServingSimulator(get_model_config("gpt2-medium"), 128, config=CFG)
+        ours = sim.step_from_engine(full, engine_heads=4)
+        base = sim.step_from_engine(full, "baseline", engine_heads=4)
+        assert ours.batch_size == full.batch_size == 8
+        assert ours.weight_cycles == base.weight_cycles
+        assert 0 < ours.attention_cycles < base.attention_cycles
+        # ragged per-sequence traffic, not one mean: sequences differ
+        bits = [v.stats.total_bits_fetched for v in full.per_sequence.values()]
+        assert len(set(bits)) > 1
+
+    def test_measured_batch_point(self, drained):
+        engine, full = drained
+        stats = [v.stats for v in full.per_sequence.values()]
+        point = measured_batch_point(
+            get_model_config("gpt2-medium"),
+            stats,
+            context_length=128,
+            engine_heads=4,
+        )
+        assert point.batch_size == 8
+        assert 1.0 < point.step_speedup
+        assert point.kv_bytes > point.kv_bytes_pruned
+        with pytest.raises(ValueError):
+            measured_batch_point(get_model_config("gpt2-medium"), [])
+
+
+class TestValidation:
+    def test_constructor(self):
+        with pytest.raises(ValueError):
+            ServingEngine(safety_factor=0.9)
+        with pytest.raises(ValueError):
+            ServingEngine(TokenPickerConfig(schedule="depth"))
+        with pytest.raises(ValueError):
+            ServingEngine(max_batch_size=0)
+
+    def test_mismatched_request_dims_rejected(self):
+        rng = np.random.default_rng(7)
+        engine = _engine()
+        engine.submit(synthetic_request(rng, 2, 16, 16, max_new_tokens=1))
+        engine.step()
+        engine.submit(synthetic_request(rng, 4, 16, 16, max_new_tokens=1))
+        with pytest.raises(ValueError):
+            engine.run_until_drained()
+
+    def test_pooled_sequence_rejected_by_step_external(self):
+        rng = np.random.default_rng(8)
+        engine = _engine()
+        engine.submit(synthetic_request(rng, 2, 16, 16, max_new_tokens=2))
+        report = engine.step()
+        sid = next(iter(report.per_sequence))
+        q = np.zeros((2, 16))
+        kv = np.zeros((2, 4, 16))
+        with pytest.raises(ValueError):
+            engine.step_external({sid: (q, kv, kv)})
+
+    def test_unknown_sequence(self):
+        engine = _engine()
+        with pytest.raises(KeyError):
+            engine.stats_of(3)
+
+
+class TestScheduler:
+    def test_pack_order_and_utilization(self):
+        assert Scheduler.pack_order({1: 5, 2: 9, 3: 7}) == [2, 3, 1]
+        assert Scheduler.ragged_utilization([10, 10]) == 1.0
+        assert Scheduler.ragged_utilization([10, 5]) == pytest.approx(0.75)
+        assert Scheduler.ragged_utilization([]) == 1.0
+
+    def test_max_batch_validation(self):
+        with pytest.raises(ValueError):
+            Scheduler(max_batch_size=0)

@@ -86,6 +86,23 @@ class TestSteps:
         assert session.clip_events > 0
         assert session.clip_rate > 0
 
+    def test_values_clips_counted(self):
+        """Saturating V elements must show up in clip_rate: V travels the
+        same quantized fetch path as Q/K (full V saturation coverage)."""
+        keys, values, steps = _prompt_and_steps(seed=5)
+        session = TokenPickerSession(TokenPickerConfig(threshold=1e-2),
+                                     safety_factor=1.0)
+        session.observe_prompt(keys, values)
+        q, k, v = steps[0]
+        # keep Q/K inside the calibrated window; blow up only V
+        limit_q = session.scales.q_scale.max() * session.config.quant.qmax
+        limit_k = session.scales.k_scale.max() * session.config.quant.qmax
+        q = np.clip(q, -limit_q, limit_q)
+        k = np.clip(k, -limit_k, limit_k)
+        session.step(q, k, v * 100.0)
+        assert session.clip_events > 0
+        assert session.clip_rate > 0
+
     def test_no_clips_with_headroom(self):
         keys, values, steps = _prompt_and_steps(seed=3)
         session = TokenPickerSession(TokenPickerConfig(threshold=1e-2),
@@ -95,6 +112,27 @@ class TestSteps:
         session.step(q, k, v)
         # generous headroom: clipping should be rare or absent
         assert session.clip_rate < 0.05
+
+    def test_recalibration_preserves_accumulated_stats(self):
+        """A second observe_prompt refreshes the scales but must not reset
+        the session's traffic and clip accounting."""
+        keys, values, steps = _prompt_and_steps(seed=6)
+        session = TokenPickerSession(TokenPickerConfig(threshold=1e-2),
+                                     safety_factor=1.0)
+        session.observe_prompt(keys * 0.01, values * 0.01)
+        q, k, v = steps[0]
+        session.step(q, k, v)
+        bits_before = session.counter.k_bits
+        clips_before = session.clip_events
+        assert bits_before > 0 and clips_before > 0
+        old_scales = session.scales
+        session.observe_prompt(keys, values)  # recalibrate wider
+        assert session.counter.k_bits == bits_before
+        assert session.clip_events == clips_before
+        assert np.all(session.scales.k_scale > old_scales.k_scale)
+        q, k, v = steps[1]
+        session.step(q, k, v)
+        assert session.counter.k_bits > bits_before
 
     def test_explicit_query_calibration(self):
         keys, values, steps = _prompt_and_steps(seed=4)
