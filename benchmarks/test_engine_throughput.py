@@ -3,12 +3,19 @@
 Measures the fused continuous-batching hot path the way a deployment
 would: tokens generated per second of wall-clock engine stepping, plus
 the fused-step speedup over looping per-sequence sessions across the same
-sequences (same streams, bit-identical pruning decisions).  ``python
-benchmarks/test_engine_throughput.py`` records the same measurements to
-``BENCH_engine.json`` so later PRs have a perf trajectory to diff against.
+sequences (same streams, bit-identical pruning decisions), plus the
+engine's per-step phase breakdown (pack / score / prune / unpack) from
+the arena fast path.  ``python benchmarks/test_engine_throughput.py``
+records the same measurements to ``BENCH_engine.json`` so later PRs have
+a perf trajectory to diff against.
+
+Setting ``TOKENPICKER_BENCH_TINY=1`` shrinks every dimension so CI's
+non-blocking benchmark-smoke job can surface kernel-shape regressions in
+seconds without timing anything meaningful.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -23,10 +30,12 @@ from repro.serving import (
     replayable_step_source,
 )
 
-BATCH_SIZES = (1, 8, 32)
-N_HEADS, HEAD_DIM = 4, 64
-PROMPT_TOKENS, MAX_NEW = 256, 16
+_TINY = os.environ.get("TOKENPICKER_BENCH_TINY") == "1"
+BATCH_SIZES = (1, 2) if _TINY else (1, 8, 32)
+N_HEADS, HEAD_DIM = (2, 16) if _TINY else (4, 64)
+PROMPT_TOKENS, MAX_NEW = (24, 3) if _TINY else (256, 16)
 CFG = TokenPickerConfig(threshold=2e-3)
+PHASES = ("pack", "score", "prune", "unpack")
 
 
 def _replayable_requests(batch: int, seed: int = 0):
@@ -78,6 +87,22 @@ def _loop_sessions_timed(pairs) -> float:
     return time.perf_counter() - start
 
 
+def _phase_breakdown(batch: int, seed: int = 0):
+    """Per-step mean milliseconds by phase, from one untimed drain."""
+    engine = _fresh_engine(batch, seed)
+    totals = {phase: 0.0 for phase in PHASES}
+    busy = 0
+    for report in engine.run_until_drained():
+        if report.batch_size:
+            busy += 1
+            for phase in PHASES:
+                totals[phase] += report.phase_seconds.get(phase, 0.0)
+    return {
+        phase: round(1e3 * seconds / max(busy, 1), 4)
+        for phase, seconds in totals.items()
+    }
+
+
 @pytest.mark.parametrize("batch", BATCH_SIZES)
 def test_engine_drain_throughput(benchmark, batch):
     """Tokens/sec of the fused engine serving `batch` sequences."""
@@ -88,6 +113,20 @@ def test_engine_drain_throughput(benchmark, batch):
     assert tokens / result > 0
 
 
+def test_step_reports_phase_breakdown():
+    """Every busy step reports wall-clock for all four hot-path phases."""
+    engine = _fresh_engine(min(BATCH_SIZES[-1], 4))
+    busy = [r for r in engine.run_until_drained() if r.batch_size]
+    assert busy
+    for report in busy:
+        for phase in PHASES:
+            assert report.phase_seconds.get(phase, 0.0) >= 0.0
+        assert set(PHASES) <= set(report.phase_seconds)
+
+
+@pytest.mark.skipif(
+    _TINY, reason="timing assertions are meaningless at smoke sizes"
+)
 def test_fused_step_beats_looped_sessions():
     """Acceptance: one fused step across 32 sequences is faster than 32
     per-sequence session steps — with identical pruning decisions.
@@ -133,6 +172,7 @@ def measure(repeats: int = 3) -> dict:
                 "fused_speedup": round(looped_s / fused_s, 3),
                 "kv_bit_reduction": round(engine.counter.total_reduction, 3),
                 "keep_fraction": round(engine.counter.keep_fraction, 4),
+                "phase_ms_per_step": _phase_breakdown(batch),
             }
         )
     return {

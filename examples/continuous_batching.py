@@ -94,6 +94,14 @@ def main() -> None:
         f"KV-bit reduction {engine.counter.total_reduction:.2f}x"
     )
 
+    print("\n=== arena fast path: per-step phase breakdown ===")
+    busy = [r for r in reports if r.batch_size]
+    for phase in ("pack", "score", "prune", "unpack"):
+        mean_ms = 1e3 * sum(
+            r.phase_seconds.get(phase, 0.0) for r in busy
+        ) / len(busy)
+        print(f"  {phase:<6} {mean_ms:6.3f} ms/step")
+
     print("\n=== fused step == looped sessions (bit-identical) ===")
     t0 = time.perf_counter()
     sessions = replay_with_sessions(config, pairs)

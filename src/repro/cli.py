@@ -106,6 +106,13 @@ def _run_serve_sim(args) -> str:
         engine_heads=n_heads,
     )
     waits = [c.stats.queue_delay_steps for c in engine.completed]
+    phase_totals: dict = {}
+    busy_steps = 0
+    for report in reports:
+        if report.batch_size:
+            busy_steps += 1
+            for phase, seconds in report.phase_seconds.items():
+                phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
     lines = [
         "Continuous-batching serving simulation "
         f"({model.name}, thr={args.threshold:g})",
@@ -123,6 +130,19 @@ def _run_serve_sim(args) -> str:
         f"  traffic-limited step speedup at B={point.batch_size}: "
         f"{point.step_speedup:.2f}x (KV fraction {point.kv_fraction:.2f})",
     ]
+    if getattr(args, "profile", False) and busy_steps:
+        total = sum(phase_totals.values())
+        lines.append(
+            f"  per-step phase breakdown over {busy_steps} decode steps "
+            "(engine wall-clock):"
+        )
+        for phase in ("pack", "score", "prune", "unpack"):
+            seconds = phase_totals.get(phase, 0.0)
+            share = seconds / total if total else 0.0
+            lines.append(
+                f"    {phase:<6} {1e3 * seconds / busy_steps:7.3f} ms/step "
+                f"({share:5.1%})"
+            )
     return "\n".join(lines)
 
 
@@ -164,6 +184,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     serve.add_argument(
         "--threshold", type=float, default=2e-3, help="pruning threshold thr"
+    )
+    serve.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the engine's per-step phase breakdown "
+        "(pack/score/prune/unpack)",
     )
     args = parser.parse_args(argv)
 

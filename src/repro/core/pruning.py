@@ -24,8 +24,9 @@ ToPick-V / Fig. 10 intermediate configuration).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -38,6 +39,7 @@ from repro.core.quantization import (
     chunk_plane_values,
     compute_scale,
     quantize,
+    signed_chunk_digit,
 )
 from repro.utils.numerics import softmax
 
@@ -338,14 +340,27 @@ def _run_breadth(
     current_lb = np.full(n_tokens, -np.inf)
     ub_trace = np.full(n_tokens, np.nan) if collect_trace else None
 
+    # ln(D) = logsumexp over every token's current lower bound.  A token
+    # pruned in an earlier round keeps the bound it died with, so the sum
+    # splits into a *frozen* part (dead tokens, absorbed once at death)
+    # and the alive part, whose bounds are the only ones that tightened
+    # this round — recomputing only the latter turns the per-round
+    # denominator from O(n_tokens) into O(alive).
     log_den = -np.inf
+    frozen_den = -np.inf  # logsumexp over dead tokens' final lower bounds
     for b in range(n_chunks):
         chunks_fetched[alive] = b + 1
         current_lb[alive] = s_min[alive, b]
-        log_den = _logsumexp_1d(current_lb)
+        log_den = float(
+            np.logaddexp(frozen_den, _logsumexp_1d(current_lb[alive]))
+        )
         prune_now = alive & ((s_max[:, b] - log_den) <= log_thr) & ~guard
         if collect_trace and b == 0:
             ub_trace[:] = s_max[:, 0] - log_den
+        if prune_now.any():
+            frozen_den = float(
+                np.logaddexp(frozen_den, _logsumexp_1d(current_lb[prune_now]))
+            )
         alive = alive & ~prune_now
         if not alive.any():
             break
@@ -362,6 +377,99 @@ def _logsumexp_1d(x: np.ndarray) -> float:
         return -np.inf
     m = finite.max()
     return float(m + np.log(np.exp(finite - m).sum()))
+
+
+_ZERO_INDEX = np.array([0], dtype=np.intp)
+
+
+def _row_sums(x: np.ndarray) -> np.ndarray:
+    """Whole-row sums with ``np.add.reduceat``'s deterministic fold.
+
+    ``ndarray.sum`` uses pairwise summation whose grouping depends on the
+    reduction length, so a sequence's reductions would come out different
+    bits depending on how the batch around it is packed.  ``reduceat``
+    applies one left-to-right fold per slice that depends only on the
+    slice's own values, which is what lets the ragged kernel reduce many
+    sequences in one call (`np.add.reduceat` over segment boundaries) and
+    still match this rectangular kernel bit for bit.
+    """
+    return np.add.reduceat(x, _ZERO_INDEX, axis=1)[:, 0]
+
+
+def _grouped_softmax(flat_scores: np.ndarray, bounds: np.ndarray) -> np.ndarray:
+    """Renormalised softmax over consecutive groups of a flat score array.
+
+    ``bounds`` is a (G + 1,) cumulative-boundary array with ``bounds[-1]
+    == flat_scores.size``; empty groups are allowed.  Group max / sum use
+    the same ``reduceat`` fold as :func:`_row_sums`, so each group's
+    probabilities depend only on its own scores.  Reductions run over the
+    *non-empty* groups only: their start indices are strictly increasing
+    and consecutive non-empty groups abut, so every reduceat slice covers
+    exactly one group's elements — appending sentinel elements instead
+    would change the fold's blocking for the trailing group.
+    """
+    if flat_scores.size == 0:
+        return flat_scores
+    starts = bounds[:-1]
+    counts = np.diff(bounds)
+    nonempty = counts > 0
+    starts_ne = starts[nonempty]
+    gmax = np.zeros(counts.shape)
+    gmax[nonempty] = np.maximum.reduceat(flat_scores, starts_ne)
+    e = np.exp(flat_scores - np.repeat(gmax, counts))
+    gsum = np.ones(counts.shape)
+    gsum[nonempty] = np.add.reduceat(e, starts_ne)
+    return e / np.repeat(gsum, counts)
+
+
+def _grouped_weighted_v(
+    flat_probs: np.ndarray, v_rows: np.ndarray, bounds: np.ndarray, head_dim: int
+) -> np.ndarray:
+    """Per-group sums of ``p_i * v_i`` over kept tokens — the step-1 AV.
+
+    ``flat_probs`` (n,) and ``v_rows`` (n, d) hold the *kept* tokens only
+    (group-major, token order preserved), ``bounds`` their (G + 1,)
+    cumulative boundaries.  Pruned tokens carry probability exactly zero:
+    adding a zero term to a left fold cannot change its value (only,
+    at most, the sign of a zero result, which compares equal), so
+    reducing the kept subset matches the dense reduction bit-for-bit
+    while touching ~keep-fraction of the memory.  Groups reduce with the
+    same ``reduceat`` fold as :func:`_row_sums`.
+    """
+    out = np.zeros((len(bounds) - 1, head_dim))
+    if flat_probs.size == 0:
+        return out
+    weighted = flat_probs[:, None] * v_rows
+    counts = np.diff(bounds)
+    nonempty = counts > 0
+    out[nonempty] = np.add.reduceat(weighted, bounds[:-1][nonempty], axis=0)
+    return out
+
+
+class KernelScratch:
+    """Reusable backing store for the fused ragged kernel's work arrays.
+
+    The serving engine calls the ragged kernel every decode step with
+    slightly-growing shapes, and the (tokens, heads)-sized temporaries
+    dominated the step's allocator traffic.  A scratch object hands out
+    views of amortised-doubling flat buffers keyed by role; reuse never
+    changes results because every array handed out is fully overwritten
+    before it is read.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[str, str], np.ndarray] = {}
+
+    def take(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        dt = np.dtype(dtype)
+        n = int(np.prod(shape, dtype=np.int64)) if len(shape) else 1
+        key = (name, dt.str)
+        buf = self._buffers.get(key)
+        if buf is None or buf.size < n:
+            grown = n if buf is None else max(n, 2 * buf.size)
+            buf = np.empty(grown, dtype=dt)
+            self._buffers[key] = buf
+        return buf[:n].reshape(shape)
 
 
 def _renormalised_probs(scores: np.ndarray, kept: np.ndarray) -> np.ndarray:
@@ -554,9 +662,8 @@ def token_picker_attention_batched(
         np.copyto(chunks_fetched, b + 1, where=alive)
         np.copyto(current_lb, s_min[:, :, b], where=alive)
         m = current_lb.max(axis=1)
-        log_den = m + np.log(
-            np.exp(np.clip(current_lb - m[:, None], -700.0, 0.0)).sum(axis=1)
-        )
+        ex = np.exp(np.clip(current_lb - m[:, None], -700.0, 0.0))
+        log_den = m + np.log(_row_sums(ex))
         prune_now = alive & ((s_max[:, :, b] - log_den[:, None]) <= log_thr) & ~guard
         alive &= ~prune_now
         if not alive.any():
@@ -564,12 +671,10 @@ def token_picker_attention_batched(
 
     exact_scores = ps[:, :, -1] * scale3[:, :, 0] + bias
     probs = np.zeros_like(exact_scores)
-    for h in range(n_heads):
-        if alive[h].any():
-            kept_scores = exact_scores[h, alive[h]]
-            mh = kept_scores.max()
-            e = np.exp(kept_scores - mh)
-            probs[h, alive[h]] = e / e.sum()
+    kept_bounds = np.zeros(n_heads + 1, dtype=np.intp)
+    np.cumsum(alive.sum(axis=1), out=kept_bounds[1:])
+    flat_probs = _grouped_softmax(exact_scores[alive], kept_bounds)
+    probs[alive] = flat_probs
 
     outputs = None
     if values is not None:
@@ -581,7 +686,9 @@ def token_picker_attention_batched(
             )
             * v_scale[:, None, None]
         )
-        outputs = np.einsum("ht,htd->hd", probs, v_deq)
+        outputs = _grouped_weighted_v(
+            flat_probs, v_deq[alive], kept_bounds, head_dim
+        )
 
     return BatchedPickerResult(
         kept=alive,
@@ -654,6 +761,11 @@ def token_picker_attention_ragged(
     v_scales: Optional[np.ndarray] = None,
     k_planes: "Optional[list]" = None,
     v_deq: "Optional[list]" = None,
+    k_plane_arena: Optional[np.ndarray] = None,
+    v_arena: Optional[np.ndarray] = None,
+    segments: Optional[np.ndarray] = None,
+    scratch: Optional[KernelScratch] = None,
+    phase_times: Optional[Dict[str, float]] = None,
 ) -> RaggedPickerResult:
     """Fused breadth-schedule Token-Picker over a ragged multi-sequence batch.
 
@@ -663,39 +775,85 @@ def token_picker_attention_ragged(
     (S, H) arrays; ``score_bias`` is an optional length-S sequence of
     (H, t_s) arrays.
 
-    This is the serving engine's hot path: all sequences' tokens are packed
-    (longest first) into one flat token axis so the chunk-plane expansion,
-    the partial-score einsum and every breadth-round predicate run **once
-    per batch** instead of once per sequence.  Only the per-sequence
-    reductions (denominator log-sum-exp, final softmax, V accumulation) are
-    evaluated per sequence — with expressions chosen so every returned
-    array is bit-identical to an independent
-    :func:`token_picker_attention_batched` call on that sequence.  The
-    integer score table makes the heavy arithmetic exact by construction;
-    the float reductions reuse the batched kernel's exact expressions on
-    identically-shaped contiguous arrays.
+    This is the serving engine's hot path: all sequences' tokens live on one
+    flat token axis so the chunk-plane expansion, the partial-score einsum
+    and every breadth-round predicate run **once per batch**.  Per-sequence
+    reductions (denominator log-sum-exp, final softmax, V accumulation) run
+    as *segment reductions* — one ``np.maximum.reduceat`` /
+    ``np.add.reduceat`` pass over interleaved segment boundaries per round,
+    one masked grouped softmax over the packed score matrix, and one
+    segment-reduced weighted-V pass — instead of per-sequence Python loops.
+    Every returned array is bit-identical to an independent
+    :func:`token_picker_attention_batched` call on that sequence: the
+    integer score table makes the heavy arithmetic exact by construction,
+    and both kernels funnel their float token-axis reductions through the
+    same ``reduceat`` folds (see :func:`_row_sums`), whose per-slice result
+    depends only on the slice's own values.
 
     A cache that freezes its scales (the engine's KV pool) never changes a
     token's quantized representation after it is written, so it can encode
-    once at append time and skip the per-step requantization: pass
-    ``k_planes`` (length-S list of (H, C, t_s, d) per-chunk signed plane
-    contributions, i.e. :func:`~repro.core.quantization.
-    chunk_plane_values` transposed chunk-major; requires explicit
-    ``k_scales``) and/or ``v_deq`` (length-S list of (H, t_s, d)
-    quantize-dequantized values) instead of ``keys``/``values``.  The
-    planes are the MSB-first chunk decomposition the paper's DRAM layout
-    streams, and plane-times-query products are exact in float64 for any
-    practical format, so results stay bit-identical.
+    once at append time and skip the per-step requantization.  Two
+    pre-encoded input forms are accepted:
+
+    * ``k_planes`` (length-S list of (H, C, t_s, d) per-chunk signed plane
+      contributions, i.e. :func:`~repro.core.quantization.
+      chunk_plane_values` transposed chunk-major; requires explicit
+      ``k_scales``) and/or ``v_deq`` (length-S list of (H, t_s, d)
+      quantize-dequantized values) instead of ``keys``/``values``; or
+    * the **zero-copy packed-arena form**: ``k_plane_arena`` — one
+      token-major (T_cap, H, C, d) (or (T_cap, H*C, d)) store of
+      *unshifted* chunk digits (float32 or float64; the kernel applies
+      each chunk's power-of-two positional shift after the contraction) —
+      plus ``v_arena`` (T_cap, H, d) and ``segments`` (S, 2) rows of
+      ``(offset, length)`` locating each sequence's contiguous slab.  The
+      kernel computes directly on views of the arena (dead inter-segment
+      gaps ride along masked, carried by the reduceat boundary table), so
+      the caller appends tokens in place and hands over views — no
+      per-step packing copies at all.
+
+    The planes are the MSB-first chunk decomposition the paper's DRAM
+    layout streams, and plane-times-query products are exact in float64
+    for any practical format, so results stay bit-identical.  ``scratch``
+    (a :class:`KernelScratch`) lets a caller reuse the kernel's work
+    arrays across steps; ``phase_times`` accumulates per-phase wall-clock
+    seconds under ``"score"`` / ``"prune"`` / ``"unpack"`` keys.
     """
     if config.schedule != "breadth":
         raise ValueError("ragged kernel supports only the breadth schedule")
-    if keys is None and k_planes is None:
-        raise ValueError("provide keys or pre-encoded k_planes")
-    if k_planes is not None and k_scales is None:
-        raise ValueError(
-            "k_planes requires explicit k_scales (planes carry no scale)"
-        )
+    arena_mode = (
+        k_plane_arena is not None or v_arena is not None or segments is not None
+    )
+    if arena_mode:
+        if k_plane_arena is None or segments is None:
+            raise ValueError("the arena path needs k_plane_arena and segments")
+        if any(x is not None for x in (keys, values, k_planes, v_deq)):
+            raise ValueError(
+                "arena inputs are exclusive of per-sequence key/value lists"
+            )
+        if k_scales is None:
+            raise ValueError(
+                "k_plane_arena requires explicit k_scales (planes carry no scale)"
+            )
+    else:
+        if keys is None and k_planes is None:
+            raise ValueError(
+                "provide keys or pre-encoded k_planes or a packed arena"
+            )
+        if k_planes is not None and k_scales is None:
+            raise ValueError(
+                "k_planes requires explicit k_scales (planes carry no scale)"
+            )
     quant = config.quant
+    t_mark = time.perf_counter() if phase_times is not None else 0.0
+
+    def _mark(phase: str) -> None:
+        nonlocal t_mark
+        if phase_times is None:
+            return
+        now = time.perf_counter()
+        phase_times[phase] = phase_times.get(phase, 0.0) + (now - t_mark)
+        t_mark = now
+
     qs = np.asarray(qs, dtype=np.float64)
     if qs.ndim != 3:
         raise ValueError(f"qs must be (S, H, d), got {qs.shape}")
@@ -715,7 +873,48 @@ def token_picker_attention_ragged(
                 )
         return out
 
-    if k_planes is not None:
+    k_arena = None
+    if arena_mode:
+        k_arena = np.asarray(k_plane_arena)
+        if k_arena.dtype not in (np.float32, np.float64):
+            raise ValueError(
+                "k_plane_arena must hold float32/float64 chunk digits"
+            )
+        if k_arena.ndim == 3:
+            if k_arena.shape[1:] != (n_heads * quant.n_chunks, head_dim):
+                raise ValueError(
+                    f"k_plane_arena must be (T, {n_heads * quant.n_chunks}, "
+                    f"{head_dim}), got {k_arena.shape}"
+                )
+            k_arena = k_arena.reshape(
+                k_arena.shape[0], n_heads, quant.n_chunks, head_dim
+            )
+        elif k_arena.ndim != 4 or k_arena.shape[1:] != (
+            n_heads, quant.n_chunks, head_dim
+        ):
+            raise ValueError(
+                f"k_plane_arena must be (T, {n_heads}, {quant.n_chunks}, "
+                f"{head_dim}), got {k_arena.shape}"
+            )
+        segments = np.asarray(segments, dtype=np.int64)
+        if segments.shape != (n_seqs, 2):
+            raise ValueError(
+                f"segments must be ({n_seqs}, 2) (offset, length) rows, "
+                f"got {segments.shape}"
+            )
+        if np.any(segments < 0) or np.any(
+            segments.sum(axis=1) > k_arena.shape[0]
+        ):
+            raise ValueError("segments must lie within the arena")
+        lengths = segments[:, 1].copy()
+        if v_arena is not None:
+            v_arena = np.asarray(v_arena, dtype=np.float64)
+            if v_arena.shape != (k_arena.shape[0], n_heads, head_dim):
+                raise ValueError(
+                    f"v_arena must be ({k_arena.shape[0]}, {n_heads}, "
+                    f"{head_dim}), got {v_arena.shape}"
+                )
+    elif k_planes is not None:
         if len(k_planes) != n_seqs:
             raise ValueError(
                 f"expected {n_seqs} k_planes arrays, got {len(k_planes)}"
@@ -754,14 +953,14 @@ def token_picker_attention_ragged(
         values = _check_value_lengths(
             "values", _check_ragged("values", values, np.float64)
         )
-    has_values = values is not None or v_deq is not None
+    has_values = values is not None or v_deq is not None or v_arena is not None
     if score_bias is not None:
         if len(score_bias) != n_seqs:
             raise ValueError(f"expected {n_seqs} bias arrays, got {len(score_bias)}")
         biases = []
         for s, b in enumerate(score_bias):
             if b is None:
-                biases.append(np.zeros((n_heads, lengths[s])))
+                biases.append(None)
                 continue
             b = np.asarray(b, dtype=np.float64)
             if b.shape != (n_heads, lengths[s]):
@@ -771,7 +970,7 @@ def token_picker_attention_ragged(
                 )
             biases.append(b)
     else:
-        biases = [np.zeros((n_heads, int(t))) for t in lengths]
+        biases = [None] * n_seqs
 
     q_scale = _per_sequence_scales(q_scales, qs, 1, n_seqs, n_heads, quant)
     k_scale = _per_sequence_scales(k_scales, keys, (1, 2), n_seqs, n_heads, quant)
@@ -803,14 +1002,53 @@ def token_picker_attention_ragged(
             results=results, lengths=lengths, pack_order=pack_order
         )
 
-    offsets = np.zeros(len(packed) + 1, dtype=np.int64)
-    offsets[1:] = np.cumsum([lengths[s] for s in packed])
-    total = int(offsets[-1])
-    seq_of_token = np.empty(total, dtype=np.int64)
-    packed_of_token = np.empty(total, dtype=np.int64)
-    for i, s in enumerate(packed):
-        seq_of_token[offsets[i]:offsets[i + 1]] = s
-        packed_of_token[offsets[i]:offsets[i + 1]] = i
+    # ---- packed geometry.  Every live sequence is one contiguous slab on
+    # a flat token axis: list inputs are packed longest-first (gap-free);
+    # arena inputs keep their in-place offsets, with the dead
+    # inter-segment gaps carried by the reduceat boundary table instead of
+    # a repacking copy.  ``seg_ids`` maps slab columns (ascending start)
+    # back to caller sequence indices.
+    if arena_mode:
+        seg_ids = np.array(packed, dtype=np.int64)
+        seg_ids = seg_ids[np.argsort(segments[seg_ids, 0], kind="stable")]
+        starts_abs = segments[seg_ids, 0]
+        ends_abs = starts_abs + segments[seg_ids, 1]
+        if np.any(starts_abs[1:] < ends_abs[:-1]):
+            raise ValueError("arena segments overlap")
+        base = int(starts_abs[0])
+        span_end = int(ends_abs[-1])
+        st = starts_abs - base
+        en = ends_abs - base
+    else:
+        seg_ids = np.array(packed, dtype=np.int64)
+        en = np.cumsum(lengths[seg_ids])
+        st = en - lengths[seg_ids]
+        base, span_end = 0, int(en[-1])
+    n_live = len(seg_ids)
+    total = span_end - base  # flat-axis extent, including arena gaps
+
+    # Interleaved reduceat boundaries: segment i reduces at column 2*i,
+    # the (possibly empty) gap after it at column 2*i + 1.  reduceat's
+    # per-slice fold reads only the slice's own rows, so gap columns cost
+    # their width in streamed bytes but never touch a segment's result.
+    n_cols = 2 * n_live - 1
+    reduce_idx = np.empty(n_cols, dtype=np.intp)
+    reduce_idx[::2] = st
+    reduce_idx[1::2] = en[:-1]
+    widths = np.empty(n_cols, dtype=np.int64)
+    widths[::2] = en - st
+    widths[1::2] = st[1:] - en[:-1]
+    col_seq = np.empty(n_cols, dtype=np.int64)
+    col_seq[::2] = seg_ids
+    col_seq[1::2] = -1
+    seq_idx = np.repeat(col_seq, widths)  # (total,); -1 on arena gaps
+    valid = seq_idx >= 0
+    seq_clip = np.where(valid, seq_idx, 0)
+
+    def take_buf(name, shape, dtype=np.float64):
+        if scratch is not None:
+            return scratch.take(name, shape, dtype)
+        return np.empty(shape, dtype=dtype)
 
     q_codes = np.clip(
         np.rint(qs / q_scale[:, :, None]), quant.qmin, quant.qmax
@@ -819,41 +1057,111 @@ def token_picker_attention_ragged(
 
     from repro.core.margins import margin_pairs_batch
 
-    # Cumulative partial scores ps[t, h, c] over token-major packing
-    # (T, H, d): each sequence is a contiguous slab on the flat token axis.
-    q_tok = q_codes[seq_of_token]  # (T, H, d)
-    if k_planes is not None:
+    mins, maxs = margin_pairs_batch(q_codes, quant)  # (S, H, C+1)
+
+    # ---- cumulative partial-score table ps[c, h, t], exact by
+    # construction.  Plane x query products are bounded by d * 2^(2N-2):
+    # exact in float64 for every practical format (any association order
+    # yields the same integer), with an int64 fallback for wider formats.
+    n_chunks = quant.n_chunks
+    exact_in_float = (
+        2 * quant.total_bits - 2 + max(head_dim - 1, 1).bit_length() <= 52
+    )
+    if arena_mode:
+        planes_view = k_arena[base:span_end]  # (total, H, C, d) digit view
+        # One batched (C, d) x (d, 1) matmul per segment, straight on the
+        # arena view: the query is constant within a segment, so this
+        # avoids gathering a (T, H, d) per-token query table, and exact
+        # integer arithmetic makes the contraction order irrelevant.  The
+        # arena stores *unshifted* digits — each chunk's power-of-two
+        # positional shift is applied after its contraction (an
+        # exponent-only multiply, exactness preserved), which is what
+        # lets a float32 arena carry practical formats at half the
+        # memory traffic.
+        if k_arena.dtype == np.float32:
+            digit_bound = (
+                head_dim * ((1 << quant.chunk_bits) - 1) * quant.qmax
+            )
+            if not (exact_in_float and digit_bound < 2 ** 24):
+                raise ValueError(
+                    "float32 k_plane_arena requires digit contractions "
+                    "exact in float32 (head_dim * digit_max * qmax < 2**24)"
+                )
+            contrib = take_buf(
+                "contrib32", (total, n_heads, n_chunks), np.float32
+            )
+            q_f = q_codes.astype(np.float32)
+        elif exact_in_float:
+            contrib = take_buf("contrib", (total, n_heads, n_chunks))
+            q_f = q_codes.astype(np.float64)
+        else:
+            contrib = take_buf(
+                "contrib_i", (total, n_heads, n_chunks), np.int64
+            )
+            # wide-format fallback: integer accumulation needs an int64
+            # copy of the span (scratch-backed; digits are exact ints, so
+            # the cast is lossless) — unavoidable O(span) work unless the
+            # pool stores int64 digits for such formats
+            planes_i = take_buf(
+                "planes_i", planes_view.shape, np.int64
+            )
+            np.copyto(planes_i, planes_view, casting="unsafe")
+            planes_view = planes_i
+            q_f = q_codes
+        for i in range(n_live):
+            s = int(seg_ids[i])
+            np.matmul(
+                planes_view[st[i]:en[i]],
+                q_f[s][:, :, None],
+                out=contrib[st[i]:en[i], :, :, None],
+            )
+        if not valid.all():  # arena gaps: scrub stale scratch contents
+            contrib[~valid] = 0
+        shifts = np.array(
+            [
+                1 << (quant.total_bits - (c + 1) * quant.chunk_bits)
+                for c in range(n_chunks)
+            ]
+        )
+        if contrib.dtype == np.int64:
+            ps = take_buf("ps_i", (n_chunks, n_heads, total), np.int64)
+            np.multiply(
+                contrib.transpose(2, 1, 0), shifts[:, None, None], out=ps
+            )
+        else:
+            ps = take_buf("ps", (n_chunks, n_heads, total))
+            np.multiply(
+                contrib.transpose(2, 1, 0),
+                shifts.astype(np.float64)[:, None, None],
+                out=ps,
+            )
+        np.cumsum(ps, axis=0, out=ps)
+    elif k_planes is not None:
         # Pre-encoded chunk planes: one dense dot product per chunk, no
-        # per-step requantization or digit extraction.  Plane x query
-        # products are bounded by d * 2^(2N-2), exact in float64 for every
-        # practical format; fall back to integer accumulation otherwise.
-        exact_in_float = (
-            2 * quant.total_bits - 2 + max(head_dim - 1, 1).bit_length() <= 52
-        )
-        contrib = np.empty(
-            (total, n_heads, quant.n_chunks),
-            dtype=np.float64 if exact_in_float else np.int64,
-        )
-        q_tok_f = q_tok.astype(np.float64)
-        for c in range(quant.n_chunks):
+        # per-step requantization or digit extraction.
+        if exact_in_float:
+            q_tok = np.take(q_codes.astype(np.float64), seq_idx, axis=0)
+            ps = np.empty((n_chunks, n_heads, total))
+        else:
+            q_tok = np.take(q_codes, seq_idx, axis=0)
+            ps = np.empty((n_chunks, n_heads, total), dtype=np.int64)
+        for c in range(n_chunks):
             plane_c = np.concatenate(
-                [k_planes[s][:, c].transpose(1, 0, 2) for s in packed], axis=0
+                [k_planes[int(s)][:, c].transpose(1, 0, 2) for s in seg_ids],
+                axis=0,
             )
             if exact_in_float:
-                np.einsum("thd,thd->th", plane_c, q_tok_f, out=contrib[:, :, c])
+                np.einsum("thd,thd->ht", plane_c, q_tok, out=ps[c])
             else:
                 np.einsum(
-                    "thd,thd->th",
-                    plane_c.astype(np.int64),
-                    q_tok,
-                    out=contrib[:, :, c],
+                    "thd,thd->ht", plane_c.astype(np.int64), q_tok, out=ps[c]
                 )
-        ps = np.cumsum(contrib, axis=2)
+        np.cumsum(ps, axis=0, out=ps)
     else:
         packed_keys = np.concatenate(
-            [keys[s].transpose(1, 0, 2) for s in packed], axis=0
+            [keys[int(s)].transpose(1, 0, 2) for s in seg_ids], axis=0
         )
-        k_scale_tok = k_scale[seq_of_token]  # (T, H)
+        k_scale_tok = k_scale[seq_idx]  # (total, H)
         packed_codes = np.clip(
             np.rint(packed_keys / k_scale_tok[:, :, None]),
             quant.qmin,
@@ -865,95 +1173,162 @@ def token_picker_attention_ragged(
         # (T, H, d) once per chunk instead — integer arithmetic
         # throughout, so the scores stay exact.
         pattern = packed_codes & ((1 << quant.total_bits) - 1)  # 2's compl.
-        contrib = np.empty((total, n_heads, quant.n_chunks), dtype=np.int64)
-        chunk_mask = (1 << quant.chunk_bits) - 1
-        for c in range(quant.n_chunks):
+        q_tok = np.take(q_codes, seq_idx, axis=0)
+        ps = np.empty((n_chunks, n_heads, total), dtype=np.int64)
+        for c in range(n_chunks):
             shift = quant.total_bits - (c + 1) * quant.chunk_bits
-            digit = (pattern >> shift) & chunk_mask
-            if c == 0:  # only the sign-carrying first chunk is signed (Eq. 4)
-                sign_threshold = 1 << (quant.chunk_bits - 1)
-                wrap = 1 << quant.chunk_bits
-                digit = np.where(digit >= sign_threshold, digit - wrap, digit)
-            np.einsum(
-                "thd,thd->th", digit << shift, q_tok, out=contrib[:, :, c]
-            )
-        ps = np.cumsum(contrib, axis=2)
-    mins, maxs = margin_pairs_batch(q_codes, quant)  # (S, H, C+1)
+            digit = signed_chunk_digit(pattern, c, quant)
+            np.einsum("thd,thd->ht", digit << shift, q_tok, out=ps[c])
+        np.cumsum(ps, axis=0, out=ps)
 
-    ss_tok = score_scale[seq_of_token]  # (T, H)
-    bias_tok = np.concatenate([biases[s].T for s in packed], axis=0)  # (T, H)
-    scale3 = ss_tok[:, :, None]
-    s_min = ps * scale3 + mins[seq_of_token][:, :, 1:] * scale3 + bias_tok[:, :, None]
-    s_max = ps * scale3 + maxs[seq_of_token][:, :, 1:] * scale3 + bias_tok[:, :, None]
-
-    guard_tok = np.concatenate(
-        [_guard_mask(int(lengths[s]), config.prompt_guard) for s in packed]
+    # ---- per-token broadcast tables and score bounds, head-major (H, T).
+    # Margins are pre-scaled per (sequence, head, chunk) — the same
+    # ``margin * scale`` products the rectangular kernel computes per
+    # token, evaluated once and broadcast.  A zero bias is skipped
+    # entirely: ``x + 0.0`` can only alter the sign of a zero, and the
+    # bound expressions cannot produce -0.0 (their nonzero operands have
+    # magnitude >= the score scale), so skipping stays bit-identical.
+    ss_ht = take_buf("ss", (n_heads, total))
+    np.take(score_scale.T, seq_clip, axis=1, out=ss_ht)
+    no_bias = all(b is None for b in biases)
+    bias_ht = None
+    if not no_bias:
+        bias_ht = take_buf("bias", (n_heads, total))
+        bias_ht.fill(0.0)
+        for i in range(n_live):
+            b_arr = biases[int(seg_ids[i])]
+            if b_arr is not None:
+                bias_ht[:, st[i]:en[i]] = b_arr
+    margin_lo = take_buf("margin_lo", (n_chunks, n_heads, total))
+    margin_hi = take_buf("margin_hi", (n_chunks, n_heads, total))
+    np.take(
+        np.ascontiguousarray(
+            (mins[:, :, 1:] * score_scale[:, :, None]).transpose(2, 1, 0)
+        ),
+        seq_clip, axis=2, out=margin_lo,
     )
+    np.take(
+        np.ascontiguousarray(
+            (maxs[:, :, 1:] * score_scale[:, :, None]).transpose(2, 1, 0)
+        ),
+        seq_clip, axis=2, out=margin_hi,
+    )
+    # same elementwise tree as the rectangular kernel:
+    # (ps * scale + margin * scale) + bias
+    s_min = take_buf("s_min", (n_chunks, n_heads, total))
+    s_max = take_buf("s_max", (n_chunks, n_heads, total))
+    np.multiply(ps, ss_ht, out=s_min)
+    s_min += margin_lo
+    np.multiply(ps, ss_ht, out=s_max)
+    s_max += margin_hi
+    if bias_ht is not None:
+        s_min += bias_ht
+        s_max += bias_ht
+
+    pos = np.arange(total)
+    end_col = np.empty(n_cols, dtype=np.int64)
+    end_col[::2] = en
+    end_col[1::2] = total + config.prompt_guard + 1  # gaps: never guarded
+    guard_t = valid & (
+        pos >= np.repeat(end_col, widths) - config.prompt_guard
+    )
+    _mark("score")
+
+    # ---- breadth rounds.  One reduceat pass computes every sequence's
+    # per-round denominator at once; the folds match the rectangular
+    # kernel's row folds bit for bit, and a sequence whose tokens are all
+    # decided simply stops changing (recomputing its denominator from
+    # unchanged bounds reproduces the frozen value exactly).
     log_thr = config.log_threshold
-    alive = np.ones((total, n_heads), dtype=bool)
-    chunks_fetched = np.zeros((total, n_heads), dtype=np.int64)
-    current_lb = np.full((total, n_heads), -np.inf)
-    log_den = np.full((len(packed), n_heads), -np.inf)
-    seq_alive = np.ones(len(packed), dtype=bool)
+    alive = take_buf("alive", (n_heads, total), bool)
+    alive[:] = valid[None, :]
+    chunks_fetched = take_buf("chunks", (n_heads, total), np.int64)
+    chunks_fetched.fill(0)
+    current_lb = take_buf("lb", (n_heads, total))
+    current_lb.fill(-np.inf)
+    ex = take_buf("ex", (n_heads, total))
+    guard_row = guard_t[None, :]
+    log_den_seg = np.full((n_heads, n_live), -np.inf)
 
-    for b in range(quant.n_chunks):
+    for b in range(n_chunks):
         np.copyto(chunks_fetched, b + 1, where=alive)
-        np.copyto(current_lb, s_min[:, :, b], where=alive)
-        for i in range(len(packed)):
-            if not seq_alive[i]:
-                continue  # denominator is frozen once every token is decided
-            lb_s = np.ascontiguousarray(current_lb[offsets[i]:offsets[i + 1]].T)
-            m = lb_s.max(axis=1)
-            log_den[i] = m + np.log(
-                np.exp(np.clip(lb_s - m[:, None], -700.0, 0.0)).sum(axis=1)
-            )
-        log_den_tok = log_den[packed_of_token]
-        prune_now = (
-            alive
-            & ((s_max[:, :, b] - log_den_tok) <= log_thr)
-            & ~guard_tok[:, None]
+        np.copyto(current_lb, s_min[b], where=alive)
+        m_cols = np.maximum.reduceat(current_lb, reduce_idx, axis=1)
+        m_seg = m_cols[:, ::2]
+        m_tok = np.repeat(
+            np.where(np.isfinite(m_cols), m_cols, 0.0), widths, axis=1
         )
+        np.subtract(current_lb, m_tok, out=ex)
+        np.clip(ex, -700.0, 0.0, out=ex)
+        np.exp(ex, out=ex)
+        den_cols = np.add.reduceat(ex, reduce_idx, axis=1)
+        log_den_seg = m_seg + np.log(den_cols[:, ::2])
+        ld_cols = np.zeros((n_heads, n_cols))
+        ld_cols[:, ::2] = log_den_seg
+        log_den_tok = np.repeat(ld_cols, widths, axis=1)
+        prune_now = alive & ((s_max[b] - log_den_tok) <= log_thr) & ~guard_row
         alive &= ~prune_now
-        for i in range(len(packed)):
-            if seq_alive[i] and not alive[offsets[i]:offsets[i + 1]].any():
-                seq_alive[i] = False
-        if not seq_alive.any():
+        if not alive.any():
             break
+    _mark("prune")
 
-    exact_scores = ps[:, :, -1] * ss_tok + bias_tok  # (T, H)
+    # ---- unpack: masked grouped softmax over the packed (H, T) score
+    # matrix, one segment-reduced weighted-V pass, per-sequence slicing.
+    exact_scores = take_buf("scores", (n_heads, total))
+    np.multiply(ps[-1], ss_ht, out=exact_scores)
+    if bias_ht is not None:
+        exact_scores += bias_ht
 
-    for i, s in enumerate(packed):
-        lo, hi = int(offsets[i]), int(offsets[i + 1])
-        alive_s = np.ascontiguousarray(alive[lo:hi].T)  # (H, t)
-        scores_s = np.ascontiguousarray(exact_scores[lo:hi].T)
-        probs = np.zeros_like(scores_s)
-        for h in range(n_heads):
-            if alive_s[h].any():
-                kept_scores = scores_s[h, alive_s[h]]
-                mh = kept_scores.max()
-                e = np.exp(kept_scores - mh)
-                probs[h, alive_s[h]] = e / e.sum()
-        outputs = None
-        if has_values:
-            if v_deq is not None:
-                v_s = v_deq[s]
-            else:
-                vsc = v_scale[s][:, None, None]
-                v_s = (
-                    np.clip(np.rint(values[s] / vsc), quant.qmin, quant.qmax)
-                    * vsc
-                )
-            outputs = np.einsum("ht,htd->hd", probs, v_s)
+    probs_ht = take_buf("probs", (n_heads, total))
+    probs_ht.fill(0.0)
+    kept_counts = np.add.reduceat(
+        alive.astype(np.int64), reduce_idx, axis=1
+    )[:, ::2]  # (H, n_live) kept tokens per (head, segment)
+    bounds = np.zeros(n_heads * n_live + 1, dtype=np.intp)
+    np.cumsum(kept_counts.ravel(), out=bounds[1:])
+    flat = exact_scores[alive]
+    flat_probs = _grouped_softmax(flat, bounds)
+    if flat.size:
+        probs_ht[alive] = flat_probs
+
+    outs = None
+    if has_values:
+        if arena_mode:
+            v_tok = v_arena[base:span_end]  # (total, H, d) view
+        elif v_deq is not None:
+            v_tok = np.concatenate(
+                [v_deq[int(s)].transpose(1, 0, 2) for s in seg_ids], axis=0
+            )
+        else:
+            v_raw = np.concatenate(
+                [values[int(s)].transpose(1, 0, 2) for s in seg_ids], axis=0
+            )
+            vsc_tok = v_scale[seq_idx][:, :, None]  # (total, H, 1)
+            v_tok = (
+                np.clip(np.rint(v_raw / vsc_tok), quant.qmin, quant.qmax)
+                * vsc_tok
+            )
+        # gather only the *kept* tokens' V rows (keep fraction of the
+        # cache) — the step-1 AV the hardware actually fetches
+        v_flat = v_tok.transpose(1, 0, 2)[alive]
+        outs = _grouped_weighted_v(
+            flat_probs, v_flat, bounds, head_dim
+        ).reshape(n_heads, n_live, head_dim)
+
+    for i in range(n_live):
+        s = int(seg_ids[i])
+        lo, hi = int(st[i]), int(en[i])
         results[s] = BatchedPickerResult(
-            kept=alive_s,
-            chunks_fetched=np.ascontiguousarray(chunks_fetched[lo:hi].T),
-            scores=scores_s,
-            probs=probs,
-            outputs=outputs,
-            log_denominators=log_den[i].copy(),
+            kept=alive[:, lo:hi].copy(),
+            chunks_fetched=chunks_fetched[:, lo:hi].copy(),
+            scores=exact_scores[:, lo:hi].copy(),
+            probs=probs_ht[:, lo:hi].copy(),
+            outputs=outs[:, i].copy() if outs is not None else None,
+            log_denominators=log_den_seg[:, i].copy(),
             quant=quant,
             head_dim=head_dim,
         )
+    _mark("unpack")
 
     return RaggedPickerResult(results=results, lengths=lengths, pack_order=pack_order)
 

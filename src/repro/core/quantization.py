@@ -178,6 +178,27 @@ def partial_values(
     return (signed_high << shift).astype(np.int64)
 
 
+def signed_chunk_digit(
+    pattern: np.ndarray, c: int, config: QuantConfig
+) -> np.ndarray:
+    """The ``c``-th MSB-first chunk digit of a two's-complement pattern.
+
+    ``pattern`` is the unsigned bit pattern (:func:`to_unsigned`).  Chunk 0
+    carries the sign bit, so its digit is sign-extended to its signed
+    value (Eq. 4); chunks 1.. are the raw non-negative digits.  This is
+    the one place the signedness rule lives — the serving engine's arena
+    encoder and the fused kernel's raw-keys path both build their digits
+    here.
+    """
+    shift = config.total_bits - (c + 1) * config.chunk_bits
+    digit = (pattern >> shift) & ((1 << config.chunk_bits) - 1)
+    if c == 0:
+        sign_threshold = 1 << (config.chunk_bits - 1)
+        wrap = 1 << config.chunk_bits
+        digit = np.where(digit >= sign_threshold, digit - wrap, digit)
+    return digit
+
+
 def chunk_plane_values(values: np.ndarray, config: QuantConfig) -> np.ndarray:
     """Per-chunk *incremental* signed contributions.
 
@@ -191,15 +212,9 @@ def chunk_plane_values(values: np.ndarray, config: QuantConfig) -> np.ndarray:
     """
     pattern = to_unsigned(values, config)
     planes = np.empty(pattern.shape + (config.n_chunks,), dtype=np.int64)
-    mask = (1 << config.chunk_bits) - 1
     for c in range(config.n_chunks):
         shift = config.total_bits - (c + 1) * config.chunk_bits
-        digit = (pattern >> shift) & mask
-        if c == 0:
-            sign_threshold = 1 << (config.chunk_bits - 1)
-            wrap = 1 << config.chunk_bits
-            digit = np.where(digit >= sign_threshold, digit - wrap, digit)
-        planes[..., c] = digit << shift
+        planes[..., c] = signed_chunk_digit(pattern, c, config) << shift
     return planes
 
 

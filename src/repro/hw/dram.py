@@ -121,3 +121,26 @@ def streaming_cycles(
         return 0
     per_channel = -(-total_bytes // n_channels)
     return latency_cycles + -(-per_channel // bytes_per_cycle)
+
+
+def streaming_cycles_batch(
+    n_bytes: np.ndarray,
+    n_channels: int = 8,
+    bytes_per_cycle: int = 64,
+    latency_cycles: int = 24,
+) -> np.ndarray:
+    """Vectorised :func:`streaming_cycles` over an array of transfer sizes.
+
+    Same integer arithmetic element-for-element — the batched serving
+    simulator charges every sequence's private KV stream its own latency
+    tail in one call instead of a Python loop.
+    """
+    n_bytes = np.asarray(n_bytes, dtype=np.int64)
+    if np.any(n_bytes < 0):
+        raise ValueError("n_bytes must be >= 0")
+    per_channel = -(-n_bytes // n_channels)
+    return np.where(
+        n_bytes > 0,
+        latency_cycles + -(-per_channel // bytes_per_cycle),
+        0,
+    )

@@ -16,7 +16,6 @@ dominate the step.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
@@ -25,7 +24,7 @@ import numpy as np
 from repro.core.config import TokenPickerConfig
 from repro.core.pruning import PruneStats
 from repro.hw.accelerator import ToPickAccelerator
-from repro.hw.dram import streaming_cycles
+from repro.hw.dram import streaming_cycles, streaming_cycles_batch
 from repro.hw.params import HardwareParams
 from repro.model.config import ModelConfig
 from repro.workloads.scores import sample_workload
@@ -147,20 +146,29 @@ class ServingSimulator:
             if engine_heads < 1:
                 raise ValueError("engine_heads must be >= 1")
             head_scale = self.model.n_heads / engine_heads
-        attention_cycles = 0
-        for stats in per_sequence:
-            bits = (
+        # each sequence's private KV stream is charged its own latency
+        # tail (private KV traffic does not batch), all in one vectorised
+        # streaming-cycles call
+        bits = np.array(
+            [
                 stats.baseline_total_bits
                 if variant == "baseline"
                 else stats.total_bits_fetched
-            )
-            n_bytes = int(math.ceil(bits * head_scale * self.model.n_layers / 8))
-            attention_cycles += streaming_cycles(
+                for stats in per_sequence
+            ],
+            dtype=np.float64,
+        )
+        n_bytes = np.ceil(bits * head_scale * self.model.n_layers / 8).astype(
+            np.int64
+        )
+        attention_cycles = int(
+            streaming_cycles_batch(
                 n_bytes,
                 self.hw.n_channels,
                 self.hw.channel_bytes_per_cycle,
                 self.hw.dram_latency_cycles,
-            )
+            ).sum()
+        )
         return ServingStepResult(
             variant=variant,
             batch_size=len(per_sequence),

@@ -24,6 +24,7 @@ back-compat surface the session adapter uses.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -32,10 +33,11 @@ import numpy as np
 from repro.core.config import TokenPickerConfig
 from repro.core.pruning import (
     BatchedPickerResult,
+    KernelScratch,
     PruneStats,
     token_picker_attention_ragged,
 )
-from repro.core.quantization import chunk_plane_values
+from repro.core.quantization import signed_chunk_digit
 from repro.model.attention import AccessCounter
 from repro.serving.kv_pool import (
     KVCachePool,
@@ -53,30 +55,36 @@ from repro.serving.request import (
 from repro.serving.scheduler import Scheduler
 
 
-def _encode_kv(keys, values, scales: SequenceScales, quant):
+def _encode_kv_into(
+    keys, values, scales: SequenceScales, quant, k_out, v_out
+) -> None:
     """Frozen-scale encoding applied once, when a token enters the pool.
 
-    K is quantized and decomposed into its MSB-first chunk planes — the
-    representation the paper's DRAM layout streams — flattened to
-    ``(H * n_chunks, n, d)`` pseudo-heads for pool storage (float64 holds
-    the integer plane values exactly).  V is stored quantize-dequantized.
-    Both are elementwise identical to what the kernel would re-derive from
-    the raw floats at every later step, so storing them loses nothing and
-    saves the per-step requantization of the whole cache.
+    K is quantized and decomposed into its MSB-first chunk *digits* — the
+    representation the paper's DRAM layout streams — written straight
+    into the arena's token-major ``(n, H * n_chunks, d)`` rows.  Digits
+    are stored unshifted (the fused kernel applies each chunk's
+    power-of-two positional shift after its contraction), so they fit the
+    arena's float32 storage exactly for practical formats.  V is stored
+    quantize-dequantized.  Both are elementwise identical to what the
+    kernel would re-derive from the raw floats at every later step, so
+    storing them loses nothing and saves the per-step requantization of
+    the whole cache.
     """
+    n_heads, n, head_dim = keys.shape
     k_codes = np.clip(
         np.rint(keys / scales.k_scale[:, None, None]), quant.qmin, quant.qmax
     ).astype(np.int64)
-    planes = chunk_plane_values(k_codes, quant)  # (H, n, d, C)
-    n_heads, n, head_dim = keys.shape
-    planes = (
-        planes.transpose(0, 3, 1, 2)  # (H, C, n, d), head-major
-        .reshape(n_heads * quant.n_chunks, n, head_dim)
-        .astype(np.float64)
-    )
+    pattern = k_codes & ((1 << quant.total_bits) - 1)  # 2's complement
+    k3 = k_out.reshape(n, n_heads, quant.n_chunks, head_dim)
+    for c in range(quant.n_chunks):
+        k3[:, :, c, :] = signed_chunk_digit(pattern, c, quant).transpose(
+            1, 0, 2
+        )
     vsc = scales.v_scale[:, None, None]
-    v_deq = np.clip(np.rint(values / vsc), quant.qmin, quant.qmax) * vsc
-    return planes, v_deq
+    v_out[:] = (
+        np.clip(np.rint(values / vsc), quant.qmin, quant.qmax) * vsc
+    ).transpose(1, 0, 2)
 
 
 @dataclass(frozen=True)
@@ -110,6 +118,11 @@ class EngineStepReport:
     per_sequence: Dict[int, SequenceStepView] = field(default_factory=dict)
     results: Dict[int, BatchedPickerResult] = field(default_factory=dict)
     ragged_utilization: float = 1.0
+    #: wall-clock seconds by phase: "pack" (draw/encode/append), "score"
+    #: (partial-score table + bounds), "prune" (breadth rounds), "unpack"
+    #: (softmax/outputs/slicing + accounting) — the serve-sim ``--profile``
+    #: and benchmark breakdowns read this
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def batch_size(self) -> int:
@@ -158,6 +171,7 @@ class ServingEngine:
         self._block_size = block_size
         self._seed = seed
         self.pool: Optional[KVCachePool] = None  # built on first pooled admit
+        self._scratch = KernelScratch()  # fused-kernel work arrays, reused
         self.counter = AccessCounter()  # engine-wide aggregate
         self.completed: List[CompletedRequest] = []
         self._active: Dict[int, _ActiveSequence] = {}
@@ -214,14 +228,31 @@ class ServingEngine:
 
     def _ensure_pool(self, request: GenerationRequest) -> KVCachePool:
         if self.pool is None:
+            quant = self.config.quant
+            # unshifted chunk digits contract exactly in float32 when
+            # every partial sum stays below 2**24; otherwise fall back to
+            # float64 digit storage (the kernel re-checks both gates)
+            digit_bound = (
+                request.head_dim * ((1 << quant.chunk_bits) - 1) * quant.qmax
+            )
+            exact64 = (
+                2 * quant.total_bits - 2
+                + max(request.head_dim - 1, 1).bit_length()
+                <= 52
+            )
             self.pool = KVCachePool(
                 n_heads=request.n_heads,
                 head_dim=request.head_dim,
                 capacity_tokens=self._capacity_tokens,
                 block_size=self._block_size,
-                # K channel holds the chunk-plane decomposition (what the
-                # accelerator's DRAM layout streams): C planes per head
+                # K channel holds the chunk-digit decomposition (what the
+                # accelerator's DRAM layout streams): C digits per head
                 k_heads=request.n_heads * self.config.quant.n_chunks,
+                k_dtype=(
+                    np.float32
+                    if exact64 and digit_bound < 2 ** 24
+                    else np.float64
+                ),
             )
         elif (
             self.pool.n_heads != request.n_heads
@@ -248,10 +279,15 @@ class ServingEngine:
         # reserve the full lifetime footprint so decode can never hit
         # PoolExhausted mid-flight (the scheduler's admission contract)
         pool.register(seq_id, scales=scales, reserve_tokens=request.total_tokens)
-        k_planes, v_dq = _encode_kv(
-            request.prompt_keys, request.prompt_values, scales, self.config.quant
+        k_slots, v_slots = pool.append_slots(seq_id, request.prompt_tokens)
+        _encode_kv_into(
+            request.prompt_keys,
+            request.prompt_values,
+            scales,
+            self.config.quant,
+            k_slots,
+            v_slots,
         )
-        pool.append(seq_id, k_planes, v_dq)
         stats = RequestStats(
             prompt_tokens=request.prompt_tokens,
             submitted_step=self._submitted_at.pop(
@@ -295,53 +331,74 @@ class ServingEngine:
             self._step_index += 1
             return report
 
-        # Draw every sequence's new token, count clips, grow the cache.
-        inputs: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
-        for entry in pooled:
-            q, k_t, v_t = entry.step_source(entry.stats.generated_tokens)
-            q = np.asarray(q, dtype=np.float64)
-            k_t = np.asarray(k_t, dtype=np.float64)
-            v_t = np.asarray(v_t, dtype=np.float64)
-            quant = self.config.quant
-            entry.stats.clip_events += count_clips(q, entry.scales.q_scale, quant)
-            entry.stats.clip_events += count_clips(k_t, entry.scales.k_scale, quant)
-            entry.stats.clip_events += count_clips(v_t, entry.scales.v_scale, quant)
-            # the pool holds what DRAM holds: the frozen-scale chunk-plane
-            # encoding, written once per token
-            k_plane, v_dq = _encode_kv(
-                k_t[:, None, :], v_t[:, None, :], entry.scales, quant
-            )
-            self.pool.append(entry.seq_id, k_plane, v_dq)
-            planes_flat, v_view = self.pool.view(entry.seq_id)
-            t = planes_flat.shape[1]
-            inputs[entry.seq_id] = (
-                q,
-                planes_flat.reshape(-1, quant.n_chunks, t, planes_flat.shape[2]),
-                v_view,
-            )
-
-        order = Scheduler.pack_order(
-            {sid: inputs[sid][1].shape[2] for sid in inputs}
+        # ---- pack: draw every sequence's new token, count clips against
+        # the frozen calibration window, encode once and append in place.
+        t_mark = time.perf_counter()
+        quant = self.config.quant
+        n = len(pooled)
+        n_heads, head_dim = self.pool.n_heads, self.pool.head_dim
+        qs = np.empty((n, n_heads, head_dim))
+        k_t = np.empty((n, n_heads, head_dim))
+        v_t = np.empty((n, n_heads, head_dim))
+        for i, entry in enumerate(pooled):
+            q_i, k_i, v_i = entry.step_source(entry.stats.generated_tokens)
+            qs[i], k_t[i], v_t[i] = q_i, k_i, v_i
+        q_scales = np.stack([e.scales.q_scale for e in pooled])
+        k_scales = np.stack([e.scales.k_scale for e in pooled])
+        v_scales = np.stack([e.scales.v_scale for e in pooled])
+        clip_counts = (
+            (np.abs(qs) > (q_scales * quant.qmax)[:, :, None]).sum(axis=(1, 2))
+            + (np.abs(k_t) > (k_scales * quant.qmax)[:, :, None]).sum(axis=(1, 2))
+            + (np.abs(v_t) > (v_scales * quant.qmax)[:, :, None]).sum(axis=(1, 2))
         )
-        entries = [self._active[sid] for sid in order]
-        results = self._fused(
-            entries,
-            qs=np.stack([inputs[sid][0] for sid in order]),
-            k_planes=[inputs[sid][1] for sid in order],
-            v_deq=[inputs[sid][2] for sid in order],
+        for entry, clips in zip(pooled, clip_counts):
+            entry.stats.clip_events += int(clips)
+        # the pool holds what DRAM holds: the frozen-scale chunk-digit
+        # encoding, written once per token — one batched encode, one
+        # scatter into the arena
+        k_codes = np.clip(
+            np.rint(k_t / k_scales[:, :, None]), quant.qmin, quant.qmax
+        ).astype(np.int64)
+        pattern = k_codes & ((1 << quant.total_bits) - 1)  # 2's complement
+        k_rows = np.empty((n, n_heads, quant.n_chunks, head_dim))
+        for c in range(quant.n_chunks):
+            k_rows[:, :, c, :] = signed_chunk_digit(pattern, c, quant)
+        k_rows = k_rows.reshape(n, n_heads * quant.n_chunks, head_dim)
+        vsc = v_scales[:, :, None]
+        v_rows = np.clip(np.rint(v_t / vsc), quant.qmin, quant.qmax) * vsc
+        seq_ids = [e.seq_id for e in pooled]
+        self.pool.append_rows(seq_ids, k_rows, v_rows)
+        segments = self.pool.segments_of(seq_ids)
+        report.phase_seconds["pack"] = time.perf_counter() - t_mark
+
+        # ---- one fused kernel call straight on the arena: the segment
+        # table is the only per-step metadata, no packing copies
+        ragged = token_picker_attention_ragged(
+            qs,
+            None,
+            None,
+            self.config,
+            q_scales=q_scales,
+            k_scales=k_scales,
+            k_plane_arena=self.pool.k_arena,
+            v_arena=self.pool.v_arena,
+            segments=segments,
+            scratch=self._scratch,
+            phase_times=report.phase_seconds,
         )
         report.ragged_utilization = Scheduler.ragged_utilization(
-            [inputs[sid][1].shape[2] for sid in order]
+            segments[:, 1].tolist()
         )
 
-        for entry in pooled:
-            result, step_stats = results[entry.seq_id]
+        t_mark = time.perf_counter()
+        step_stats = self._account(pooled, ragged.results, instances=n_heads)
+        for entry, result, stats in zip(pooled, ragged.results, step_stats):
             report.results[entry.seq_id] = result
             report.per_sequence[entry.seq_id] = SequenceStepView(
                 seq_id=entry.seq_id,
                 request_id=entry.request.request_id if entry.request else None,
                 context_length=self.pool.length(entry.seq_id),
-                stats=step_stats,
+                stats=stats,
             )
             entry.stats.generated_tokens += 1
             entry.remaining -= 1
@@ -355,6 +412,11 @@ class ServingEngine:
                 report.retired.append(done)
                 del self._active[entry.seq_id]
         self.scheduler.note_retired(len(report.retired))
+        report.phase_seconds["unpack"] = (
+            report.phase_seconds.get("unpack", 0.0)
+            + time.perf_counter()
+            - t_mark
+        )
         self._step_index += 1
         return report
 
@@ -369,6 +431,47 @@ class ServingEngine:
             raise RuntimeError(f"engine not drained after {max_steps} steps")
         return reports
 
+    def _account(
+        self,
+        entries: Sequence[_ActiveSequence],
+        results: Sequence[BatchedPickerResult],
+        instances: int,
+    ) -> List[PruneStats]:
+        """Per-sequence + engine-wide traffic accounting for one step.
+
+        Per-request counters are distinct objects, so each takes its own
+        update; the engine-wide aggregate is applied once from the batch
+        totals rather than once per sequence.
+        """
+        step_stats: List[PruneStats] = []
+        totals = [0, 0, 0, 0, 0, 0]
+        for entry, result in zip(entries, results):
+            stats = result.stats()
+            counter = entry.stats.counter
+            counter.k_bits += stats.k_bits_fetched
+            counter.v_bits += stats.v_bits_fetched
+            counter.baseline_k_bits += stats.baseline_k_bits
+            counter.baseline_v_bits += stats.baseline_v_bits
+            counter.instances += instances
+            counter.tokens_seen += stats.n_tokens
+            counter.tokens_kept += stats.n_kept
+            totals[0] += stats.k_bits_fetched
+            totals[1] += stats.v_bits_fetched
+            totals[2] += stats.baseline_k_bits
+            totals[3] += stats.baseline_v_bits
+            totals[4] += stats.n_tokens
+            totals[5] += stats.n_kept
+            entry.steps += 1
+            step_stats.append(stats)
+        self.counter.k_bits += totals[0]
+        self.counter.v_bits += totals[1]
+        self.counter.baseline_k_bits += totals[2]
+        self.counter.baseline_v_bits += totals[3]
+        self.counter.instances += instances * len(step_stats)
+        self.counter.tokens_seen += totals[4]
+        self.counter.tokens_kept += totals[5]
+        return step_stats
+
     def _fused(
         self,
         entries: Sequence[_ActiveSequence],
@@ -379,7 +482,7 @@ class ServingEngine:
         v_deq: Optional[List[np.ndarray]] = None,
         score_bias: Optional[List[Optional[np.ndarray]]] = None,
     ) -> Dict[int, Tuple[BatchedPickerResult, PruneStats]]:
-        """Shared fused-kernel call + traffic accounting for both modes."""
+        """Shared fused-kernel call + traffic accounting (list inputs)."""
         ragged = token_picker_attention_ragged(
             qs,
             keys,
@@ -391,21 +494,13 @@ class ServingEngine:
             v_scales=np.stack([e.scales.v_scale for e in entries]),
             k_planes=k_planes,
             v_deq=v_deq,
+            scratch=self._scratch,
         )
-        out: Dict[int, Tuple[BatchedPickerResult, PruneStats]] = {}
-        for entry, result in zip(entries, ragged.results):
-            stats = result.stats()
-            for counter in (entry.stats.counter, self.counter):
-                counter.k_bits += stats.k_bits_fetched
-                counter.v_bits += stats.v_bits_fetched
-                counter.baseline_k_bits += stats.baseline_k_bits
-                counter.baseline_v_bits += stats.baseline_v_bits
-                counter.instances += qs.shape[1]
-                counter.tokens_seen += stats.n_tokens
-                counter.tokens_kept += stats.n_kept
-            entry.steps += 1
-            out[entry.seq_id] = (result, stats)
-        return out
+        step_stats = self._account(entries, ragged.results, instances=qs.shape[1])
+        return {
+            entry.seq_id: (result, stats)
+            for entry, result, stats in zip(entries, ragged.results, step_stats)
+        }
 
     # ----------------------------------------------------- external-KV mode
     def admit_external(

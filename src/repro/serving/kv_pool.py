@@ -1,11 +1,19 @@
-"""Block-pooled (paged) KV cache shared by every active sequence.
+"""Packed token-major KV arena shared by every active sequence.
 
-The engine stores all sequences' keys/values in one preallocated pool of
-fixed-size token blocks — the software analogue of a paged KV cache with a
-block table per sequence.  Sequences allocate blocks as they grow, never
-contiguously; :meth:`KVCachePool.view` gathers a sequence's logical
-(H, t, d) tensors for the fused kernel, and retirement returns the blocks
-to the free list.  Alongside the storage, the pool carries
+The engine stores all sequences' keys/values in one preallocated
+**token-major arena** — contiguous ``(T_cap, H*C, d)`` chunk-plane and
+``(T_cap, H, d)`` dequantized-V planes — with a per-sequence ``(offset,
+length)`` segment table.  A sequence occupies one contiguous run of arena
+rows, appended *in place*: a decode step writes exactly one new row per
+sequence and the fused ragged kernel then computes directly on views of
+the arena (``segments`` locate each slab), so the hot path performs zero
+packing copies.  Space is managed in fixed-size token blocks by a
+first-fit hole allocator with coalescing — the accounting granularity of
+the old paged pool — and a sequence that outgrows its run is relocated
+(realloc-style); reserving the lifetime footprint up front (what the
+engine's admission control does) makes relocation impossible mid-flight.
+
+Alongside the storage, the pool carries
 
 * the **frozen per-sequence quantization scales** (:class:`SequenceScales`,
   fixed once at prompt/prefill time — Sec. 4's deployment constraint: the
@@ -16,8 +24,8 @@ to the free list.  Alongside the storage, the pool carries
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -72,33 +80,30 @@ def count_clips(x: np.ndarray, scale: np.ndarray, quant: QuantConfig) -> int:
 
 
 class PoolExhausted(RuntimeError):
-    """Raised when an allocation cannot be satisfied from the free list."""
+    """Raised when an allocation cannot be satisfied from the hole list."""
 
 
 @dataclass
 class _SequenceEntry:
-    """Block table + logical length of one pooled sequence."""
+    """Arena segment + logical length of one pooled sequence."""
 
-    blocks: List[int] = field(default_factory=list)
-    length: int = 0
+    offset_blocks: int = -1  # -1: no arena run allocated yet
+    capacity_blocks: int = 0
+    length: int = 0  # tokens written
     scales: Optional[SequenceScales] = None
     reserved_blocks: int = 0  # lifetime budget admission promised this seq
-    # contiguous staging mirror for :meth:`KVCachePool.view` — grown
-    # amortised, filled incrementally (only tokens newer than staged)
-    stage_k: Optional[np.ndarray] = None
-    stage_v: Optional[np.ndarray] = None
-    staged: int = 0
 
 
 class KVCachePool:
-    """Fixed-capacity paged KV storage with per-sequence logical views.
+    """Fixed-capacity packed KV arena with per-sequence contiguous runs.
 
-    One K and one V array of shape ``(n_blocks, H, block_size, d)`` back
-    every sequence; a per-sequence block table maps logical token positions
-    to (block, slot) pairs.  All writes are copies into pool storage;
-    :meth:`view` serves gathered, *read-only* contiguous mirrors (staged
-    incrementally, so a decode step pays for its new tokens only), and a
-    freed sequence's mirror is dropped with its blocks.
+    One token-major K-plane array ``(T_cap, k_heads, d)`` and one V array
+    ``(T_cap, n_heads, d)`` back every sequence; the segment table maps a
+    sequence to its contiguous ``(offset, length)`` row run.  Appends
+    write rows in place; :meth:`view` serves zero-copy read-only
+    ``(H, t, d)`` transposed views, and :meth:`segments_of` hands the
+    fused kernel the raw segment table so it can compute on arena views
+    directly.  Freed runs return to a coalescing first-fit hole list.
     """
 
     def __init__(
@@ -108,10 +113,14 @@ class KVCachePool:
         capacity_tokens: int = 8192,
         block_size: int = 16,
         k_heads: Optional[int] = None,
+        k_dtype=np.float64,
     ) -> None:
         """``k_heads`` lets the K channel carry a different leading axis
         than V — e.g. the engine stores chunk-plane-decomposed keys as
-        ``n_heads * n_chunks`` pseudo-heads while V keeps ``n_heads``."""
+        ``n_heads * n_chunks`` pseudo-heads while V keeps ``n_heads``.
+        ``k_dtype`` sets the K-channel storage width: the engine stores
+        *unshifted* chunk digits, which fit float32 exactly for practical
+        formats — halving the fused kernel's arena traffic."""
         if n_heads < 1 or head_dim < 1:
             raise ValueError("n_heads and head_dim must be >= 1")
         if block_size < 1:
@@ -128,9 +137,14 @@ class KVCachePool:
             raise ValueError("k_heads must be >= 1")
         self.block_size = block_size
         self.n_blocks = capacity_tokens // block_size
-        self._k = np.zeros((self.n_blocks, self.k_heads, block_size, head_dim))
-        self._v = np.zeros((self.n_blocks, n_heads, block_size, head_dim))
-        self._free: List[int] = list(range(self.n_blocks - 1, -1, -1))
+        # token-major arena planes: row t is one token's (heads, d) slab
+        self._k = np.zeros(
+            (self.n_blocks * block_size, self.k_heads, head_dim),
+            dtype=k_dtype,
+        )
+        self._v = np.zeros((self.n_blocks * block_size, n_heads, head_dim))
+        # hole list in block units, sorted by offset, coalesced
+        self._holes: List[Tuple[int, int]] = [(0, self.n_blocks)]
         self._seqs: Dict[int, _SequenceEntry] = {}
         # eviction accounting
         self.blocks_allocated_total = 0
@@ -143,12 +157,17 @@ class KVCachePool:
         return self.n_blocks * self.block_size
 
     @property
-    def blocks_in_use(self) -> int:
-        return self.n_blocks - len(self._free)
+    def blocks_free(self) -> int:
+        return sum(size for _, size in self._holes)
 
     @property
-    def blocks_free(self) -> int:
-        return len(self._free)
+    def blocks_in_use(self) -> int:
+        return self.n_blocks - self.blocks_free
+
+    @property
+    def largest_hole_blocks(self) -> int:
+        """Largest contiguous free run (what a new segment can claim)."""
+        return max((size for _, size in self._holes), default=0)
 
     @property
     def tokens_cached(self) -> int:
@@ -168,22 +187,131 @@ class KVCachePool:
 
     @property
     def outstanding_reserved_blocks(self) -> int:
-        """Blocks promised to live sequences but not yet allocated."""
+        """Blocks promised to live sequences but not yet backed by a run.
+
+        Reservations are materialised as arena runs at :meth:`register`
+        time, so this is normally zero — kept for capacity dashboards
+        that watched the paged pool's lazy reservations.
+        """
         return sum(
-            max(0, e.reserved_blocks - len(e.blocks))
+            max(0, e.reserved_blocks - e.capacity_blocks)
             for e in self._seqs.values()
         )
 
     def can_fit(self, n_tokens: int) -> bool:
         """Whether a *new* sequence of ``n_tokens`` lifetime fits right now.
 
-        Counts free blocks net of every live sequence's unallocated
-        reservation, so admitting on this check can never starve an
-        already-admitted sequence's growth.
+        The arena needs one contiguous run, so this checks the largest
+        hole; reservations are already carved out of the hole list, so
+        admitting on this check can never starve an admitted sequence's
+        growth.
         """
-        return self.blocks_needed(n_tokens) <= (
-            self.blocks_free - self.outstanding_reserved_blocks
+        return self.blocks_needed(n_tokens) <= self.largest_hole_blocks
+
+    # ------------------------------------------------------------- allocation
+    def _alloc(self, blocks: int) -> int:
+        """First-fit: claim ``blocks`` contiguous blocks, return the offset."""
+        for i, (start, size) in enumerate(self._holes):
+            if size >= blocks:
+                if size == blocks:
+                    del self._holes[i]
+                else:
+                    self._holes[i] = (start + blocks, size - blocks)
+                self.blocks_allocated_total += blocks
+                self.peak_blocks_in_use = max(
+                    self.peak_blocks_in_use, self.blocks_in_use
+                )
+                return start
+        raise PoolExhausted(
+            f"no contiguous run of {blocks} blocks "
+            f"(largest hole: {self.largest_hole_blocks})"
         )
+
+    def _release(self, start: int, size: int) -> None:
+        """Return a run to the hole list, coalescing with neighbours."""
+        if size <= 0:
+            return
+        holes = self._holes
+        lo, hi = 0, len(holes)
+        while lo < hi:  # insertion point by offset
+            mid = (lo + hi) // 2
+            if holes[mid][0] < start:
+                lo = mid + 1
+            else:
+                hi = mid
+        holes.insert(lo, (start, size))
+        if lo + 1 < len(holes) and start + size == holes[lo + 1][0]:
+            holes[lo] = (start, size + holes[lo + 1][1])
+            del holes[lo + 1]
+            start, size = holes[lo]
+        if lo > 0 and holes[lo - 1][0] + holes[lo - 1][1] == start:
+            holes[lo - 1] = (holes[lo - 1][0], holes[lo - 1][1] + size)
+            del holes[lo]
+
+    def _extend_in_place(self, entry: _SequenceEntry, grow: int) -> bool:
+        """Consume a hole that starts exactly at the run's end, if any."""
+        run_end = entry.offset_blocks + entry.capacity_blocks
+        for i, (start, size) in enumerate(self._holes):
+            if start == run_end and size >= grow:
+                if size == grow:
+                    del self._holes[i]
+                else:
+                    self._holes[i] = (start + grow, size - grow)
+                entry.capacity_blocks += grow
+                self.blocks_allocated_total += grow
+                self.peak_blocks_in_use = max(
+                    self.peak_blocks_in_use, self.blocks_in_use
+                )
+                return True
+            if start > run_end:
+                break
+        return False
+
+    def _grow(self, entry: _SequenceEntry, needed_blocks: int) -> None:
+        """Ensure the entry's run holds ``needed_blocks``, relocating if
+        necessary; raises :class:`PoolExhausted` leaving state unchanged."""
+        if entry.offset_blocks < 0:
+            blocks = max(needed_blocks, entry.reserved_blocks)
+            entry.offset_blocks = self._alloc(blocks)
+            entry.capacity_blocks = blocks
+            return
+        grow = needed_blocks - entry.capacity_blocks
+        if grow <= 0 or self._extend_in_place(entry, grow):
+            return
+        # Relocate (realloc): a hole must fit the grown run once the old
+        # run is released, so search the hypothetical hole list first and
+        # only then commit the copy.  Reserved-lifetime sequences never
+        # reach this point — their run was sized up front.
+        old_off, old_cap = entry.offset_blocks, entry.capacity_blocks
+        fits_direct = any(size >= needed_blocks for _, size in self._holes)
+        if not fits_direct:
+            merged = sorted(self._holes + [(old_off, old_cap)])
+            best = 0
+            run_start, run_size = merged[0]
+            for start, size in merged[1:]:
+                if start == run_start + run_size:
+                    run_size += size
+                else:
+                    best = max(best, run_size)
+                    run_start, run_size = start, size
+            best = max(best, run_size)
+            if best < needed_blocks:
+                raise PoolExhausted(
+                    f"no contiguous run of {needed_blocks} blocks even after "
+                    f"compacting this sequence (largest: {best})"
+                )
+        bs = self.block_size
+        lo = old_off * bs
+        k_rows = self._k[lo:lo + entry.length].copy()
+        v_rows = self._v[lo:lo + entry.length].copy()
+        self._release(old_off, old_cap)
+        self.blocks_freed_total += old_cap
+        new_off = self._alloc(needed_blocks)
+        entry.offset_blocks = new_off
+        entry.capacity_blocks = needed_blocks
+        dst = new_off * bs
+        self._k[dst:dst + entry.length] = k_rows
+        self._v[dst:dst + entry.length] = v_rows
 
     # ------------------------------------------------------------- lifecycle
     def register(
@@ -192,25 +320,26 @@ class KVCachePool:
         scales: Optional[SequenceScales] = None,
         reserve_tokens: int = 0,
     ) -> None:
-        """Create an empty sequence entry (its frozen scales travel here).
+        """Create a sequence entry (its frozen scales travel here).
 
-        ``reserve_tokens`` earmarks the sequence's lifetime block budget:
-        blocks are still allocated lazily as tokens arrive, but the
-        reservation is held out of :meth:`can_fit` and other sequences'
-        growth headroom until this sequence is freed.
+        ``reserve_tokens`` sizes the sequence's lifetime arena run, which
+        is claimed immediately so later growth can never fail or relocate
+        — the admission contract the serving engine relies on.
         """
         if seq_id in self._seqs:
             raise ValueError(f"sequence {seq_id} already registered")
         reserved = self.blocks_needed(reserve_tokens)
-        if reserved > self.blocks_free - self.outstanding_reserved_blocks:
-            raise PoolExhausted(
-                f"cannot reserve {reserved} blocks for sequence {seq_id}: "
-                f"{self.blocks_free - self.outstanding_reserved_blocks} "
-                "unreserved blocks available"
-            )
-        self._seqs[seq_id] = _SequenceEntry(
-            scales=scales, reserved_blocks=reserved
-        )
+        entry = _SequenceEntry(scales=scales, reserved_blocks=reserved)
+        if reserved:
+            try:
+                entry.offset_blocks = self._alloc(reserved)
+            except PoolExhausted as exc:
+                raise PoolExhausted(
+                    f"cannot reserve {reserved} blocks for sequence "
+                    f"{seq_id}: {exc}"
+                ) from None
+            entry.capacity_blocks = reserved
+        self._seqs[seq_id] = entry
 
     def scales_of(self, seq_id: int) -> Optional[SequenceScales]:
         return self._entry(seq_id).scales
@@ -218,12 +347,35 @@ class KVCachePool:
     def length(self, seq_id: int) -> int:
         return self._entry(seq_id).length
 
+    def segment(self, seq_id: int) -> Tuple[int, int]:
+        """The sequence's ``(offset, length)`` row run in the arena."""
+        entry = self._entry(seq_id)
+        offset = max(entry.offset_blocks, 0) * self.block_size
+        return offset, entry.length
+
+    def segments_of(self, seq_ids: Sequence[int]) -> np.ndarray:
+        """Segment table rows ``(offset, length)`` for the fused kernel."""
+        table = np.empty((len(seq_ids), 2), dtype=np.int64)
+        for i, sid in enumerate(seq_ids):
+            table[i] = self.segment(sid)
+        return table
+
+    @property
+    def k_arena(self) -> np.ndarray:
+        """Token-major ``(T_cap, k_heads, d)`` K-channel plane storage."""
+        return self._k
+
+    @property
+    def v_arena(self) -> np.ndarray:
+        """Token-major ``(T_cap, n_heads, d)`` V storage."""
+        return self._v
+
     def append(self, seq_id: int, keys: np.ndarray, values: np.ndarray) -> None:
-        """Append ``n`` tokens — (H, n, d) — growing the block table as needed.
+        """Append ``n`` tokens — (H, n, d) — growing the run as needed.
 
         Prefill passes the whole prompt at once; decode appends one token
         per step.  Raises :class:`PoolExhausted` (leaving the sequence
-        unchanged) when the free list cannot cover the growth.
+        unchanged) when no contiguous run can cover the growth.
         """
         entry = self._entry(seq_id)
         keys = np.asarray(keys, dtype=np.float64)
@@ -239,80 +391,96 @@ class KVCachePool:
             )
         n = keys.shape[1]
         new_len = entry.length + n
-        grow = self.blocks_needed(new_len) - len(entry.blocks)
-        # growth may draw on this sequence's own reservation, but never on
-        # blocks promised to other sequences
-        own_outstanding = max(0, entry.reserved_blocks - len(entry.blocks))
-        available = len(self._free) - (
-            self.outstanding_reserved_blocks - own_outstanding
-        )
-        if grow > available:
-            raise PoolExhausted(
-                f"sequence {seq_id} needs {grow} blocks, {available} "
-                "available beyond other sequences' reservations"
-            )
-        for _ in range(grow):
-            entry.blocks.append(self._free.pop())
-        self.blocks_allocated_total += max(grow, 0)
-        self.peak_blocks_in_use = max(self.peak_blocks_in_use, self.blocks_in_use)
-
-        pos = entry.length
-        written = 0
-        while written < n:
-            block = entry.blocks[pos // self.block_size]
-            slot = pos % self.block_size
-            take = min(self.block_size - slot, n - written)
-            self._k[block, :, slot:slot + take] = keys[:, written:written + take]
-            self._v[block, :, slot:slot + take] = values[:, written:written + take]
-            pos += take
-            written += take
+        self._grow(entry, self.blocks_needed(new_len))
+        pos = entry.offset_blocks * self.block_size + entry.length
+        self._k[pos:pos + n] = keys.transpose(1, 0, 2)
+        self._v[pos:pos + n] = values.transpose(1, 0, 2)
         entry.length = new_len
+
+    def append_slots(
+        self, seq_id: int, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Claim ``n`` new token rows, returning writable arena views.
+
+        The caller fills the returned ``(n, k_heads, d)`` and
+        ``(n, n_heads, d)`` views in place — how prefill encodes a whole
+        prompt straight into the arena without staging copies.
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        entry = self._entry(seq_id)
+        new_len = entry.length + n
+        self._grow(entry, self.blocks_needed(new_len))
+        pos = entry.offset_blocks * self.block_size + entry.length
+        entry.length = new_len
+        return self._k[pos:pos + n], self._v[pos:pos + n]
+
+    def append_rows(
+        self,
+        seq_ids: Sequence[int],
+        k_rows: np.ndarray,
+        v_rows: np.ndarray,
+    ) -> None:
+        """Vectorized decode-step append: one new token row per sequence.
+
+        ``k_rows``: (S, k_heads, d); ``v_rows``: (S, n_heads, d).  All
+        growth is performed first (so a :class:`PoolExhausted` mid-way
+        cannot leave a partial batch), then both arenas are written with
+        one scatter each — the fused step's only KV write.
+        """
+        if k_rows.shape != (len(seq_ids), self.k_heads, self.head_dim):
+            raise ValueError(
+                f"k_rows must be ({len(seq_ids)}, {self.k_heads}, "
+                f"{self.head_dim}), got {k_rows.shape}"
+            )
+        if v_rows.shape != (len(seq_ids), self.n_heads, self.head_dim):
+            raise ValueError(
+                f"v_rows must be ({len(seq_ids)}, {self.n_heads}, "
+                f"{self.head_dim}), got {v_rows.shape}"
+            )
+        entries = [self._entry(sid) for sid in seq_ids]
+        for entry in entries:
+            self._grow(entry, self.blocks_needed(entry.length + 1))
+        rows = np.array(
+            [e.offset_blocks * self.block_size + e.length for e in entries],
+            dtype=np.int64,
+        )
+        self._k[rows] = k_rows
+        self._v[rows] = v_rows
+        for entry in entries:
+            entry.length += 1
 
     def view(self, seq_id: int) -> Tuple[np.ndarray, np.ndarray]:
         """The sequence's logical (H, t, d) K and V tensors (read-only).
 
-        Decode touches every cached token each step, so the pool keeps a
-        contiguous staging mirror per sequence and copies only the tokens
-        appended since the previous view — O(new tokens), not O(context).
-        The returned arrays alias the mirror and are marked read-only;
-        they stay valid until the sequence is freed.
+        Zero-copy: both are transposed views of the sequence's arena run,
+        valid until the sequence is freed or relocated by growth beyond
+        its reservation.  The fused kernel prefers the raw token-major
+        arena (:attr:`k_arena` + :meth:`segments_of`); this view is the
+        per-sequence compatibility surface.
         """
         entry = self._entry(seq_id)
         if entry.length == 0:
             return (
-                np.zeros((self.k_heads, 0, self.head_dim)),
+                np.zeros((self.k_heads, 0, self.head_dim), dtype=self._k.dtype),
                 np.zeros((self.n_heads, 0, self.head_dim)),
             )
-        if entry.stage_k is None or entry.stage_k.shape[1] < entry.length:
-            capacity = max(2 * entry.length, 64)
-            stage_k = np.empty((self.k_heads, capacity, self.head_dim))
-            stage_v = np.empty((self.n_heads, capacity, self.head_dim))
-            if entry.staged:
-                stage_k[:, :entry.staged] = entry.stage_k[:, :entry.staged]
-                stage_v[:, :entry.staged] = entry.stage_v[:, :entry.staged]
-            entry.stage_k, entry.stage_v = stage_k, stage_v
-        pos = entry.staged - entry.staged % self.block_size
-        while pos < entry.length:
-            block = entry.blocks[pos // self.block_size]
-            take = min(self.block_size, entry.length - pos)
-            entry.stage_k[:, pos:pos + take] = self._k[block, :, :take]
-            entry.stage_v[:, pos:pos + take] = self._v[block, :, :take]
-            pos += take
-        entry.staged = entry.length
-        k = entry.stage_k[:, :entry.length]
-        v = entry.stage_v[:, :entry.length]
+        lo = entry.offset_blocks * self.block_size
+        k = self._k[lo:lo + entry.length].transpose(1, 0, 2)
+        v = self._v[lo:lo + entry.length].transpose(1, 0, 2)
         k.flags.writeable = False
         v.flags.writeable = False
         return k, v
 
     def free(self, seq_id: int) -> int:
-        """Retire a sequence, returning its blocks to the free list."""
+        """Retire a sequence, returning its blocks to the hole list."""
         entry = self._seqs.pop(seq_id, None)
         if entry is None:
             raise KeyError(f"unknown sequence {seq_id}")
-        self._free.extend(reversed(entry.blocks))
-        self.blocks_freed_total += len(entry.blocks)
-        return len(entry.blocks)
+        if entry.offset_blocks >= 0:
+            self._release(entry.offset_blocks, entry.capacity_blocks)
+            self.blocks_freed_total += entry.capacity_blocks
+        return entry.capacity_blocks
 
     def _entry(self, seq_id: int) -> _SequenceEntry:
         try:

@@ -31,6 +31,18 @@ class TestCLI:
         assert "KV-bit reduction" in out
         assert "tokens/s" in out
 
+    def test_serve_sim_profile(self, capsys):
+        code = main([
+            "serve-sim", "--batch-size", "4", "--n-requests", "6",
+            "--context-length", "48", "--max-new-tokens", "4", "--profile",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "phase breakdown" in out
+        for phase in ("pack", "score", "prune", "unpack"):
+            assert phase in out
+        assert "ms/step" in out
+
     def test_all_excludes_serve_sim(self, capsys):
         """`all` regenerates the paper artifacts only."""
         from repro import cli

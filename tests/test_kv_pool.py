@@ -100,6 +100,115 @@ class TestStorage:
         assert np.array_equal(pool.view(1)[0], k)
 
 
+class TestArena:
+    def test_views_are_zero_copy_arena_slices(self):
+        """view() must alias the token-major arena, not copy it."""
+        rng = np.random.default_rng(0)
+        pool = _pool()
+        pool.register(0)
+        pool.append(0, rng.normal(size=(2, 6, 4)), rng.normal(size=(2, 6, 4)))
+        k, v = pool.view(0)
+        assert np.shares_memory(k, pool.k_arena)
+        assert np.shares_memory(v, pool.v_arena)
+
+    def test_segment_table_locates_contiguous_runs(self):
+        rng = np.random.default_rng(1)
+        pool = _pool(capacity_tokens=128)
+        for sid, n in ((0, 10), (1, 7)):
+            pool.register(sid, reserve_tokens=16)
+            pool.append(sid, rng.normal(size=(2, n, 4)), rng.normal(size=(2, n, 4)))
+        segs = pool.segments_of([0, 1])
+        assert segs.shape == (2, 2)
+        assert segs[0].tolist() == [0, 10]
+        assert segs[1].tolist() == [16, 7]  # reservation sized the run
+        off, length = pool.segment(1)
+        k, _ = pool.view(1)
+        assert np.array_equal(
+            pool.k_arena[off:off + length].transpose(1, 0, 2), k
+        )
+
+    def test_append_rows_scatters_one_token_per_sequence(self):
+        rng = np.random.default_rng(2)
+        pool = _pool(capacity_tokens=128)
+        refs = {}
+        for sid in (0, 1, 2):
+            pool.register(sid, reserve_tokens=8)
+            k = rng.normal(size=(2, 3, 4))
+            v = rng.normal(size=(2, 3, 4))
+            pool.append(sid, k, v)
+            refs[sid] = (k, v)
+        for _ in range(4):
+            k_rows = rng.normal(size=(3, 2, 4))
+            v_rows = rng.normal(size=(3, 2, 4))
+            pool.append_rows([0, 1, 2], k_rows, v_rows)
+            for i, sid in enumerate((0, 1, 2)):
+                refs[sid] = (
+                    np.concatenate([refs[sid][0], k_rows[i][:, None, :]], axis=1),
+                    np.concatenate([refs[sid][1], v_rows[i][:, None, :]], axis=1),
+                )
+        for sid, (k, v) in refs.items():
+            got_k, got_v = pool.view(sid)
+            assert np.array_equal(got_k, k)
+            assert np.array_equal(got_v, v)
+
+    def test_append_slots_write_through(self):
+        rng = np.random.default_rng(3)
+        pool = _pool()
+        pool.register(0)
+        k_slots, v_slots = pool.append_slots(0, 5)
+        k = rng.normal(size=(5, 2, 4))
+        v = rng.normal(size=(5, 2, 4))
+        k_slots[:] = k
+        v_slots[:] = v
+        got_k, got_v = pool.view(0)
+        assert np.array_equal(got_k, k.transpose(1, 0, 2))
+        assert np.array_equal(got_v, v.transpose(1, 0, 2))
+        assert pool.length(0) == 5
+
+    def test_growth_relocates_preserving_data(self):
+        """A sequence boxed in by a neighbour must relocate on growth and
+        keep its contents bit-identical."""
+        rng = np.random.default_rng(4)
+        pool = _pool(capacity_tokens=64, block_size=8)  # 8 blocks
+        pool.register(0)
+        k0 = rng.normal(size=(2, 8, 4))
+        pool.append(0, k0, np.zeros_like(k0))
+        pool.register(1)
+        k1 = rng.normal(size=(2, 8, 4))
+        pool.append(1, k1, np.zeros_like(k1))  # sits right after seq 0
+        grow = rng.normal(size=(2, 12, 4))  # forces seq 0 past its block
+        pool.append(0, grow, np.zeros_like(grow))
+        assert np.array_equal(
+            pool.view(0)[0], np.concatenate([k0, grow], axis=1)
+        )
+        assert np.array_equal(pool.view(1)[0], k1)
+
+    def test_fragmented_pool_needs_contiguous_hole(self):
+        """can_fit is a *contiguous* check: free blocks split by live
+        runs cannot host a new segment."""
+        pool = _pool(capacity_tokens=32, block_size=8)  # 4 blocks
+        for sid in range(4):
+            pool.register(sid)
+            pool.append(sid, np.zeros((2, 8, 4)), np.zeros((2, 8, 4)))
+        pool.free(0)
+        pool.free(2)
+        assert pool.blocks_free == 2
+        assert pool.largest_hole_blocks == 1
+        assert not pool.can_fit(16)  # 2 blocks, but not adjacent
+        assert pool.can_fit(8)
+        pool.free(1)  # coalesces blocks 0-2 into one hole
+        assert pool.largest_hole_blocks == 3
+        assert pool.can_fit(24)
+
+    def test_float32_k_channel(self):
+        pool = _pool(k_dtype=np.float32)
+        pool.register(0)
+        digits = np.arange(2 * 6 * 4, dtype=np.float64).reshape(2, 6, 4) % 13
+        pool.append(0, digits, np.zeros((2, 6, 4)))
+        assert pool.k_arena.dtype == np.float32
+        assert np.array_equal(pool.view(0)[0], digits)  # small ints exact
+
+
 class TestAccounting:
     def test_eviction_accounting(self):
         rng = np.random.default_rng(4)

@@ -196,6 +196,94 @@ class TestEdgeCases:
         assert r.kept[-1]
 
 
+class TestBreadthIncrementalDenominator:
+    """`_run_breadth` maintains ln(D) incrementally (frozen dead part +
+    logaddexp over the bounds that tightened this round) instead of a
+    full-array logsumexp per round; this pins the refactor against a
+    reimplementation of the full recompute.
+
+    What "identical" means here: the two schemes sum the same terms in
+    different association orders, so the last float64 ulp of ln(D) can
+    legitimately differ — no incremental scheme can reproduce the full
+    recompute's pairwise-summation bits.  The pin is therefore (a) exact
+    equality of every *decision* the denominator drives (`kept`,
+    `chunks_fetched`) across a seed x threshold grid, and (b) ln(D)
+    itself to 1e-12 relative.  Safety never depends on those last bits:
+    any lower-bound denominator keeps the certificate sound (tested
+    below), and the serving-path bit-identity contract (batched vs
+    ragged kernels) is unaffected — both share one denominator
+    expression."""
+
+    def _full_recompute_reference(self, q, keys, cfg):
+        from repro.core.margins import margin_pairs
+        from repro.core.pruning import (
+            _chunk_score_table,
+            _guard_mask,
+            _logsumexp_1d,
+            _quantize_operands,
+        )
+
+        q_codes, k_codes, score_scale = _quantize_operands(
+            q, keys, cfg.quant, None, None
+        )
+        ps = _chunk_score_table(q_codes, k_codes, cfg.quant)
+        margins = margin_pairs(q_codes, cfg.quant)
+        guard = _guard_mask(keys.shape[0], cfg.prompt_guard)
+        n, n_chunks = ps.shape
+        bias = np.zeros(n)
+        s_min = ps * score_scale + margins.mins[1:][None, :] * score_scale + bias[:, None]
+        s_max = ps * score_scale + margins.maxs[1:][None, :] * score_scale + bias[:, None]
+        alive = np.ones(n, dtype=bool)
+        chunks = np.zeros(n, dtype=np.int64)
+        lb = np.full(n, -np.inf)
+        log_den = -np.inf
+        for b in range(n_chunks):
+            chunks[alive] = b + 1
+            lb[alive] = s_min[alive, b]
+            log_den = _logsumexp_1d(lb)  # the old full recompute
+            prune = alive & ((s_max[:, b] - log_den) <= cfg.log_threshold) & ~guard
+            alive = alive & ~prune
+            if not alive.any():
+                break
+        return alive, chunks, log_den
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("thr", [1e-2, 2e-3, 1e-4])
+    def test_matches_full_recompute(self, seed, thr):
+        q, keys, _ = _instance(seed, t=192)
+        cfg = TokenPickerConfig(threshold=thr, schedule="breadth")
+        r = token_picker_scores(q, keys, cfg)
+        kept_ref, chunks_ref, log_den_ref = self._full_recompute_reference(
+            q, keys, cfg
+        )
+        assert np.array_equal(r.kept, kept_ref)
+        assert np.array_equal(r.chunks_fetched, chunks_ref)
+        assert np.isclose(r.log_denominator, log_den_ref, rtol=1e-12, atol=0)
+
+    def test_denominator_still_a_lower_bound(self):
+        """Safety: the incremental ln(D) must stay <= the exact-score
+        denominator (any lower bound keeps the certificate sound)."""
+        for seed in range(6):
+            q, keys, _ = _instance(seed, t=128)
+            cfg = TokenPickerConfig(threshold=1e-3, schedule="breadth")
+            r = token_picker_scores(q, keys, cfg)
+            true_log_den = float(np.logaddexp.reduce(r.scores))
+            assert r.log_denominator <= true_log_den + 1e-9
+
+    def test_all_pruned_early_exit(self):
+        """Uniform scores below threshold: every round prunes, the loop
+        exits early, and the incremental ln(D) matches the recompute."""
+        q = np.ones(8)
+        keys = np.ones((64, 8))
+        cfg = TokenPickerConfig(threshold=0.5, schedule="breadth", prompt_guard=1)
+        r = token_picker_scores(q, keys, cfg)
+        kept_ref, chunks_ref, log_den_ref = self._full_recompute_reference(
+            q, keys, cfg
+        )
+        assert np.array_equal(r.kept, kept_ref)
+        assert np.isclose(r.log_denominator, log_den_ref, rtol=1e-12, atol=0)
+
+
 class TestExactThresholdPruning:
     def test_matches_definition(self):
         scores = np.array([0.0, 1.0, 5.0, -3.0])

@@ -21,6 +21,8 @@ from repro.core import (
     token_picker_attention_batched,
     token_picker_attention_ragged,
 )
+from repro.core.pruning import KernelScratch
+from repro.core.quantization import split_chunks
 
 
 def _make_batch(rng, n_seqs, n_heads, head_dim, max_len, with_bias):
@@ -35,6 +37,40 @@ def _make_batch(rng, n_seqs, n_heads, head_dim, max_len, with_bias):
         values.append(v)
         biases.append(0.1 * rng.normal(size=(n_heads, int(t))) if with_bias else None)
     return np.stack(qs), keys, values, (biases if with_bias else None)
+
+
+def _build_arena(keys, values, k_sc, v_sc, quant, dtype, gap=5):
+    """Token-major packed arena (unshifted chunk digits + deq V) with dead
+    inter-segment gaps, as the serving pool lays sequences out."""
+    n_seqs = len(keys)
+    n_heads, _, head_dim = keys[0].shape
+    cap = sum(int(k.shape[1]) for k in keys) + gap * (n_seqs + 1)
+    k_arena = np.zeros((cap, n_heads * quant.n_chunks, head_dim), dtype=dtype)
+    v_arena = np.zeros((cap, n_heads, head_dim))
+    segments = np.zeros((n_seqs, 2), dtype=np.int64)
+    offset = gap
+    for s in range(n_seqs):
+        t = int(keys[s].shape[1])
+        codes = np.clip(
+            np.rint(keys[s] / k_sc[s][:, None, None]), quant.qmin, quant.qmax
+        ).astype(np.int64)
+        digits = split_chunks(codes, quant)  # (H, t, d, C) unsigned
+        sign_threshold = 1 << (quant.chunk_bits - 1)
+        wrap = 1 << quant.chunk_bits
+        first = digits[..., 0]
+        digits[..., 0] = np.where(
+            first >= sign_threshold, first - wrap, first
+        )
+        k_arena[offset:offset + t] = digits.transpose(1, 0, 3, 2).reshape(
+            t, n_heads * quant.n_chunks, head_dim
+        )
+        vsc = v_sc[s][:, None, None]
+        v_arena[offset:offset + t] = (
+            np.clip(np.rint(values[s] / vsc), quant.qmin, quant.qmax) * vsc
+        ).transpose(1, 0, 2)
+        segments[s] = (offset, t)
+        offset += t + gap
+    return k_arena, v_arena, segments
 
 
 def _assert_identical(ragged_result, independent):
@@ -218,6 +254,111 @@ class TestBitIdenticalEquivalence:
         with pytest.raises(ValueError, match="keys or"):
             token_picker_attention_ragged(qs, None, None, config)
 
+    def test_arena_path_matches_batched(self):
+        """The zero-copy packed-arena path (token-major digit planes +
+        segment table, dead gaps between slabs) must be bit-identical to
+        independent batched calls — the serving engine's contract."""
+        for dtype, seed in ((np.float32, 0), (np.float64, 1)):
+            rng = np.random.default_rng(seed)
+            config = TokenPickerConfig(threshold=2e-3)
+            n_seqs, n_heads, head_dim = 4, 2, 24
+            qs, keys, values, _ = _make_batch(
+                rng, n_seqs, n_heads, head_dim, 120, with_bias=False
+            )
+            q_sc = rng.uniform(0.005, 0.05, size=(n_seqs, n_heads))
+            k_sc = rng.uniform(0.005, 0.05, size=(n_seqs, n_heads))
+            v_sc = rng.uniform(0.005, 0.05, size=(n_seqs, n_heads))
+            k_arena, v_arena, segments = _build_arena(
+                keys, values, k_sc, v_sc, config.quant, dtype
+            )
+            arena = token_picker_attention_ragged(
+                qs, None, None, config,
+                q_scales=q_sc, k_scales=k_sc,
+                k_plane_arena=k_arena, v_arena=v_arena, segments=segments,
+                scratch=KernelScratch(),
+            )
+            for s in range(n_seqs):
+                independent = token_picker_attention_batched(
+                    qs[s], keys[s], values[s], config,
+                    q_scales=q_sc[s], k_scales=k_sc[s], v_scales=v_sc[s],
+                )
+                _assert_identical(arena.results[s], independent)
+
+    def test_arena_scratch_reuse_across_growing_steps(self):
+        """Reusing one scratch across calls with growing shapes (the
+        engine's decode loop) must not change any result."""
+        rng = np.random.default_rng(7)
+        config = TokenPickerConfig(threshold=2e-3)
+        n_seqs, n_heads, head_dim = 3, 2, 16
+        scratch = KernelScratch()
+        for step, max_len in enumerate((40, 70, 110)):
+            qs, keys, values, _ = _make_batch(
+                rng, n_seqs, n_heads, head_dim, max_len, with_bias=False
+            )
+            q_sc = rng.uniform(0.005, 0.05, size=(n_seqs, n_heads))
+            k_sc = rng.uniform(0.005, 0.05, size=(n_seqs, n_heads))
+            v_sc = rng.uniform(0.005, 0.05, size=(n_seqs, n_heads))
+            k_arena, v_arena, segments = _build_arena(
+                keys, values, k_sc, v_sc, config.quant, np.float32
+            )
+            arena = token_picker_attention_ragged(
+                qs, None, None, config,
+                q_scales=q_sc, k_scales=k_sc,
+                k_plane_arena=k_arena, v_arena=v_arena, segments=segments,
+                scratch=scratch,
+            )
+            for s in range(n_seqs):
+                _assert_identical(
+                    arena.results[s],
+                    token_picker_attention_batched(
+                        qs[s], keys[s], values[s], config,
+                        q_scales=q_sc[s], k_scales=k_sc[s], v_scales=v_sc[s],
+                    ),
+                )
+
+    def test_arena_validation(self):
+        rng = np.random.default_rng(0)
+        config = TokenPickerConfig()
+        quant = config.quant
+        qs = rng.normal(size=(1, 2, 8))
+        arena = np.zeros((32, 2 * quant.n_chunks, 8))
+        segs = np.array([[0, 8]], dtype=np.int64)
+        with pytest.raises(ValueError, match="k_scales"):
+            token_picker_attention_ragged(
+                qs, None, None, config, k_plane_arena=arena, segments=segs
+            )
+        with pytest.raises(ValueError, match="segments"):
+            token_picker_attention_ragged(
+                qs, None, None, config,
+                q_scales=np.ones((1, 2)), k_scales=np.ones((1, 2)),
+                k_plane_arena=arena,
+            )
+        with pytest.raises(ValueError, match="exclusive"):
+            token_picker_attention_ragged(
+                qs, [rng.normal(size=(2, 8, 8))], None, config,
+                k_scales=np.ones((1, 2)),
+                k_plane_arena=arena, segments=segs,
+            )
+        with pytest.raises(ValueError, match="within the arena"):
+            token_picker_attention_ragged(
+                qs, None, None, config,
+                q_scales=np.ones((1, 2)), k_scales=np.ones((1, 2)),
+                k_plane_arena=arena,
+                segments=np.array([[30, 8]], dtype=np.int64),
+            )
+        with pytest.raises(ValueError, match="float32"):
+            wide = QuantConfig(total_bits=28, chunk_bits=4)
+            cfg_wide = TokenPickerConfig(quant=wide)
+            token_picker_attention_ragged(
+                rng.normal(size=(1, 2, 64)), None, None, cfg_wide,
+                q_scales=np.full((1, 2), 1e-8),
+                k_scales=np.full((1, 2), 1e-8),
+                k_plane_arena=np.zeros(
+                    (16, 2 * wide.n_chunks, 64), dtype=np.float32
+                ),
+                segments=np.array([[0, 8]], dtype=np.int64),
+            )
+
     def test_empty_context_sequences_mix(self):
         rng = np.random.default_rng(5)
         config = TokenPickerConfig(threshold=2e-3)
@@ -236,6 +377,72 @@ class TestBitIdenticalEquivalence:
                 token_picker_attention_batched(qs[s], keys[s], values[s], config),
             )
         assert ragged.stats().n_tokens == 2 * 20
+
+
+class TestExactInFloatBoundary:
+    """The pre-encoded score paths pick float64 or int64 accumulation by
+    the 52-bit mantissa gate; formats straddling the limit must agree
+    bit-for-bit with the always-exact integer float-keys path."""
+
+    FORMATS = [  # (total_bits, chunk_bits, head_dim): gate = 2N-2+bl(d-1)
+        (26, 13, 4),    # 52 -> float64 plane path
+        (26, 13, 8),    # 53 -> int64 fallback
+        (25, 5, 16),    # 52 -> float64 plane path
+        (25, 5, 32),    # 53 -> int64 fallback
+        (24, 8, 64),    # 52 -> float64 plane path
+        (24, 12, 128),  # 53 -> int64 fallback
+    ]
+
+    @settings(
+        max_examples=24,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        fmt=st.sampled_from(range(len(FORMATS))),
+    )
+    def test_plane_paths_straddle_52_bit_limit(self, seed, fmt):
+        from repro.core.quantization import chunk_plane_values
+
+        total_bits, chunk_bits, head_dim = self.FORMATS[fmt]
+        quant = QuantConfig(total_bits=total_bits, chunk_bits=chunk_bits)
+        config = TokenPickerConfig(threshold=2e-3, quant=quant)
+        rng = np.random.default_rng(seed)
+        n_seqs, n_heads = 2, 2
+        qs, keys, _, _ = _make_batch(rng, n_seqs, n_heads, head_dim, 24, False)
+        # oracle (saturating) scales stress the most-significant chunks
+        k_sc = np.stack(
+            [np.abs(k).max(axis=(1, 2)) / quant.qmax for k in keys]
+        )
+        q_sc = np.abs(qs).max(axis=2) / quant.qmax
+        planes = []
+        for s in range(n_seqs):
+            codes = np.clip(
+                np.rint(keys[s] / k_sc[s][:, None, None]),
+                quant.qmin,
+                quant.qmax,
+            ).astype(np.int64)
+            planes.append(chunk_plane_values(codes, quant).transpose(0, 3, 1, 2))
+        encoded = token_picker_attention_ragged(
+            qs, None, None, config,
+            q_scales=q_sc, k_scales=k_sc, k_planes=planes,
+        )
+        arena_k, _, segments = _build_arena(
+            keys, [np.zeros_like(k) for k in keys],
+            k_sc, np.ones_like(k_sc), quant, np.float64,
+        )
+        via_arena = token_picker_attention_ragged(
+            qs, None, None, config,
+            q_scales=q_sc, k_scales=k_sc,
+            k_plane_arena=arena_k, segments=segments,
+        )
+        floats = token_picker_attention_ragged(
+            qs, keys, None, config, q_scales=q_sc, k_scales=k_sc
+        )
+        for s in range(n_seqs):
+            _assert_identical(encoded.results[s], floats.results[s])
+            _assert_identical(via_arena.results[s], floats.results[s])
 
 
 class TestAggregates:

@@ -143,6 +143,22 @@ class TestLifecycle:
         # contexts 17 and 65 after the first decode token
         assert report.ragged_utilization == pytest.approx((17 + 65) / (2 * 65))
 
+    def test_arena_fast_path_and_phase_breakdown(self):
+        """Pooled decode runs on the float32 digit arena and every busy
+        step reports the pack/score/prune/unpack wall-clock split."""
+        rng = np.random.default_rng(12)
+        engine = _engine()
+        engine.submit(synthetic_request(rng, 2, 32, 16, max_new_tokens=3))
+        reports = engine.run_until_drained()
+        assert engine.pool.k_arena.dtype == np.float32
+        busy = [r for r in reports if r.batch_size]
+        assert busy
+        for report in busy:
+            assert set(report.phase_seconds) >= {
+                "pack", "score", "prune", "unpack"
+            }
+            assert all(v >= 0.0 for v in report.phase_seconds.values())
+
     def test_empty_step_is_admission_tick(self):
         engine = _engine()
         report = engine.step()
