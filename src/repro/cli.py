@@ -20,6 +20,13 @@ traffic and converts its measured per-sequence KV traffic into decode-step
 latency/throughput on the modelled hardware::
 
     tokenpicker serve-sim --batch-size 16 --n-requests 48
+
+``tokenpicker serve-cluster`` scales that to N router-fronted replicas
+(:mod:`repro.cluster`) with optimistic admission and probability-guided
+preemption; ``--profile`` prints each replica's TTFT / per-token latency
+percentiles from the metrics registry::
+
+    tokenpicker serve-cluster --replicas 4 --admission optimistic --profile
 """
 
 from __future__ import annotations
@@ -146,6 +153,109 @@ def _run_serve_sim(args) -> str:
     return "\n".join(lines)
 
 
+def _run_serve_cluster(args) -> str:
+    """Multi-replica cluster simulation on a bursty synthetic trace."""
+    import numpy as np
+
+    from repro.cluster import ClusterRouter, bursty_trace, busiest_step_reports
+    from repro.core import TokenPickerConfig
+    from repro.hw.serving import ServingSimulator, tokens_per_second
+    from repro.model.config import get_model_config
+
+    if args.replicas < 1:
+        raise ValueError(f"--replicas must be >= 1, got {args.replicas}")
+    if args.n_requests < 1:
+        raise ValueError(f"--n-requests must be >= 1, got {args.n_requests}")
+    if args.context_length < 24 or args.max_new_tokens < 1:
+        raise ValueError(
+            "--context-length must be >= 24 and --max-new-tokens >= 1"
+        )
+    model = get_model_config(args.model)
+    n_heads, head_dim = 4, model.head_dim
+    config = TokenPickerConfig(threshold=args.threshold)
+    capacity = args.capacity_tokens or args.batch_size * (
+        args.context_length + args.max_new_tokens + 16
+    )
+    router = ClusterRouter(
+        args.replicas,
+        config,
+        policy=args.policy,
+        admission=args.admission,
+        max_batch_size=args.batch_size,
+        capacity_tokens=capacity,
+        allow_bypass=args.allow_bypass,
+        seed=args.seed,
+    )
+    trace = bursty_trace(
+        np.random.default_rng(args.seed),
+        args.n_requests,
+        n_heads=n_heads,
+        head_dim=head_dim,
+        prompt_tokens=args.context_length,
+        max_new_tokens=args.max_new_tokens,
+        burst_size=args.burst_size,
+        gap_steps=args.burst_gap,
+    )
+    reports = router.run_trace(trace)
+    summary = router.summary()
+
+    # fullest cluster step -> the modelled fleet of accelerators
+    sim = ServingSimulator(
+        model, context_length=args.context_length, config=config
+    )
+    busy_reports = busiest_step_reports(reports)
+    ours = sim.step_from_cluster(busy_reports, engine_heads=n_heads)
+    base = sim.step_from_cluster(busy_reports, "baseline", engine_heads=n_heads)
+    lines = [
+        f"Cluster serving simulation ({model.name}, thr={args.threshold:g}, "
+        f"{args.replicas} replicas, {args.policy} routing, "
+        f"{args.admission} admission)",
+        f"  requests: {summary['requests_completed']}  cluster steps: "
+        f"{len(reports)}  tokens: {summary['generated_tokens']}",
+        f"  preemptions: {summary['preemptions']}  "
+        f"resumes: {sum(r['resumes'] for r in summary['per_replica'])}  "
+        f"bypassed: {sum(r['bypassed'] for r in summary['per_replica'])}",
+    ]
+    for rep in summary["per_replica"]:
+        lines.append(
+            f"  replica {rep['replica']}: {rep['requests_completed']} done  "
+            f"peak batch {rep['peak_concurrency']}  "
+            f"mean occupancy {rep['mean_batch_occupancy']:.2f}  "
+            f"preemptions {rep['preemptions']}  "
+            f"keep fraction {rep['keep_fraction']:.3f}"
+        )
+    lines += [
+        f"  fullest cluster step ({ours.n_replicas} busy replicas, "
+        f"B={ours.batch_size}): straggler {base.max_step_cycles} -> "
+        f"{ours.max_step_cycles} cycles "
+        f"({base.max_step_cycles / ours.max_step_cycles:.2f}x)",
+        f"  aggregate decode throughput: "
+        f"{base.aggregate_tokens_per_second():,.0f} -> "
+        f"{ours.aggregate_tokens_per_second():,.0f} tokens/s",
+        f"  single-replica equivalent: "
+        f"{tokens_per_second(ours.per_replica[0]):,.0f} tokens/s",
+    ]
+    if getattr(args, "profile", False):
+        lines.append("  telemetry (wall-clock, per replica):")
+        for rid in range(args.replicas):
+            for name, label in (
+                ("ttft_seconds", "TTFT"),
+                ("token_latency_seconds", "token latency"),
+            ):
+                hist = router.metrics.histogram(name, replica=rid)
+                s = hist.summary()
+                if not s["count"]:
+                    continue
+                lines.append(
+                    f"    replica {rid} {label:<13} "
+                    f"p50 {1e3 * s['p50']:8.3f} ms  "
+                    f"p95 {1e3 * s['p95']:8.3f} ms  "
+                    f"p99 {1e3 * s['p99']:8.3f} ms  "
+                    f"(n={s['count']})"
+                )
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -155,8 +265,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        choices=EXPERIMENTS + ("all", "serve-sim"),
-        help="which artifacts to regenerate (or the serving simulation)",
+        choices=EXPERIMENTS + ("all", "serve-sim", "serve-cluster"),
+        help="which artifacts to regenerate (or a serving simulation)",
     )
     parser.add_argument(
         "--fast",
@@ -188,23 +298,65 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument(
         "--profile",
         action="store_true",
-        help="print the engine's per-step phase breakdown "
-        "(pack/score/prune/unpack)",
+        help="serve-sim: print the engine's per-step phase breakdown; "
+        "serve-cluster: print per-replica TTFT / token-latency percentiles",
+    )
+    cluster = parser.add_argument_group("serve-cluster options")
+    cluster.add_argument(
+        "--replicas", type=int, default=2, help="serving-engine replicas"
+    )
+    cluster.add_argument(
+        "--policy",
+        choices=("least-loaded", "round-robin"),
+        default="least-loaded",
+        help="request routing policy",
+    )
+    cluster.add_argument(
+        "--admission",
+        choices=("conservative", "optimistic"),
+        default="optimistic",
+        help="replica memory policy (optimistic preempts under pressure)",
+    )
+    cluster.add_argument(
+        "--capacity-tokens",
+        type=int,
+        default=0,
+        help="per-replica KV arena tokens (0: sized from the workload)",
+    )
+    cluster.add_argument(
+        "--burst-size",
+        type=int,
+        default=8,
+        help="requests arriving together in each burst",
+    )
+    cluster.add_argument(
+        "--burst-gap",
+        type=int,
+        default=4,
+        help="cluster steps between bursts",
+    )
+    cluster.add_argument(
+        "--allow-bypass",
+        action="store_true",
+        help="let small queued requests bypass a blocked queue head",
     )
     args = parser.parse_args(argv)
 
     if "all" in args.experiments:
-        # `all` covers the paper artifacts; an explicitly named serve-sim
-        # still runs alongside them
+        # `all` covers the paper artifacts; explicitly named serving
+        # simulations still run alongside them
         names = list(EXPERIMENTS)
-        if "serve-sim" in args.experiments:
-            names.append("serve-sim")
+        for sim_name in ("serve-sim", "serve-cluster"):
+            if sim_name in args.experiments:
+                names.append(sim_name)
     else:
         names = args.experiments
     for name in names:
         start = time.time()
         if name == "serve-sim":
             output = _run_serve_sim(args)
+        elif name == "serve-cluster":
+            output = _run_serve_cluster(args)
         else:
             output = _run_one(name, args.fast)
         elapsed = time.time() - start

@@ -1,0 +1,420 @@
+"""Multi-replica serving: an SLO-aware router over N serving engines.
+
+:class:`ClusterRouter` owns N independent
+:class:`~repro.serving.engine.ServingEngine` replicas (in a deployment,
+one accelerator card each) and dispatches incoming
+:class:`~repro.serving.request.GenerationRequest`\\ s by **estimated token
+cost**: a request costs ``prompt + max_new_tokens`` arena tokens, weighted
+by the candidate replica's *live keep-fraction* from its pruning stats — a
+replica whose traffic prunes harder serves the same tokens with less DRAM
+traffic, so it can absorb more load before its decode step slows down.
+``least-loaded`` routing picks the replica minimising that effective load;
+``round-robin`` is the baseline spread.
+
+Every cluster step steps each replica once and folds the per-replica
+reports into the shared :class:`~repro.cluster.metrics.MetricsRegistry`:
+TTFT and per-token wall-clock latency histograms (p50/p95/p99), queue
+depth, preemption counts and arena occupancy, one labelled series per
+replica.  A replica can be **drained** (routed around; queued requests
+rebalanced to its peers) and later restored — the path a deployment uses
+for rolling restarts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import TokenPickerConfig
+from repro.cluster.memory import make_memory_manager
+from repro.cluster.metrics import MetricsRegistry
+from repro.serving.engine import EngineStepReport, ServingEngine
+from repro.serving.request import GenerationRequest, synthetic_request
+
+ROUTER_POLICIES = ("least-loaded", "round-robin")
+
+
+@dataclass
+class ClusterStepReport:
+    """One router tick: every replica stepped once."""
+
+    step_index: int
+    per_replica: Dict[int, EngineStepReport] = field(default_factory=dict)
+    #: wall-clock seconds each replica's engine step took
+    step_seconds: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def tokens_generated(self) -> int:
+        return sum(r.tokens_generated for r in self.per_replica.values())
+
+    @property
+    def n_active(self) -> int:
+        return sum(r.n_active for r in self.per_replica.values())
+
+
+class ClusterRouter:
+    """N serving-engine replicas behind one cost-aware dispatch point."""
+
+    def __init__(
+        self,
+        n_replicas: int,
+        config: Optional[TokenPickerConfig] = None,
+        *,
+        policy: str = "least-loaded",
+        admission: str = "optimistic",
+        max_batch_size: int = 32,
+        capacity_tokens: int = 8192,
+        block_size: int = 16,
+        safety_factor: float = 1.25,
+        allow_bypass: bool = False,
+        seed: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if n_replicas < 1:
+            raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+        if policy not in ROUTER_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r} (expected one of {ROUTER_POLICIES})"
+            )
+        self.policy = policy
+        self.admission = admission
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._seed = seed
+        # each replica gets an independent seed stream; request-level RNGs
+        # derive from (replica seed, request id) inside the engine
+        self.replicas: List[ServingEngine] = [
+            ServingEngine(
+                config,
+                max_batch_size=max_batch_size,
+                safety_factor=safety_factor,
+                capacity_tokens=capacity_tokens,
+                block_size=block_size,
+                seed=seed * 100_003 + rid,
+                memory_manager=make_memory_manager(
+                    admission, block_size=block_size
+                ),
+                allow_bypass=allow_bypass,
+            )
+            for rid in range(n_replicas)
+        ]
+        self._draining: set = set()
+        self._rr_next = 0
+        self._step_index = 0
+        self._routed: Dict[int, List[int]] = {
+            rid: [] for rid in range(n_replicas)
+        }
+        # deterministic occupancy accounting (no wall-clock involved)
+        self._occupancy_sum: Dict[int, int] = {
+            rid: 0 for rid in range(n_replicas)
+        }
+
+    # --------------------------------------------------------------- routing
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def step_index(self) -> int:
+        return self._step_index
+
+    def routable(self) -> List[int]:
+        """Replica ids currently accepting new requests."""
+        return [
+            rid for rid in range(self.n_replicas) if rid not in self._draining
+        ]
+
+    def effective_load(self, replica_id: int) -> float:
+        """Outstanding arena tokens, discounted by live pruning behaviour.
+
+        ``keep_fraction`` starts at 1.0 (no pruning evidence yet) and
+        falls as the replica's Token-Picker traffic proves most of its
+        KV rows are never fetched; the product estimates the DRAM-traffic
+        cost of the replica's backlog, which is what actually bounds its
+        decode-step latency (Fig. 2's argument).
+        """
+        engine = self.replicas[replica_id]
+        return engine.outstanding_tokens * engine.counter.keep_fraction
+
+    def select_replica(self, request: GenerationRequest) -> int:
+        """Route one request under the configured policy."""
+        routable = self.routable()
+        if not routable:
+            raise RuntimeError("every replica is draining; nowhere to route")
+        if self.policy == "round-robin":
+            for _ in range(self.n_replicas):
+                rid = self._rr_next % self.n_replicas
+                self._rr_next += 1
+                if rid in routable:
+                    return rid
+        # least-loaded: marginal effective cost of placing the request
+        return min(
+            routable,
+            key=lambda rid: (
+                (
+                    self.replicas[rid].outstanding_tokens
+                    + request.total_tokens
+                )
+                * self.replicas[rid].counter.keep_fraction,
+                rid,
+            ),
+        )
+
+    def submit(self, request: GenerationRequest) -> Tuple[int, int]:
+        """Dispatch a request; returns ``(replica_id, request_id)``."""
+        rid = self.select_replica(request)
+        request_id = self.replicas[rid].submit(request)
+        self._routed[rid].append(request_id)
+        self.metrics.counter("requests_routed", replica=rid).inc()
+        return rid, request_id
+
+    # ------------------------------------------------------- drain/rebalance
+    def drain(self, replica_id: int, rebalance: bool = True) -> int:
+        """Stop routing to a replica; optionally move its queue to peers.
+
+        Active and preempted sequences keep decoding on the replica until
+        they finish (their KV lives there); only queued requests move.
+        Returns the number of rebalanced requests.
+        """
+        if not 0 <= replica_id < self.n_replicas:
+            raise ValueError(f"unknown replica {replica_id}")
+        self._draining.add(replica_id)
+        if not self.routable():
+            self._draining.discard(replica_id)
+            raise RuntimeError("cannot drain the last routable replica")
+        moved = 0
+        if rebalance:
+            moved = self.rebalance(replica_id)
+        return moved
+
+    def undrain(self, replica_id: int) -> None:
+        """Return a drained replica to the routable set."""
+        self._draining.discard(replica_id)
+
+    def rebalance(self, replica_id: int) -> int:
+        """Re-route a replica's still-queued requests to its peers."""
+        withdrawn = self.replicas[replica_id].withdraw_pending()
+        for request in withdrawn:
+            self.submit(request)
+        if withdrawn:
+            self.metrics.counter(
+                "requests_rebalanced", replica=replica_id
+            ).inc(len(withdrawn))
+        return len(withdrawn)
+
+    # ----------------------------------------------------------------- steps
+    def step(self) -> ClusterStepReport:
+        """Step every replica once and record its telemetry."""
+        report = ClusterStepReport(step_index=self._step_index)
+        for rid, engine in enumerate(self.replicas):
+            t0 = perf_counter()
+            engine_report = engine.step()
+            seconds = perf_counter() - t0
+            report.per_replica[rid] = engine_report
+            report.step_seconds[rid] = seconds
+            self._observe(rid, engine, engine_report, seconds)
+        self._step_index += 1
+        return report
+
+    def _observe(
+        self,
+        rid: int,
+        engine: ServingEngine,
+        report: EngineStepReport,
+        seconds: float,
+    ) -> None:
+        m = self.metrics
+        m.gauge("queue_depth", replica=rid).set(engine.n_pending)
+        m.gauge("active_sequences", replica=rid).set(report.n_active)
+        m.gauge("preempted_sequences", replica=rid).set(engine.n_preempted)
+        occupancy = engine.pool.utilization if engine.pool is not None else 0.0
+        m.gauge("arena_occupancy", replica=rid).set(occupancy)
+        self._occupancy_sum[rid] += report.n_active
+        if report.preempted:
+            m.counter("preemptions", replica=rid).inc(len(report.preempted))
+        if report.resumed:
+            m.counter("resumes", replica=rid).inc(len(report.resumed))
+        if report.admitted:
+            m.counter("admissions", replica=rid).inc(len(report.admitted))
+        tokens = report.tokens_generated
+        if tokens:
+            m.counter("tokens_generated", replica=rid).inc(tokens)
+            m.histogram("step_seconds", replica=rid).observe(seconds)
+            # every active sequence produced exactly one token this step,
+            # each at the full step's wall-clock latency
+            m.histogram("token_latency_seconds", replica=rid).observe(
+                seconds, n=tokens
+            )
+        for done in report.retired:
+            m.counter("requests_completed", replica=rid).inc()
+            if done.stats.ttft_seconds >= 0:
+                m.histogram("ttft_seconds", replica=rid).observe(
+                    done.stats.ttft_seconds
+                )
+            if done.stats.e2e_seconds >= 0:
+                m.histogram("e2e_seconds", replica=rid).observe(
+                    done.stats.e2e_seconds
+                )
+
+    @property
+    def busy(self) -> bool:
+        return any(
+            e.n_pending or e.n_active or e.n_preempted for e in self.replicas
+        )
+
+    def run_until_drained(
+        self, max_steps: int = 100_000
+    ) -> List[ClusterStepReport]:
+        reports: List[ClusterStepReport] = []
+        while self.busy and len(reports) < max_steps:
+            reports.append(self.step())
+        if self.busy:
+            raise RuntimeError(f"cluster not drained after {max_steps} steps")
+        return reports
+
+    def run_trace(
+        self,
+        trace: Sequence[Tuple[int, GenerationRequest]],
+        max_steps: int = 100_000,
+    ) -> List[ClusterStepReport]:
+        """Drive an arrival trace: ``(arrival_step, request)`` pairs.
+
+        Arrivals at step ``t`` are routed before the cluster's ``t``-th
+        tick; once the trace is exhausted the cluster runs to drain.
+        """
+        pending = sorted(trace, key=lambda item: item[0])
+        reports: List[ClusterStepReport] = []
+        i = 0
+        while (i < len(pending) or self.busy) and len(reports) < max_steps:
+            while i < len(pending) and pending[i][0] <= self._step_index:
+                self.submit(pending[i][1])
+                i += 1
+            reports.append(self.step())
+        if i < len(pending) or self.busy:
+            raise RuntimeError(f"cluster not drained after {max_steps} steps")
+        return reports
+
+    # ------------------------------------------------------------- reporting
+    @property
+    def completed(self) -> List[Tuple[int, object]]:
+        """Every finished request as ``(replica_id, CompletedRequest)``."""
+        out: List[Tuple[int, object]] = []
+        for rid, engine in enumerate(self.replicas):
+            out.extend((rid, done) for done in engine.completed)
+        return out
+
+    def mean_batch_occupancy(self, replica_id: int) -> float:
+        """Mean active sequences per step over the replica's lifetime.
+
+        Deterministic (counts only): total tokens divided by steps, the
+        quantity the optimistic-vs-conservative benchmark compares.
+        """
+        steps = self.replicas[replica_id].step_index
+        if steps == 0:
+            return 0.0
+        return self._occupancy_sum[replica_id] / steps
+
+    def summary(self, include_timing: bool = False) -> Dict[str, object]:
+        """Cluster roll-up; with ``include_timing=False`` every field is a
+        deterministic function of the seed (the property the determinism
+        test pins — wall-clock histograms live under ``"timing"``)."""
+        per_replica = []
+        for rid, engine in enumerate(self.replicas):
+            per_replica.append(
+                {
+                    "replica": rid,
+                    "requests_completed": len(engine.completed),
+                    "steps": engine.step_index,
+                    "peak_concurrency": engine.peak_concurrency,
+                    "mean_batch_occupancy": round(
+                        self.mean_batch_occupancy(rid), 4
+                    ),
+                    "preemptions": engine.preemptions_total,
+                    "resumes": engine.resumes_total,
+                    "bypassed": engine.scheduler.bypassed_total,
+                    "peak_blocks": (
+                        engine.pool.peak_blocks_in_use
+                        if engine.pool is not None
+                        else 0
+                    ),
+                    "keep_fraction": round(engine.counter.keep_fraction, 4),
+                    "kv_bit_reduction": round(
+                        engine.counter.total_reduction, 3
+                    ),
+                    "generated_tokens": sum(
+                        c.stats.generated_tokens for c in engine.completed
+                    ),
+                }
+            )
+        summary: Dict[str, object] = {
+            "n_replicas": self.n_replicas,
+            "policy": self.policy,
+            "admission": self.admission,
+            "requests_completed": sum(
+                r["requests_completed"] for r in per_replica
+            ),
+            "generated_tokens": sum(
+                r["generated_tokens"] for r in per_replica
+            ),
+            "preemptions": sum(r["preemptions"] for r in per_replica),
+            "per_replica": per_replica,
+        }
+        if include_timing:
+            summary["timing"] = self.metrics.snapshot()
+        return summary
+
+
+def busiest_step_reports(
+    reports: Sequence[ClusterStepReport],
+) -> List[EngineStepReport]:
+    """Busy replicas' engine reports at the fullest cluster step.
+
+    The shared recipe for picking the fleet's representative operating
+    point: the cluster step with the most active sequences, restricted to
+    replicas that actually decoded (what
+    :meth:`repro.hw.serving.ServingSimulator.step_from_cluster` prices).
+    """
+    if not reports:
+        raise ValueError("need at least one cluster step report")
+    full = max(reports, key=lambda r: r.n_active)
+    return [r for r in full.per_replica.values() if r.per_sequence]
+
+
+def bursty_trace(
+    rng: np.random.Generator,
+    n_requests: int,
+    *,
+    n_heads: int,
+    head_dim: int,
+    prompt_tokens: int,
+    max_new_tokens: int,
+    burst_size: int = 8,
+    gap_steps: int = 4,
+    prompt_jitter: int = 16,
+) -> List[Tuple[int, GenerationRequest]]:
+    """Bursty arrival trace: ``burst_size`` requests every ``gap_steps``.
+
+    The workload shape the optimistic-vs-conservative comparison uses —
+    bursts pile requests onto a pool that conservative admission would
+    meter in by full-lifetime reservations, while optimistic admission
+    packs them in and preempts under pressure.
+    """
+    if n_requests < 1 or burst_size < 1 or gap_steps < 0:
+        raise ValueError("n_requests/burst_size >= 1, gap_steps >= 0 required")
+    trace: List[Tuple[int, GenerationRequest]] = []
+    for i in range(n_requests):
+        arrival = (i // burst_size) * gap_steps
+        prompt = max(
+            8, prompt_tokens + int(rng.integers(-prompt_jitter, prompt_jitter + 1))
+        )
+        trace.append(
+            (
+                arrival,
+                synthetic_request(
+                    rng, n_heads, prompt, head_dim, max_new_tokens
+                ),
+            )
+        )
+    return trace

@@ -1,0 +1,75 @@
+"""Schema validation for the repo's ``BENCH_*.json`` perf artifacts.
+
+Every benchmark record the repo commits (``BENCH_engine.json``,
+``BENCH_cluster.json``) shares one shape, so later PRs can diff a perf
+trajectory mechanically and CI can reject malformed bench output:
+
+* a ``"config"`` object naming the workload dimensions,
+* a non-empty ``"points"`` list, each point carrying at least one
+  ``*tokens_per_sec*`` throughput number and a ``"phase_ms_per_step"``
+  object with the four hot-path phases (pack / score / prune / unpack).
+
+:func:`validate_bench` raises :class:`BenchSchemaError` with a pointed
+message; :func:`validate_bench_file` wraps it for on-disk artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+#: the engine hot path's wall-clock phases, recorded per bench point
+REQUIRED_PHASES = ("pack", "score", "prune", "unpack")
+
+
+class BenchSchemaError(ValueError):
+    """A bench record does not satisfy the shared artifact schema."""
+
+
+def _fail(path: str, message: str) -> None:
+    raise BenchSchemaError(f"{path}: {message}")
+
+
+def validate_bench(record: Mapping, name: str = "bench") -> None:
+    """Assert ``record`` has the shared ``BENCH_*.json`` shape."""
+    if not isinstance(record, Mapping):
+        _fail(name, f"record must be an object, got {type(record).__name__}")
+    config = record.get("config")
+    if not isinstance(config, Mapping) or not config:
+        _fail(f"{name}.config", "must be a non-empty object")
+    points = record.get("points")
+    if not isinstance(points, list) or not points:
+        _fail(f"{name}.points", "must be a non-empty list")
+    for i, point in enumerate(points):
+        where = f"{name}.points[{i}]"
+        if not isinstance(point, Mapping):
+            _fail(where, "must be an object")
+        throughput_keys = [
+            k
+            for k, v in point.items()
+            if "tokens_per_sec" in k and isinstance(v, (int, float))
+        ]
+        if not throughput_keys:
+            _fail(where, "needs at least one numeric '*tokens_per_sec*' field")
+        phases = point.get("phase_ms_per_step")
+        if not isinstance(phases, Mapping):
+            _fail(f"{where}.phase_ms_per_step", "must be an object")
+        for phase in REQUIRED_PHASES:
+            value = phases.get(phase)
+            if not isinstance(value, (int, float)) or value < 0:
+                _fail(
+                    f"{where}.phase_ms_per_step.{phase}",
+                    f"must be a number >= 0, got {value!r}",
+                )
+
+
+def validate_bench_file(path) -> dict:
+    """Load and validate one on-disk bench artifact; returns the record."""
+    path = Path(path)
+    try:
+        record = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BenchSchemaError(f"{path.name}: not valid JSON ({exc})") from None
+    validate_bench(record, name=path.name)
+    return record

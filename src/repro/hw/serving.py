@@ -16,7 +16,7 @@ dominate the step.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -188,6 +188,31 @@ class ServingSimulator:
             stats, variant=variant, engine_heads=engine_heads
         )
 
+    def step_from_cluster(
+        self,
+        reports: Sequence["EngineStepReport"],
+        variant: str = "topick",
+        engine_heads: Optional[int] = None,
+    ) -> "ClusterStepResult":
+        """Cluster-level decode-step latency from per-replica engine steps.
+
+        Each replica is its own accelerator card streaming its own weights
+        and its own sequences' KV — replicas run concurrently, so the
+        cluster's step latency is the *slowest* replica's step and the
+        aggregate throughput is the *sum* of per-replica token rates.
+        Idle replicas (empty reports) contribute nothing.
+        """
+        per_replica = [
+            self.step_from_engine(
+                report, variant=variant, engine_heads=engine_heads
+            )
+            for report in reports
+            if report.per_sequence
+        ]
+        if not per_replica:
+            raise ValueError("every replica is idle; nothing to aggregate")
+        return ClusterStepResult(variant=variant, per_replica=per_replica)
+
     def speedup_curve(
         self, batch_sizes: Sequence[int] = (1, 4, 16, 64), variant: str = "topick"
     ) -> List[Dict[str, float]]:
@@ -206,6 +231,41 @@ class ServingSimulator:
                 }
             )
         return out
+
+
+@dataclass(frozen=True)
+class ClusterStepResult:
+    """Cycle-level view of one cluster step across busy replicas.
+
+    The serving simulator prices each replica's measured traffic
+    independently (:meth:`ServingSimulator.step_from_cluster`); this
+    aggregate carries both the fleet throughput (sum of concurrent
+    replicas) and the straggler latency (the slowest replica bounds the
+    synchronous-tick latency a router observes).
+    """
+
+    variant: str
+    per_replica: List[ServingStepResult]
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.per_replica)
+
+    @property
+    def batch_size(self) -> int:
+        """Total sequences decoding across the cluster this step."""
+        return sum(r.batch_size for r in self.per_replica)
+
+    @property
+    def max_step_cycles(self) -> int:
+        """Slowest replica's step — the cluster's synchronous-tick latency."""
+        return max(r.total_cycles for r in self.per_replica)
+
+    def aggregate_tokens_per_second(self, clock_ghz: float = 0.5) -> float:
+        """Fleet decode throughput: replicas stream concurrently."""
+        return sum(
+            tokens_per_second(r, clock_ghz) for r in self.per_replica
+        )
 
 
 def tokens_per_second(

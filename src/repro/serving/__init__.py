@@ -22,17 +22,20 @@ from repro.serving.engine import (
     EngineStepReport,
     SequenceStepView,
     ServingEngine,
+    VictimCandidate,
 )
 from repro.serving.kv_pool import (
     KVCachePool,
     PoolExhausted,
     SequenceScales,
+    SwappedSequence,
     count_clips,
     freeze_scales,
 )
 from repro.serving.request import (
     CompletedRequest,
     GenerationRequest,
+    RequestState,
     RequestStats,
     replayable_step_source,
     synthetic_request,
@@ -46,11 +49,14 @@ __all__ = [
     "GenerationRequest",
     "KVCachePool",
     "PoolExhausted",
+    "RequestState",
     "RequestStats",
     "Scheduler",
     "SequenceScales",
     "SequenceStepView",
     "ServingEngine",
+    "SwappedSequence",
+    "VictimCandidate",
     "count_clips",
     "freeze_scales",
     "replayable_step_source",

@@ -41,13 +41,16 @@ from repro.core.quantization import signed_chunk_digit
 from repro.model.attention import AccessCounter
 from repro.serving.kv_pool import (
     KVCachePool,
+    PoolExhausted,
     SequenceScales,
+    SwappedSequence,
     count_clips,
     freeze_scales,
 )
 from repro.serving.request import (
     CompletedRequest,
     GenerationRequest,
+    RequestState,
     RequestStats,
     StepSource,
     synthetic_step_source,
@@ -113,6 +116,10 @@ class EngineStepReport:
 
     step_index: int
     admitted: List[int] = field(default_factory=list)  # request ids
+    #: request ids swapped out of the arena this step (pool pressure)
+    preempted: List[int] = field(default_factory=list)
+    #: request ids swapped back in this step (headroom returned)
+    resumed: List[int] = field(default_factory=list)
     retired: List[CompletedRequest] = field(default_factory=list)
     n_active: int = 0
     per_sequence: Dict[int, SequenceStepView] = field(default_factory=dict)
@@ -145,6 +152,34 @@ class _ActiveSequence:
     steps: int = 0
 
 
+@dataclass(frozen=True)
+class VictimCandidate:
+    """One active sequence, as the preemption policy sees it.
+
+    ``retained_mass`` is the running mean of the sequence's per-step
+    estimated attention probability mass retained after pruning
+    (:attr:`repro.serving.request.RequestStats.mean_retained_mass`) —
+    the Token-Picker probability estimates repurposed as a
+    memory-pressure signal.
+    """
+
+    seq_id: int
+    request_id: Optional[int]
+    retained_mass: float
+    admitted_step: int
+    context_length: int
+    remaining_tokens: int
+
+
+@dataclass
+class _PreemptedSequence:
+    """A swapped-out sequence waiting for headroom to resume."""
+
+    entry: _ActiveSequence
+    swapped: SwappedSequence
+    preempted_step: int
+
+
 class ServingEngine:
     """Continuous-batching Token-Picker serving over a pooled KV cache."""
 
@@ -157,7 +192,16 @@ class ServingEngine:
         capacity_tokens: int = 8192,
         block_size: int = 16,
         seed: int = 0,
+        memory_manager=None,
+        allow_bypass: bool = False,
     ) -> None:
+        """``memory_manager`` switches admission from the conservative
+        full-lifetime reservation (``None``, the default — decode can
+        never exhaust the pool) to the manager's policy: it decides the
+        admission/reservation footprint and, under decode-time pool
+        pressure, which active sequence to preempt (see
+        :mod:`repro.cluster.memory`).  ``allow_bypass`` enables the
+        scheduler's small-request head-of-line bypass."""
         if safety_factor < 1.0:
             raise ValueError("safety_factor must be >= 1 (headroom only)")
         self.config = config or TokenPickerConfig()
@@ -170,16 +214,22 @@ class ServingEngine:
         self._capacity_tokens = capacity_tokens
         self._block_size = block_size
         self._seed = seed
+        self.memory_manager = memory_manager
+        self.allow_bypass = allow_bypass
         self.pool: Optional[KVCachePool] = None  # built on first pooled admit
         self._scratch = KernelScratch()  # fused-kernel work arrays, reused
         self.counter = AccessCounter()  # engine-wide aggregate
         self.completed: List[CompletedRequest] = []
         self._active: Dict[int, _ActiveSequence] = {}
+        self._preempted: Dict[int, _PreemptedSequence] = {}
         self._submitted_at: Dict[int, int] = {}
+        self._submitted_wall: Dict[int, float] = {}
         self._next_seq_id = 0
         self._next_request_id = 0
         self._step_index = 0
         self.peak_concurrency = 0
+        self.preemptions_total = 0
+        self.resumes_total = 0
 
     # ------------------------------------------------------------ properties
     @property
@@ -190,6 +240,29 @@ class ServingEngine:
     @property
     def n_pending(self) -> int:
         return self.scheduler.n_pending
+
+    @property
+    def n_preempted(self) -> int:
+        """Sequences swapped out of the arena, waiting to resume."""
+        return len(self._preempted)
+
+    @property
+    def outstanding_tokens(self) -> int:
+        """Remaining lifetime KV footprint of every unfinished request.
+
+        Queued requests count their full lifetime; running and preempted
+        sequences count cached context plus tokens still to generate.
+        The cluster router's least-loaded policy weighs this by the
+        replica's live keep-fraction to estimate effective load.
+        """
+        total = sum(r.total_tokens for r in self.scheduler.pending)
+        for entry in self._active.values():
+            if entry.external:
+                continue
+            total += self.pool.length(entry.seq_id) + entry.remaining
+        for rec in self._preempted.values():
+            total += rec.swapped.length + rec.entry.remaining
+        return total
 
     @property
     def step_index(self) -> int:
@@ -222,9 +295,36 @@ class ServingEngine:
             )
         request.request_id = self._next_request_id
         self._next_request_id += 1
+        request.state = RequestState.QUEUED
         self._submitted_at[request.request_id] = self._step_index
+        self._submitted_wall[request.request_id] = time.perf_counter()
         self.scheduler.submit(request)
         return request.request_id
+
+    def withdraw_pending(self) -> List[GenerationRequest]:
+        """Take back every still-queued request (the drain/rebalance path).
+
+        Queued requests have not touched the pool, so they can be moved to
+        another replica safely; active and preempted sequences stay and
+        drain naturally.  Each request keeps its assigned ``request_id``
+        from this engine but will be re-assigned on re-submission.
+        """
+        withdrawn = list(self.scheduler.pending)
+        self.scheduler.pending.clear()
+        for request in withdrawn:
+            self._submitted_at.pop(request.request_id, None)
+            self._submitted_wall.pop(request.request_id, None)
+        return withdrawn
+
+    def _admission_tokens(self, request: GenerationRequest) -> int:
+        if self.memory_manager is None:
+            return request.total_tokens
+        return self.memory_manager.admission_tokens(request)
+
+    def _reserve_tokens(self, request: GenerationRequest) -> int:
+        if self.memory_manager is None:
+            return request.total_tokens
+        return self.memory_manager.reserve_tokens(request)
 
     def _ensure_pool(self, request: GenerationRequest) -> KVCachePool:
         if self.pool is None:
@@ -276,9 +376,12 @@ class ServingEngine:
             self.safety_factor,
             queries=request.queries,
         )
-        # reserve the full lifetime footprint so decode can never hit
-        # PoolExhausted mid-flight (the scheduler's admission contract)
-        pool.register(seq_id, scales=scales, reserve_tokens=request.total_tokens)
+        # conservative admission reserves the full lifetime footprint so
+        # decode can never hit PoolExhausted mid-flight; a memory manager
+        # (optimistic admission) reserves less and preempts under pressure
+        pool.register(
+            seq_id, scales=scales, reserve_tokens=self._reserve_tokens(request)
+        )
         k_slots, v_slots = pool.append_slots(seq_id, request.prompt_tokens)
         _encode_kv_into(
             request.prompt_keys,
@@ -294,7 +397,11 @@ class ServingEngine:
                 request.request_id, self._step_index
             ),
             admitted_step=self._step_index,
+            submitted_wall=self._submitted_wall.pop(
+                request.request_id, time.perf_counter()
+            ),
         )
+        request.state = RequestState.RUNNING
         source = request.step_source
         if source is None:
             rng = np.random.default_rng(
@@ -312,19 +419,137 @@ class ServingEngine:
             remaining=request.max_new_tokens,
         )
 
+    # ------------------------------------------------------ preempt / resume
+    def preempt(self, seq_id: int) -> None:
+        """Swap a pooled sequence's KV segments out of the arena.
+
+        The sequence's encoded rows (frozen-scale chunk digits + deq-V)
+        are copied out byte-exactly and its blocks freed; the sequence
+        resumes automatically — bit-identically — once headroom returns
+        (:meth:`_resume_preempted` runs at the top of every step).
+        """
+        entry = self._entry(seq_id)
+        if entry.external:
+            raise ValueError(
+                f"sequence {seq_id} is external; the caller owns its cache"
+            )
+        swapped = self.pool.swap_out(seq_id)
+        del self._active[seq_id]
+        entry.stats.preemptions += 1
+        if entry.request is not None:
+            entry.request.state = RequestState.PREEMPTED
+        self._preempted[seq_id] = _PreemptedSequence(
+            entry=entry, swapped=swapped, preempted_step=self._step_index
+        )
+        self.preemptions_total += 1
+
+    def _resume_preempted(self, report: EngineStepReport) -> None:
+        """Swap preempted sequences back in, oldest preemption first.
+
+        Resume asks for one spare block beyond the swapped length so a
+        just-resumed sequence cannot be re-preempted by its own next-token
+        growth (anti-thrash).  Resumed sequences take batch slots before
+        new admissions — they were admitted first.
+        """
+        for seq_id in list(self._preempted):
+            if self.n_active >= self.max_batch_size:
+                break
+            rec = self._preempted[seq_id]
+            if not self.pool.can_fit(
+                rec.swapped.length + self.pool.block_size
+            ):
+                continue
+            self.pool.swap_in(
+                seq_id,
+                rec.swapped,
+                reserve_tokens=rec.swapped.length + self.pool.block_size,
+            )
+            del self._preempted[seq_id]
+            entry = rec.entry
+            self._active[seq_id] = entry
+            if entry.request is not None:
+                entry.request.state = RequestState.RUNNING
+                report.resumed.append(entry.request.request_id)
+            self.resumes_total += 1
+
+    def _victim_candidates(self) -> List[VictimCandidate]:
+        return [
+            VictimCandidate(
+                seq_id=entry.seq_id,
+                request_id=(
+                    entry.request.request_id if entry.request else None
+                ),
+                retained_mass=entry.stats.mean_retained_mass,
+                admitted_step=entry.stats.admitted_step,
+                context_length=self.pool.length(entry.seq_id),
+                remaining_tokens=entry.remaining,
+            )
+            for entry in self._active.values()
+            if not entry.external
+        ]
+
+    def _preflight_growth(
+        self, pooled: List[_ActiveSequence], report: EngineStepReport
+    ) -> List[_ActiveSequence]:
+        """Decode-time headroom check: every survivor can append one token.
+
+        Conservative admission sized each run up front, so the fast path
+        is a no-op per sequence.  Under a memory manager, a sequence whose
+        next-token growth cannot be satisfied triggers preemption: the
+        manager picks victims (lowest estimated retained attention mass)
+        until the growth fits or the growing sequence is itself evicted.
+        Runs *before* any step tensors are drawn, so a preempted
+        sequence's decode stream is untouched and resumes bit-identically.
+        """
+        preempted_ids: set = set()
+        for entry in pooled:
+            if entry.seq_id in preempted_ids:
+                continue
+            while True:
+                try:
+                    self.pool.ensure_capacity(
+                        entry.seq_id, self.pool.length(entry.seq_id) + 1
+                    )
+                    break
+                except PoolExhausted:
+                    if self.memory_manager is None:
+                        raise  # conservative contract violated: surface it
+                    candidates = self._victim_candidates()
+                    victim = self.memory_manager.select_victim(candidates)
+                    if victim is None or victim not in self._active:
+                        raise
+                    victim_entry = self._active[victim]
+                    self.preempt(victim)
+                    preempted_ids.add(victim)
+                    if victim_entry.request is not None:
+                        report.preempted.append(
+                            victim_entry.request.request_id
+                        )
+                    if victim == entry.seq_id:
+                        break  # evicted itself; skip its growth
+        return [e for e in pooled if e.seq_id not in preempted_ids]
+
     # ----------------------------------------------------------- fused decode
     def step(self) -> EngineStepReport:
-        """One fused decode step: admit, batch-attend, account, retire."""
+        """One fused decode step: resume, admit, batch-attend, retire."""
         now = self._step_index
         report = EngineStepReport(step_index=now)
+        if self._preempted:
+            self._resume_preempted(report)
         admitted = self.scheduler.admit(
-            lambda r: self.pool is None or self.pool.can_fit(r.total_tokens),
+            lambda r: self.pool is None
+            or self.pool.can_fit(self._admission_tokens(r)),
             self.n_active,
             self._prefill,
+            allow_bypass=self.allow_bypass,
         )
         report.admitted = [r.request_id for r in admitted]
 
         pooled = [e for e in self._active.values() if not e.external]
+        if pooled:
+            pooled = self._preflight_growth(pooled, report)
+        for rec in self._preempted.values():
+            rec.entry.stats.preempted_steps += 1
         report.n_active = len(pooled)
         self.peak_concurrency = max(self.peak_concurrency, len(pooled))
         if not pooled:
@@ -401,10 +626,15 @@ class ServingEngine:
                 stats=stats,
             )
             entry.stats.generated_tokens += 1
+            if entry.stats.generated_tokens == 1:
+                entry.stats.first_token_wall = time.perf_counter()
             entry.remaining -= 1
             if entry.remaining <= 0:
                 entry.stats.finished_step = now
+                entry.stats.finished_wall = time.perf_counter()
                 self.pool.free(entry.seq_id)
+                if entry.request is not None:
+                    entry.request.state = RequestState.FINISHED
                 done = CompletedRequest(
                     request_id=entry.request.request_id, stats=entry.stats
                 )
@@ -425,9 +655,11 @@ class ServingEngine:
     ) -> List[EngineStepReport]:
         """Step until queue and batch are empty; returns every step report."""
         reports: List[EngineStepReport] = []
-        while (self.n_pending or self.n_active) and len(reports) < max_steps:
+        while (
+            self.n_pending or self.n_active or self.n_preempted
+        ) and len(reports) < max_steps:
             reports.append(self.step())
-        if self.n_pending or self.n_active:
+        if self.n_pending or self.n_active or self.n_preempted:
             raise RuntimeError(f"engine not drained after {max_steps} steps")
         return reports
 
@@ -445,8 +677,28 @@ class ServingEngine:
         """
         step_stats: List[PruneStats] = []
         totals = [0, 0, 0, 0, 0, 0]
+        track_mass = self.memory_manager is not None
         for entry, result in zip(entries, results):
             stats = result.stats()
+            if track_mass and result.kept.size:
+                # estimated attention probability mass retained this step:
+                # 1 minus the pruned tokens' certified upper bounds
+                # (Eq. 5, p'' = exp(s - ln D) >= p), averaged over heads
+                # — the signal the preemption policy ranks victims by.
+                # Only computed when a memory manager can consume it, so
+                # the default hot path pays nothing.
+                bounds = np.exp(
+                    np.clip(
+                        result.scores - result.log_denominators[:, None],
+                        -700.0,
+                        700.0,
+                    )
+                )
+                lost = np.minimum(
+                    np.where(result.kept, 0.0, bounds).sum(axis=1), 1.0
+                )
+                entry.stats.retained_mass_sum += float(1.0 - lost.mean())
+                entry.stats.retained_mass_steps += 1
             counter = entry.stats.counter
             counter.k_bits += stats.k_bits_fetched
             counter.v_bits += stats.v_bits_fetched

@@ -83,6 +83,25 @@ class PoolExhausted(RuntimeError):
     """Raised when an allocation cannot be satisfied from the hole list."""
 
 
+@dataclass(frozen=True)
+class SwappedSequence:
+    """A preempted sequence's KV segments, swapped out of the arena.
+
+    The rows are byte-exact copies of the arena's *encoded* storage
+    (frozen-scale chunk digits + quantize-dequantized V), so swapping back
+    in reproduces the sequence's cache bit-for-bit — the property the
+    preemption path's zero-divergence guarantee rests on.
+    """
+
+    k_rows: np.ndarray  # (t, k_heads, d) token-major encoded K digits
+    v_rows: np.ndarray  # (t, n_heads, d) token-major deq-V rows
+    scales: Optional[SequenceScales]
+
+    @property
+    def length(self) -> int:
+        return self.k_rows.shape[0]
+
+
 @dataclass
 class _SequenceEntry:
     """Arena segment + logical length of one pooled sequence."""
@@ -150,6 +169,8 @@ class KVCachePool:
         self.blocks_allocated_total = 0
         self.blocks_freed_total = 0
         self.peak_blocks_in_use = 0
+        self.swaps_out_total = 0
+        self.swaps_in_total = 0
 
     # --------------------------------------------------------------- capacity
     @property
@@ -449,6 +470,63 @@ class KVCachePool:
         self._v[rows] = v_rows
         for entry in entries:
             entry.length += 1
+
+    def ensure_capacity(self, seq_id: int, n_tokens: int) -> None:
+        """Grow the sequence's run to hold ``n_tokens``, without writing.
+
+        The decode-time headroom check of optimistic admission: the engine
+        pre-flights every active sequence's next-token growth *before*
+        drawing its step tensors, so a :class:`PoolExhausted` here (state
+        unchanged) can trigger preemption instead of losing a drawn token.
+        """
+        self._grow(self._entry(seq_id), self.blocks_needed(n_tokens))
+
+    def swap_out(self, seq_id: int) -> SwappedSequence:
+        """Preempt: copy the sequence's encoded rows out, free its run.
+
+        The sequence is removed from the pool entirely (its blocks return
+        to the hole list); :meth:`swap_in` re-admits the returned segments
+        byte-identically.  Frozen scales travel with the swap.
+        """
+        entry = self._entry(seq_id)
+        lo = max(entry.offset_blocks, 0) * self.block_size
+        swapped = SwappedSequence(
+            k_rows=self._k[lo:lo + entry.length].copy(),
+            v_rows=self._v[lo:lo + entry.length].copy(),
+            scales=entry.scales,
+        )
+        self.free(seq_id)
+        self.swaps_out_total += 1
+        return swapped
+
+    def swap_in(
+        self,
+        seq_id: int,
+        swapped: SwappedSequence,
+        reserve_tokens: int = 0,
+    ) -> None:
+        """Resume a preempted sequence: re-admit its swapped segments.
+
+        Allocates a fresh contiguous run (``reserve_tokens`` sizes it when
+        larger than the swapped length — the conservative resume path) and
+        copies the encoded rows back.  Raises :class:`PoolExhausted` with
+        the pool unchanged when no run fits.
+        """
+        n = swapped.length
+        self.register(
+            seq_id,
+            scales=swapped.scales,
+            reserve_tokens=max(n, reserve_tokens),
+        )
+        try:
+            if n:
+                k_slots, v_slots = self.append_slots(seq_id, n)
+                k_slots[:] = swapped.k_rows
+                v_slots[:] = swapped.v_rows
+        except PoolExhausted:  # pragma: no cover - register sized the run
+            self.free(seq_id)
+            raise
+        self.swaps_in_total += 1
 
     def view(self, seq_id: int) -> Tuple[np.ndarray, np.ndarray]:
         """The sequence's logical (H, t, d) K and V tensors (read-only).

@@ -12,6 +12,7 @@ traffic, clip events and queue/service latency in steps — and hands back a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from enum import Enum
 from typing import Callable, Optional, Tuple
 
 import numpy as np
@@ -22,6 +23,21 @@ from repro.model.attention import AccessCounter
 StepTensors = Tuple[np.ndarray, np.ndarray, np.ndarray]
 #: Called with the 0-based decode-step index of the sequence.
 StepSource = Callable[[int], StepTensors]
+
+
+class RequestState(str, Enum):
+    """Lifecycle of a request inside an engine (or a cluster replica).
+
+    ``QUEUED -> RUNNING -> FINISHED`` is the conservative-admission path;
+    optimistic admission adds the ``RUNNING <-> PREEMPTED`` cycle — a
+    preempted sequence's KV segments are swapped out of the arena and the
+    request resumes (bit-identically) once headroom returns.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    PREEMPTED = "preempted"
+    FINISHED = "finished"
 
 
 @dataclass
@@ -47,6 +63,7 @@ class GenerationRequest:
     step_source: Optional[StepSource] = None
     seed: Optional[int] = None
     request_id: Optional[int] = None
+    state: RequestState = RequestState.QUEUED
 
     def __post_init__(self) -> None:
         self.prompt_keys = np.asarray(self.prompt_keys, dtype=np.float64)
@@ -106,6 +123,22 @@ class RequestStats:
     submitted_step: int = -1
     admitted_step: int = -1
     finished_step: int = -1
+    #: times the sequence was swapped out of the arena under pool pressure
+    preemptions: int = 0
+    #: engine steps spent swapped out (decode made no progress)
+    preempted_steps: int = 0
+    #: running sum / count of the per-step estimated attention probability
+    #: mass *retained* after pruning (Eq. 5 certified bounds: 1 minus the
+    #: summed upper bounds of the pruned tokens, averaged over heads) —
+    #: the victim-selection signal for probability-guided preemption
+    retained_mass_sum: float = 0.0
+    retained_mass_steps: int = 0
+    #: wall-clock stamps (``time.perf_counter`` domain; < 0 when unset) —
+    #: the cluster metrics registry derives TTFT and end-to-end latency
+    #: percentiles from these
+    submitted_wall: float = -1.0
+    first_token_wall: float = -1.0
+    finished_wall: float = -1.0
 
     @property
     def queue_delay_steps(self) -> int:
@@ -126,6 +159,33 @@ class RequestStats:
         if self.finished_step < 0:
             return -1
         return self.finished_step - self.submitted_step
+
+    @property
+    def mean_retained_mass(self) -> float:
+        """Mean estimated attention mass kept per decode step (1.0 = all).
+
+        Sequences whose queries concentrate on few tokens prune hard and
+        retain *less* certified mass headroom; the preemption policy
+        targets the lowest value (cheapest to re-prefill relative to the
+        attention mass it is serving).
+        """
+        if self.retained_mass_steps == 0:
+            return 1.0
+        return self.retained_mass_sum / self.retained_mass_steps
+
+    @property
+    def ttft_seconds(self) -> float:
+        """Wall-clock time to first generated token (< 0 when unset)."""
+        if self.first_token_wall < 0 or self.submitted_wall < 0:
+            return -1.0
+        return self.first_token_wall - self.submitted_wall
+
+    @property
+    def e2e_seconds(self) -> float:
+        """Wall-clock submit-to-finish latency (< 0 when unset)."""
+        if self.finished_wall < 0 or self.submitted_wall < 0:
+            return -1.0
+        return self.finished_wall - self.submitted_wall
 
     @property
     def kv_reduction(self) -> float:

@@ -1,12 +1,17 @@
 """Continuous-batching admission control and ragged-batch packing.
 
 The scheduler owns the pending queue: requests are admitted FIFO whenever a
-batch slot *and* enough KV-pool headroom for the request's full lifetime
-(prompt + ``max_new_tokens``) are available — the conservative admission
-rule that makes mid-flight pool exhaustion impossible, so the engine never
-needs preemption.  Finished sequences retire every step, which is exactly
-what frees slots and blocks for the next admission: batches re-fill
-continuously instead of draining in lockstep.
+batch slot *and* enough KV-pool headroom for the request's admission
+footprint are available.  Under the default *conservative* rule the
+footprint is the full lifetime (prompt + ``max_new_tokens``), which makes
+mid-flight pool exhaustion impossible, so the engine never needs
+preemption; :mod:`repro.cluster.memory` supplies the *optimistic*
+alternative (prompt-only admission + probability-guided preemption) that
+trades that guarantee for batch occupancy.  Finished sequences retire
+every step, which is exactly what frees slots and blocks for the next
+admission: batches re-fill continuously instead of draining in lockstep.
+An optional small-request bypass (``admit(..., allow_bypass=True)``)
+relaxes head-of-line blocking without reordering the blocked remainder.
 
 Packing for the fused kernel is longest-context-first
 (:meth:`Scheduler.pack_order`): the ragged kernel lays sequences out as
@@ -34,6 +39,7 @@ class Scheduler:
         self.pending: Deque[GenerationRequest] = deque()
         self.admitted_total = 0
         self.retired_total = 0
+        self.bypassed_total = 0
 
     # ------------------------------------------------------------- admission
     def submit(self, request: GenerationRequest) -> None:
@@ -48,13 +54,22 @@ class Scheduler:
         can_fit: Callable[[GenerationRequest], bool],
         n_active: int,
         prefill: Callable[[GenerationRequest], None],
+        allow_bypass: bool = False,
     ) -> List[GenerationRequest]:
         """Admit queued requests while slots and pool headroom allow.
 
         ``can_fit`` is re-evaluated per candidate (each ``prefill`` commits
         blocks, shrinking the headroom the next candidate sees).  FIFO
-        order is strict — a large request at the head blocks later ones
-        until capacity frees up (no starvation of big prompts).
+        order is strict by default — a large request at the head blocks
+        later ones until capacity frees up (no starvation of big prompts).
+
+        ``allow_bypass=True`` relaxes head-of-line blocking: once the head
+        does not fit, later queued requests that *do* fit are admitted in
+        queue order (small-request bypass), leaving the blocked head — and
+        the relative order of everything left behind — untouched.  The
+        head still gets first claim on headroom every step, so it admits
+        as soon as capacity frees up; bypass trades its worst-case wait
+        for batch occupancy.
         """
         admitted: List[GenerationRequest] = []
         while (
@@ -65,6 +80,26 @@ class Scheduler:
             request = self.pending.popleft()
             prefill(request)
             admitted.append(request)
+        if (
+            allow_bypass
+            and self.pending
+            and n_active + len(admitted) < self.max_batch_size
+        ):
+            # the head is blocked on headroom but a slot is open: scan
+            # the rest of the queue for admissible small requests
+            survivors: List[GenerationRequest] = [self.pending.popleft()]
+            while self.pending:
+                request = self.pending.popleft()
+                if (
+                    n_active + len(admitted) < self.max_batch_size
+                    and can_fit(request)
+                ):
+                    prefill(request)
+                    admitted.append(request)
+                    self.bypassed_total += 1
+                else:
+                    survivors.append(request)
+            self.pending.extend(survivors)
         self.admitted_total += len(admitted)
         return admitted
 

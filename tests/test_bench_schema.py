@@ -1,0 +1,102 @@
+"""Tests for the shared ``BENCH_*.json`` artifact schema validator."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.eval.bench_schema import (
+    BenchSchemaError,
+    validate_bench,
+    validate_bench_file,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+VALID = {
+    "config": {"threshold": 2e-3, "n_heads": 4},
+    "points": [
+        {
+            "batch_size": 8,
+            "fused_tokens_per_sec": 1000.0,
+            "phase_ms_per_step": {
+                "pack": 0.1, "score": 1.0, "prune": 0.2, "unpack": 0.3,
+            },
+        }
+    ],
+}
+
+
+def _mutated(**overrides):
+    record = json.loads(json.dumps(VALID))
+    record.update(overrides)
+    return record
+
+
+class TestValidator:
+    def test_valid_record_passes(self):
+        validate_bench(VALID)
+
+    @pytest.mark.parametrize(
+        "record, fragment",
+        [
+            ({}, "config"),
+            (_mutated(config={}), "config"),
+            (_mutated(points=[]), "points"),
+            (_mutated(points=[{"phase_ms_per_step": {}}]), "tokens_per_sec"),
+            (
+                _mutated(points=[{"fused_tokens_per_sec": 1.0}]),
+                "phase_ms_per_step",
+            ),
+            (
+                _mutated(
+                    points=[
+                        {
+                            "fused_tokens_per_sec": 1.0,
+                            "phase_ms_per_step": {
+                                "pack": 0.1, "score": 1.0, "prune": 0.2,
+                            },
+                        }
+                    ]
+                ),
+                "unpack",
+            ),
+            (
+                _mutated(
+                    points=[
+                        {
+                            "fused_tokens_per_sec": 1.0,
+                            "phase_ms_per_step": {
+                                "pack": -0.1, "score": 1.0, "prune": 0.2,
+                                "unpack": 0.3,
+                            },
+                        }
+                    ]
+                ),
+                "pack",
+            ),
+        ],
+    )
+    def test_malformed_records_rejected(self, record, fragment):
+        with pytest.raises(BenchSchemaError, match=fragment):
+            validate_bench(record)
+
+    def test_invalid_json_file_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_broken.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchSchemaError, match="not valid JSON"):
+            validate_bench_file(path)
+
+
+class TestCommittedArtifacts:
+    """CI catches malformed bench output: the committed artifacts must
+    always satisfy the shared schema."""
+
+    @pytest.mark.parametrize(
+        "name", ["BENCH_engine.json", "BENCH_cluster.json"]
+    )
+    def test_artifact_validates(self, name):
+        path = REPO_ROOT / name
+        assert path.exists(), f"{name} missing from the repo root"
+        record = validate_bench_file(path)
+        assert record["points"]

@@ -61,3 +61,76 @@ class TestCLI:
         assert set(EXPERIMENTS) == {
             "fig2", "fig3", "fig4", "fig8", "fig9", "fig10", "table1", "table2",
         }
+
+
+SERVE_SIM_ARGS = [
+    "serve-sim", "--batch-size", "4", "--n-requests", "8",
+    "--context-length", "48", "--max-new-tokens", "4", "--seed", "3",
+]
+SERVE_CLUSTER_ARGS = [
+    "serve-cluster", "--replicas", "2", "--batch-size", "4",
+    "--n-requests", "8", "--context-length", "48", "--max-new-tokens", "4",
+    "--burst-size", "4", "--burst-gap", "2", "--seed", "3",
+]
+
+
+def _output_without_timing(capsys, argv):
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    return "\n".join(
+        line for line in out.splitlines() if "regenerated in" not in line
+    )
+
+
+class TestServeCluster:
+    def test_serve_cluster_runs(self, capsys):
+        code = main(SERVE_CLUSTER_ARGS)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Cluster serving simulation" in out
+        assert "2 replicas" in out
+        assert "optimistic admission" in out
+        assert "aggregate decode throughput" in out
+        assert "replica 0:" in out and "replica 1:" in out
+
+    def test_serve_cluster_profile_percentiles(self, capsys):
+        """Acceptance: --profile surfaces per-replica TTFT and per-token
+        latency p50/p95/p99 from the metrics registry."""
+        code = main(SERVE_CLUSTER_ARGS + ["--profile"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "telemetry" in out
+        for rid in (0, 1):
+            assert f"replica {rid} TTFT" in out
+            assert f"replica {rid} token latency" in out
+        assert "p50" in out and "p95" in out and "p99" in out
+
+    def test_serve_cluster_conservative_and_policies(self, capsys):
+        code = main(
+            SERVE_CLUSTER_ARGS
+            + ["--admission", "conservative", "--policy", "round-robin"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "conservative admission" in out
+        assert "preemptions: 0" in out
+
+    def test_serve_sim_deterministic_across_runs(self, capsys):
+        """Satellite: the --seed threads every RNG the engine draws from —
+        two identical invocations print identical summaries (wall-clock
+        appears only under --profile)."""
+        first = _output_without_timing(capsys, SERVE_SIM_ARGS)
+        second = _output_without_timing(capsys, SERVE_SIM_ARGS)
+        assert first == second
+
+    def test_serve_cluster_deterministic_across_runs(self, capsys):
+        first = _output_without_timing(capsys, SERVE_CLUSTER_ARGS)
+        second = _output_without_timing(capsys, SERVE_CLUSTER_ARGS)
+        assert first == second
+
+    def test_seed_changes_the_workload(self, capsys):
+        baseline = _output_without_timing(capsys, SERVE_CLUSTER_ARGS)
+        other = _output_without_timing(
+            capsys, SERVE_CLUSTER_ARGS[:-1] + ["4"]
+        )
+        assert baseline != other

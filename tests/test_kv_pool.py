@@ -247,6 +247,73 @@ class TestAccounting:
         assert pool.can_fit(16)
 
 
+class TestSwap:
+    def test_swap_out_in_roundtrip_bit_identical(self):
+        rng = np.random.default_rng(4)
+        pool = _pool()
+        scales = freeze_scales(
+            rng.normal(size=(2, 10, 4)),
+            rng.normal(size=(2, 10, 4)),
+            QuantConfig(),
+            1.25,
+        )
+        pool.register(0, scales=scales)
+        keys, values = rng.normal(size=(2, 10, 4)), rng.normal(size=(2, 10, 4))
+        pool.append(0, keys, values)
+        k_before, v_before = (a.copy() for a in pool.view(0))
+        swapped = pool.swap_out(0)
+        assert swapped.length == 10
+        assert pool.n_sequences == 0 and pool.blocks_in_use == 0
+        assert pool.swaps_out_total == 1
+        # occupy different blocks so the run comes back at a new offset
+        pool.register(9)
+        pool.append(9, rng.normal(size=(2, 5, 4)), rng.normal(size=(2, 5, 4)))
+        pool.swap_in(0, swapped)
+        assert pool.swaps_in_total == 1
+        assert pool.length(0) == 10
+        assert pool.scales_of(0) is scales
+        k_after, v_after = pool.view(0)
+        assert np.array_equal(k_before, k_after)
+        assert np.array_equal(v_before, v_after)
+
+    def test_swap_in_respects_reservation(self):
+        rng = np.random.default_rng(5)
+        pool = _pool()
+        pool.register(0)
+        pool.append(0, rng.normal(size=(2, 4, 4)), rng.normal(size=(2, 4, 4)))
+        swapped = pool.swap_out(0)
+        pool.swap_in(0, swapped, reserve_tokens=32)
+        entry_blocks = pool.blocks_in_use
+        assert entry_blocks == pool.blocks_needed(32)
+
+    def test_swap_in_raises_when_no_room(self):
+        rng = np.random.default_rng(6)
+        pool = _pool()
+        pool.register(0)
+        pool.append(0, rng.normal(size=(2, 16, 4)), rng.normal(size=(2, 16, 4)))
+        swapped = pool.swap_out(0)
+        pool.register(1)
+        pool.append(
+            1, rng.normal(size=(2, 56, 4)), rng.normal(size=(2, 56, 4))
+        )
+        with pytest.raises(PoolExhausted):
+            pool.swap_in(0, swapped)
+        assert pool.n_sequences == 1  # pool state unchanged
+
+    def test_ensure_capacity_grows_without_writing(self):
+        rng = np.random.default_rng(7)
+        pool = _pool()
+        pool.register(0)
+        pool.append(0, rng.normal(size=(2, 8, 4)), rng.normal(size=(2, 8, 4)))
+        assert pool.length(0) == 8
+        before = pool.blocks_in_use
+        pool.ensure_capacity(0, 9)
+        assert pool.blocks_in_use == before + 1
+        assert pool.length(0) == 8  # no tokens written
+        with pytest.raises(PoolExhausted):
+            pool.ensure_capacity(0, 1000)
+
+
 class TestValidation:
     def test_constructor(self):
         with pytest.raises(ValueError):

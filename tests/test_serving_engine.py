@@ -295,6 +295,101 @@ class TestValidation:
             engine.stats_of(3)
 
 
+class TestAdmissionEdgeCases:
+    def test_zero_pool_headroom_waits_without_hanging(self):
+        """With the pool fully committed, admission yields nothing, the
+        engine keeps stepping, and the queued request admits on free."""
+        rng = np.random.default_rng(20)
+        engine = _engine(max_batch_size=8, capacity_tokens=64, block_size=16)
+        engine.submit(synthetic_request(rng, 2, 48, 16, max_new_tokens=16))
+        report = engine.step()
+        assert report.admitted and engine.pool.blocks_free == 0
+        engine.submit(synthetic_request(rng, 2, 16, 16, max_new_tokens=4))
+        report = engine.step()
+        assert not report.admitted and engine.n_pending == 1
+        engine.run_until_drained()
+        assert len(engine.completed) == 2
+
+    def test_max_new_tokens_zero_rejected_clearly(self):
+        rng = np.random.default_rng(21)
+        keys = rng.normal(size=(2, 16, 16))
+        with pytest.raises(ValueError, match="max_new_tokens"):
+            GenerationRequest(
+                prompt_keys=keys, prompt_values=keys, max_new_tokens=0
+            )
+
+    def test_request_larger_than_pool_rejects_not_hangs(self):
+        """An impossible request errors at submit with a clear message and
+        never enters the queue, so it cannot head-block admission."""
+        rng = np.random.default_rng(22)
+        engine = _engine(capacity_tokens=64, block_size=16)
+        small = synthetic_request(rng, 2, 16, 16, max_new_tokens=2)
+        with pytest.raises(ValueError, match="pool holds"):
+            engine.submit(synthetic_request(rng, 2, 64, 16, max_new_tokens=8))
+        engine.submit(small)
+        assert engine.n_pending == 1
+        engine.run_until_drained()
+        assert len(engine.completed) == 1
+
+
+class TestSchedulerBypass:
+    def _queue_big_then_small(self, engine):
+        """One active request, then a queued big request that cannot fit
+        alongside it, then a small one that can."""
+        rng = np.random.default_rng(23)
+        first = engine.submit(synthetic_request(rng, 2, 48, 16, 16))
+        engine.step()  # 4 of 8 blocks committed
+        big = engine.submit(synthetic_request(rng, 2, 96, 16, 16))  # 7 blocks
+        small = engine.submit(synthetic_request(rng, 2, 32, 16, 16))  # 3
+        return first, big, small
+
+    def test_strict_fifo_is_the_default(self):
+        engine = _engine(max_batch_size=8, capacity_tokens=128, block_size=16)
+        _, big, small = self._queue_big_then_small(engine)
+        report = engine.step()
+        assert not report.admitted  # the big head blocks the small request
+        assert engine.n_pending == 2
+        assert engine.scheduler.bypassed_total == 0
+        engine.run_until_drained()
+        # FIFO preserved: the big request finishes admission-before-small
+        order = [c.request_id for c in engine.completed]
+        assert order.index(big) < order.index(small)
+
+    def test_small_request_bypasses_blocked_head(self):
+        engine = _engine(
+            max_batch_size=8,
+            capacity_tokens=128,
+            block_size=16,
+            allow_bypass=True,
+        )
+        _, big, small = self._queue_big_then_small(engine)
+        report = engine.step()
+        assert report.admitted == [small]
+        assert engine.scheduler.bypassed_total == 1
+        assert [r.request_id for r in engine.scheduler.pending] == [big]
+        engine.run_until_drained()
+        assert len(engine.completed) == 3
+
+    def test_bypass_keeps_left_behind_order(self):
+        from repro.serving import Scheduler
+
+        scheduler = Scheduler(max_batch_size=4)
+        rng = np.random.default_rng(24)
+        requests = [
+            synthetic_request(rng, 2, p, 16, max_new_tokens=1)
+            for p in (90, 20, 95, 25)
+        ]
+        for i, r in enumerate(requests):
+            r.request_id = i
+            scheduler.submit(r)
+        admitted = scheduler.admit(
+            lambda r: r.prompt_tokens < 50, 0, lambda r: None,
+            allow_bypass=True,
+        )
+        assert [r.request_id for r in admitted] == [1, 3]
+        assert [r.request_id for r in scheduler.pending] == [0, 2]
+
+
 class TestScheduler:
     def test_pack_order_and_utilization(self):
         assert Scheduler.pack_order({1: 5, 2: 9, 3: 7}) == [2, 3, 1]
