@@ -63,6 +63,58 @@ def _run_one(name: str, fast: bool) -> str:
     raise KeyError(name)
 
 
+def _tier_config(args):
+    """``TierConfig | None`` from the CLI flags."""
+    if not getattr(args, "kv_tiering", False):
+        return None
+    from repro.kvstore import TierConfig
+
+    return TierConfig(
+        policy=args.tier_policy,
+        hot_budget_tokens=args.hot_budget,
+    )
+
+
+def _prefix_cache(args):
+    """``RadixKVCache | None`` from the CLI flags (serve-sim's engine)."""
+    if not getattr(args, "prefix_cache", False):
+        return None
+    from repro.kvstore import RadixKVCache
+
+    return RadixKVCache(capacity_tokens=args.prefix_cache_capacity)
+
+
+def _tier_profile_lines(engine) -> List[str]:
+    """The ``--profile`` block for a tiered / prefix-cached engine."""
+    lines: List[str] = []
+    if engine.tiers is not None:
+        snap = engine.tiers.snapshot()
+        dram = snap["dram"]
+        tokens = max(
+            sum(c.stats.generated_tokens for c in engine.completed), 1
+        )
+        fast = dram["fast_read_bytes"] + dram["fast_write_bytes"]
+        slow = dram["slow_read_bytes"] + dram["slow_write_bytes"]
+        lines.append(
+            f"  kv tiering ({snap['policy']} policy, "
+            f"{snap['sketch_chunks']}-chunk sketch): "
+            f"{snap['demotions']} demotions, {snap['promotions']} promotions, "
+            f"{snap['rerun_steps']} kernel re-runs"
+        )
+        lines.append(
+            f"    modelled traffic: fast {fast / tokens:,.0f} B/token, "
+            f"slow {slow / tokens:,.0f} B/token"
+        )
+    if engine.prefix_cache is not None:
+        c = engine.prefix_cache.snapshot()
+        lines.append(
+            f"  prefix cache: hit rate {c['hit_rate']:.1%} "
+            f"({c['hit_tokens']}/{c['lookup_tokens']} prompt tokens), "
+            f"{c['resident_tokens']} tokens resident"
+        )
+    return lines
+
+
 def _run_serve_sim(args) -> str:
     """Continuous-batching serving simulation on synthetic traffic."""
     import numpy as np
@@ -89,6 +141,8 @@ def _run_serve_sim(args) -> str:
         max_batch_size=args.batch_size,
         capacity_tokens=capacity,
         seed=args.seed,
+        kv_tiering=_tier_config(args),
+        prefix_cache=_prefix_cache(args),
     )
     for _ in range(args.n_requests):
         prompt = max(8, args.context_length + int(rng.integers(-16, 17)))
@@ -137,6 +191,14 @@ def _run_serve_sim(args) -> str:
         f"  traffic-limited step speedup at B={point.batch_size}: "
         f"{point.step_speedup:.2f}x (KV fraction {point.kv_fraction:.2f})",
     ]
+    if engine.tiers is not None:
+        tiered = sim.step_from_tiered(full, engine_heads=n_heads)
+        lines.append(
+            f"  tiered step (B={tiered.batch_size}): fast "
+            f"{tiered.fast_attention_cycles} / slow "
+            f"{tiered.slow_attention_cycles} attention cycles "
+            f"(step {tiered.total_cycles})"
+        )
     if getattr(args, "profile", False) and busy_steps:
         total = sum(phase_totals.values())
         lines.append(
@@ -150,6 +212,8 @@ def _run_serve_sim(args) -> str:
                 f"    {phase:<6} {1e3 * seconds / busy_steps:7.3f} ms/step "
                 f"({share:5.1%})"
             )
+    if getattr(args, "profile", False):
+        lines.extend(_tier_profile_lines(engine))
     return "\n".join(lines)
 
 
@@ -185,6 +249,9 @@ def _run_serve_cluster(args) -> str:
         capacity_tokens=capacity,
         allow_bypass=args.allow_bypass,
         seed=args.seed,
+        kv_tiering=_tier_config(args),
+        prefix_cache=getattr(args, "prefix_cache", False),
+        prefix_cache_capacity=args.prefix_cache_capacity,
     )
     trace = bursty_trace(
         np.random.default_rng(args.seed),
@@ -236,6 +303,11 @@ def _run_serve_cluster(args) -> str:
         f"{tokens_per_second(ours.per_replica[0]):,.0f} tokens/s",
     ]
     if getattr(args, "profile", False):
+        for rid, engine in enumerate(router.replicas):
+            tier_lines = _tier_profile_lines(engine)
+            if tier_lines:
+                lines.append(f"  replica {rid}:")
+                lines.extend("  " + line for line in tier_lines)
         lines.append("  telemetry (wall-clock, per replica):")
         for rid in range(args.replicas):
             for name, label in (
@@ -299,7 +371,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--profile",
         action="store_true",
         help="serve-sim: print the engine's per-step phase breakdown; "
-        "serve-cluster: print per-replica TTFT / token-latency percentiles",
+        "serve-cluster: print per-replica TTFT / token-latency percentiles; "
+        "with --kv-tiering/--prefix-cache also print demotion and hit-rate "
+        "stats",
+    )
+    serve.add_argument(
+        "--kv-tiering",
+        action="store_true",
+        help="layer the two-tier KV store over the arena (bit-identical "
+        "outputs; demoted tokens' bytes live in the modelled slow tier)",
+    )
+    serve.add_argument(
+        "--tier-policy",
+        choices=("mass", "lru", "recency", "none"),
+        default="mass",
+        help="demotion policy for --kv-tiering (default: certified "
+        "retained-probability-mass)",
+    )
+    serve.add_argument(
+        "--hot-budget",
+        type=int,
+        default=0,
+        help="fast-tier residency target in tokens for --kv-tiering "
+        "(0: policy threshold only)",
+    )
+    serve.add_argument(
+        "--prefix-cache",
+        action="store_true",
+        help="dedupe shared prompt prefixes into refcounted cold-tier "
+        "extents (per replica under serve-cluster)",
+    )
+    serve.add_argument(
+        "--prefix-cache-capacity",
+        type=int,
+        default=65536,
+        help="retained prefix-cache budget in tokens; unreferenced "
+        "extents evict LRU beyond it (0: unbounded)",
     )
     cluster = parser.add_argument_group("serve-cluster options")
     cluster.add_argument(
@@ -313,9 +420,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     cluster.add_argument(
         "--admission",
-        choices=("conservative", "optimistic"),
+        choices=("conservative", "optimistic", "tiered"),
         default="optimistic",
-        help="replica memory policy (optimistic preempts under pressure)",
+        help="replica memory policy (optimistic preempts under pressure; "
+        "tiered prices preemption by hot-tier footprint)",
     )
     cluster.add_argument(
         "--capacity-tokens",

@@ -116,16 +116,52 @@ class OptimisticMemory:
         return best.seq_id
 
 
+@dataclass(frozen=True)
+class TieredMemory(OptimisticMemory):
+    """Optimistic admission that prices preemption by **hot-tier footprint**.
+
+    With the tiered KV store (:mod:`repro.kvstore`) most of a long-lived
+    sequence's tokens are demoted to the cold tier, so a preemption swap
+    only has to move the *hot* remainder — admission already counts just
+    the prompt footprint (inherited), and victim selection here prefers
+    the sequence whose eviction moves the fewest fast-tier bytes,
+    breaking ties by lowest retained attention mass.  On an untiered
+    engine ``hot_tokens`` equals the context length and this degrades to
+    "evict the shortest low-mass sequence".
+    """
+
+    name: str = "tiered"
+
+    def select_victim(
+        self, candidates: Sequence[VictimCandidate]
+    ) -> Optional[int]:
+        if not candidates:
+            return None
+        best = min(
+            candidates,
+            key=lambda c: (
+                c.hot_tokens,
+                c.retained_mass,
+                -c.admitted_step,
+                -c.seq_id,
+            ),
+        )
+        return best.seq_id
+
+
 def make_memory_manager(
     name: str, block_size: int = 16
 ) -> Optional[object]:
     """CLI-facing factory: ``conservative`` -> ``None`` (engine default),
-    ``optimistic`` -> :class:`OptimisticMemory`."""
+    ``optimistic`` -> :class:`OptimisticMemory`, ``tiered`` ->
+    :class:`TieredMemory` (hot-footprint-aware victim selection)."""
     if name == "conservative":
         return None
     if name == "optimistic":
         return OptimisticMemory(block_size=block_size)
+    if name == "tiered":
+        return TieredMemory(block_size=block_size)
     raise ValueError(
         f"unknown admission policy {name!r} "
-        "(expected 'conservative' or 'optimistic')"
+        "(expected 'conservative', 'optimistic' or 'tiered')"
     )

@@ -94,11 +94,19 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Approximate ``q``-th percentile (0..100), exact at the ends."""
+        """Approximate ``q``-th percentile (0..100), exact at the ends.
+
+        An **empty** histogram has no distribution to summarise, so every
+        percentile is consistently ``nan`` (not 0.0, which would read as
+        a real zero-latency observation, and not an exception — callers
+        poll percentiles on histograms they did not populate).  Check
+        ``count`` or :meth:`summary` (which reports ``{"count": 0}``)
+        before formatting.
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"q must be in [0, 100], got {q}")
         if self.count == 0:
-            return 0.0
+            return math.nan
         rank = max(1, math.ceil(q / 100.0 * self.count))  # 1-indexed
         seen = self._underflow
         if rank <= seen:

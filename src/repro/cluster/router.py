@@ -72,7 +72,17 @@ class ClusterRouter:
         allow_bypass: bool = False,
         seed: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        kv_tiering=None,
+        prefix_cache: bool = False,
+        prefix_cache_capacity: int = 0,
     ) -> None:
+        """``kv_tiering`` (a :class:`repro.kvstore.tiers.TierConfig`)
+        enables the two-tier KV store on every replica; ``prefix_cache``
+        gives each replica its own prefix-sharing
+        :class:`~repro.kvstore.radix.RadixKVCache` (extents live with the
+        replica that owns the sequences' KV, so caches are per-replica),
+        bounded to ``prefix_cache_capacity`` retained tokens each
+        (0: unbounded)."""
         if n_replicas < 1:
             raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
         if policy not in ROUTER_POLICIES:
@@ -83,6 +93,14 @@ class ClusterRouter:
         self.admission = admission
         self.metrics = registry if registry is not None else MetricsRegistry()
         self._seed = seed
+
+        def _replica_prefix_cache():
+            if not prefix_cache:
+                return None
+            from repro.kvstore.radix import RadixKVCache
+
+            return RadixKVCache(capacity_tokens=prefix_cache_capacity)
+
         # each replica gets an independent seed stream; request-level RNGs
         # derive from (replica seed, request id) inside the engine
         self.replicas: List[ServingEngine] = [
@@ -97,6 +115,8 @@ class ClusterRouter:
                     admission, block_size=block_size
                 ),
                 allow_bypass=allow_bypass,
+                kv_tiering=kv_tiering,
+                prefix_cache=_replica_prefix_cache(),
             )
             for rid in range(n_replicas)
         ]
@@ -322,9 +342,18 @@ class ClusterRouter:
         test pins — wall-clock histograms live under ``"timing"``)."""
         per_replica = []
         for rid, engine in enumerate(self.replicas):
+            tier_fields = {}
+            if engine.tiers is not None:
+                tier_fields["demotions"] = engine.tiers.demotions_total
+                tier_fields["promotions"] = engine.tiers.promotions_total
+            if engine.prefix_cache is not None:
+                tier_fields["prefix_hit_rate"] = round(
+                    engine.prefix_cache.hit_rate, 4
+                )
             per_replica.append(
                 {
                     "replica": rid,
+                    **tier_fields,
                     "requests_completed": len(engine.completed),
                     "steps": engine.step_index,
                     "peak_concurrency": engine.peak_concurrency,

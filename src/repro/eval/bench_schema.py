@@ -22,6 +22,15 @@ from typing import Mapping
 #: the engine hot path's wall-clock phases, recorded per bench point
 REQUIRED_PHASES = ("pack", "score", "prune", "unpack")
 
+#: every perf artifact the repo commits at its root; CI and the schema
+#: test validate each one that exists, so a new benchmark registers its
+#: artifact here to join the mechanical perf trajectory
+REGISTERED_ARTIFACTS = (
+    "BENCH_engine.json",
+    "BENCH_cluster.json",
+    "BENCH_kvstore.json",
+)
+
 
 class BenchSchemaError(ValueError):
     """A bench record does not satisfy the shared artifact schema."""
@@ -73,3 +82,15 @@ def validate_bench_file(path) -> dict:
         raise BenchSchemaError(f"{path.name}: not valid JSON ({exc})") from None
     validate_bench(record, name=path.name)
     return record
+
+
+def validate_repo_artifacts(root) -> dict:
+    """Validate every :data:`REGISTERED_ARTIFACTS` file present under
+    ``root``; returns ``{name: record}`` for the ones found."""
+    root = Path(root)
+    out = {}
+    for name in REGISTERED_ARTIFACTS:
+        path = root / name
+        if path.exists():
+            out[name] = validate_bench_file(path)
+    return out

@@ -123,6 +123,110 @@ def streaming_cycles(
     return latency_cycles + -(-per_channel // bytes_per_cycle)
 
 
+@dataclass(frozen=True)
+class DRAMTierParams:
+    """Bandwidth/latency point of one memory tier (closed-form model)."""
+
+    n_channels: int = 8
+    bytes_per_cycle: int = 64
+    latency_cycles: int = 24
+
+    def __post_init__(self) -> None:
+        if self.n_channels < 1 or self.bytes_per_cycle < 1:
+            raise ValueError("n_channels and bytes_per_cycle must be >= 1")
+        if self.latency_cycles < 0:
+            raise ValueError("latency_cycles must be >= 0")
+
+    def cycles(self, n_bytes: int) -> int:
+        return streaming_cycles(
+            n_bytes, self.n_channels, self.bytes_per_cycle, self.latency_cycles
+        )
+
+    def cycles_batch(self, n_bytes: np.ndarray) -> np.ndarray:
+        return streaming_cycles_batch(
+            n_bytes, self.n_channels, self.bytes_per_cycle, self.latency_cycles
+        )
+
+
+#: Default slow-tier point: a host/CXL-class link — one channel pair at a
+#: fraction of HBM bandwidth and an order of magnitude more latency.
+DEFAULT_SLOW_TIER = DRAMTierParams(
+    n_channels=2, bytes_per_cycle=16, latency_cycles=200
+)
+
+
+class TieredDRAMModel:
+    """Two-tier memory-traffic ledger: fast (HBM) + slow (host/CXL) tier.
+
+    The tiered KV store charges every modelled byte movement here —
+    fetch-path reads, prefill/append writes, demotion/promotion and swap
+    transfers — split by tier and direction.  Cycle costs are the same
+    closed-form streaming model as :func:`streaming_cycles`, per tier;
+    the tiers stream concurrently, so a step's transfer time is the
+    *maximum* of the two tiers' cycle counts (:meth:`step_cycles`).
+    """
+
+    def __init__(
+        self,
+        fast: Optional[DRAMTierParams] = None,
+        slow: Optional[DRAMTierParams] = None,
+    ) -> None:
+        self.fast = fast if fast is not None else DRAMTierParams()
+        self.slow = slow if slow is not None else DEFAULT_SLOW_TIER
+        self.reset()
+
+    def reset(self) -> None:
+        self.fast_read_bytes = 0
+        self.fast_write_bytes = 0
+        self.slow_read_bytes = 0
+        self.slow_write_bytes = 0
+
+    @staticmethod
+    def _check(n_bytes: int) -> int:
+        n_bytes = int(n_bytes)
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be >= 0")
+        return n_bytes
+
+    def fast_read(self, n_bytes: int) -> None:
+        self.fast_read_bytes += self._check(n_bytes)
+
+    def fast_write(self, n_bytes: int) -> None:
+        self.fast_write_bytes += self._check(n_bytes)
+
+    def slow_read(self, n_bytes: int) -> None:
+        self.slow_read_bytes += self._check(n_bytes)
+
+    def slow_write(self, n_bytes: int) -> None:
+        self.slow_write_bytes += self._check(n_bytes)
+
+    @property
+    def fast_bytes(self) -> int:
+        """Total bytes moved through the fast tier (reads + writes)."""
+        return self.fast_read_bytes + self.fast_write_bytes
+
+    @property
+    def slow_bytes(self) -> int:
+        return self.slow_read_bytes + self.slow_write_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.fast_bytes + self.slow_bytes
+
+    def step_cycles(self, fast_bytes: int, slow_bytes: int) -> int:
+        """Transfer time of one step moving bytes on both tiers at once."""
+        return max(self.fast.cycles(fast_bytes), self.slow.cycles(slow_bytes))
+
+    def snapshot(self) -> dict:
+        """JSON-ready ledger dump (the CLI ``--profile`` block reads it)."""
+        return {
+            "fast_read_bytes": self.fast_read_bytes,
+            "fast_write_bytes": self.fast_write_bytes,
+            "slow_read_bytes": self.slow_read_bytes,
+            "slow_write_bytes": self.slow_write_bytes,
+        }
+
+
 def streaming_cycles_batch(
     n_bytes: np.ndarray,
     n_channels: int = 8,

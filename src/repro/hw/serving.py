@@ -24,7 +24,12 @@ import numpy as np
 from repro.core.config import TokenPickerConfig
 from repro.core.pruning import PruneStats
 from repro.hw.accelerator import ToPickAccelerator
-from repro.hw.dram import streaming_cycles, streaming_cycles_batch
+from repro.hw.dram import (
+    DEFAULT_SLOW_TIER,
+    DRAMTierParams,
+    streaming_cycles,
+    streaming_cycles_batch,
+)
 from repro.hw.params import HardwareParams
 from repro.model.config import ModelConfig
 from repro.workloads.scores import sample_workload
@@ -188,6 +193,64 @@ class ServingSimulator:
             stats, variant=variant, engine_heads=engine_heads
         )
 
+    def step_from_tiered(
+        self,
+        report: "EngineStepReport",
+        slow: Optional[DRAMTierParams] = None,
+        engine_heads: Optional[int] = None,
+    ) -> "TieredStepResult":
+        """Decode-step latency when KV traffic splits across two tiers.
+
+        A tiered engine's step views carry each sequence's fetched bits
+        split by tier (``fast_bits``/``slow_bits``); the fast stream is
+        priced on the accelerator's HBM parameters exactly as
+        :meth:`step_from_traffic` does, the slow stream on ``slow`` (a
+        :class:`repro.hw.dram.DRAMTierParams`, default the host/CXL
+        point).  The tiers stream concurrently, so the attention phase
+        takes the *slower* of the two — the explicit cost of keeping
+        demoted tokens' sketches in far memory.  Untiered views (bits of
+        -1) charge everything to the fast tier.
+        """
+        views = list(report.per_sequence.values())
+        if not views:
+            raise ValueError("need at least one sequence's step view")
+        slow = slow if slow is not None else DEFAULT_SLOW_TIER
+        head_scale = 1.0
+        if engine_heads is not None:
+            if engine_heads < 1:
+                raise ValueError("engine_heads must be >= 1")
+            head_scale = self.model.n_heads / engine_heads
+        scale = head_scale * self.model.n_layers
+        fast_bits = np.array(
+            [
+                v.stats.total_bits_fetched if v.fast_bits < 0 else v.fast_bits
+                for v in views
+            ],
+            dtype=np.float64,
+        )
+        slow_bits = np.array(
+            [max(v.slow_bits, 0) for v in views], dtype=np.float64
+        )
+        fast_bytes = np.ceil(fast_bits * scale / 8).astype(np.int64)
+        slow_bytes = np.ceil(slow_bits * scale / 8).astype(np.int64)
+        fast_cycles = int(
+            streaming_cycles_batch(
+                fast_bytes,
+                self.hw.n_channels,
+                self.hw.channel_bytes_per_cycle,
+                self.hw.dram_latency_cycles,
+            ).sum()
+        )
+        slow_cycles = int(slow.cycles_batch(slow_bytes).sum())
+        return TieredStepResult(
+            batch_size=len(views),
+            weight_cycles=self.weight_streaming_cycles(),
+            fast_attention_cycles=fast_cycles,
+            slow_attention_cycles=slow_cycles,
+            fast_bytes=int(fast_bytes.sum()),
+            slow_bytes=int(slow_bytes.sum()),
+        )
+
     def step_from_cluster(
         self,
         reports: Sequence["EngineStepReport"],
@@ -231,6 +294,32 @@ class ServingSimulator:
                 }
             )
         return out
+
+
+@dataclass(frozen=True)
+class TieredStepResult:
+    """Cycle view of one decode step over a two-tier KV memory.
+
+    ``attention_cycles`` is the concurrent-stream maximum of the two
+    tiers; the per-tier cycle and byte splits stay visible so benches can
+    report fast-DRAM bytes per token (the scarce resource tiering frees)
+    alongside the latency the slow tier costs.
+    """
+
+    batch_size: int
+    weight_cycles: int
+    fast_attention_cycles: int
+    slow_attention_cycles: int
+    fast_bytes: int
+    slow_bytes: int
+
+    @property
+    def attention_cycles(self) -> int:
+        return max(self.fast_attention_cycles, self.slow_attention_cycles)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.weight_cycles + self.attention_cycles
 
 
 @dataclass(frozen=True)

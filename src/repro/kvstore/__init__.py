@@ -1,0 +1,45 @@
+"""Tiered KV memory: hot/cold token tiers + prefix-sharing radix cache.
+
+Token-Picker's estimator tells the serving stack, per token and per step,
+how much attention probability mass a KV row is actually worth.  This
+package turns that signal into a **memory hierarchy**:
+
+* :mod:`~repro.kvstore.tiers` — :class:`TieredKVStore`: a two-tier token
+  store over the packed arena.  Low-mass tokens demote to a byte-exact
+  encoded cold tier, keeping only their round-1 MSB-chunk sketch
+  reachable; promotion restores exact bytes on demand, so generated
+  outputs stay bit-identical to the untiered engine.  All movement is
+  charged to a :class:`~repro.hw.dram.TieredDRAMModel` ledger.
+* :mod:`~repro.kvstore.policy` — demotion policies: certified
+  retained-probability-mass (default), LRU and recency baselines.
+* :mod:`~repro.kvstore.radix` — :class:`RadixKVCache`: a prefix-sharing
+  radix tree mapping identical prompt prefixes across requests onto one
+  refcounted cold-tier extent, with copy-on-divergence splits.
+"""
+
+from repro.kvstore.policy import (
+    POLICY_NAMES,
+    DemotionPolicy,
+    LRUDemotionPolicy,
+    MassDemotionPolicy,
+    RecencyDemotionPolicy,
+    TokenTierView,
+    make_demotion_policy,
+)
+from repro.kvstore.radix import PrefixHandle, RadixKVCache, token_digests
+from repro.kvstore.tiers import TierConfig, TieredKVStore
+
+__all__ = [
+    "POLICY_NAMES",
+    "DemotionPolicy",
+    "LRUDemotionPolicy",
+    "MassDemotionPolicy",
+    "PrefixHandle",
+    "RadixKVCache",
+    "RecencyDemotionPolicy",
+    "TierConfig",
+    "TieredKVStore",
+    "TokenTierView",
+    "make_demotion_policy",
+    "token_digests",
+]

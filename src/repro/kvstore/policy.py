@@ -1,0 +1,169 @@
+"""Demotion policies: which resident tokens leave the fast tier.
+
+Token-Picker's estimator certifies, per decode step, an upper bound on
+every pruned token's attention probability (Eq. 5) and exact
+probabilities for the kept ones — the same per-request accounting that
+:attr:`repro.serving.request.RequestStats.mean_retained_mass` accumulates
+for preemption.  :class:`MassDemotionPolicy` reuses that signal at
+*token* granularity: the tiered store keeps an exponential moving average
+of each token's certified retained mass, and tokens whose mass stays
+negligible are the ones whose bytes can live in the slow tier — they are
+overwhelmingly round-1 prunes, so their exact bytes are almost never
+needed (the adaptive probabilistic-retention idea of *Learning What to
+Remember* / *SubGen*).
+
+Two baselines calibrate it: :class:`LRUDemotionPolicy` (demote tokens not
+*kept* by attention for a while — usage recency, ignoring magnitude) and
+:class:`RecencyDemotionPolicy` (demote everything outside a trailing
+window — the sliding-window heuristic, made safe here because demotion is
+not eviction: a demoted token still participates via its hot round-1
+sketch and is promoted back on demand).
+
+A policy answers two questions about one sequence's eligible positions:
+which to demote *unconditionally* (:meth:`DemotionPolicy.demote_now`) and
+how to *rank* the rest when the store must clear fast-tier budget
+(:meth:`DemotionPolicy.rank`, lower rank = demoted first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+POLICY_NAMES = ("mass", "lru", "recency", "none")
+
+
+@dataclass(frozen=True)
+class TokenTierView:
+    """One sequence's per-token policy signals (views, do not mutate).
+
+    ``mass``: EMA of certified retained attention-probability mass;
+    ``last_kept``: engine step each token was last *kept* by attention;
+    ``last_survived``: step each token last survived breadth round 1
+    (the store's anti-thrash eligibility gate reads this);
+    ``seen``: decode steps each token has been scored in.
+    """
+
+    seq_id: int
+    length: int
+    mass: np.ndarray
+    last_kept: np.ndarray
+    last_survived: np.ndarray
+    seen: np.ndarray
+
+
+class DemotionPolicy:
+    """Base policy: never demotes (the accounting-only ``none`` policy)."""
+
+    name = "none"
+
+    def demote_now(
+        self, view: TokenTierView, step: int, eligible: np.ndarray
+    ) -> np.ndarray:
+        """Positions (subset of ``eligible``) to demote regardless of
+        budget pressure."""
+        return np.zeros(0, dtype=np.int64)
+
+    def rank(self, view: TokenTierView, step: int) -> np.ndarray:
+        """Per-position demotion priority, lower = demoted first (used by
+        the store's hot-budget enforcement)."""
+        return np.arange(view.length, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class MassDemotionPolicy(DemotionPolicy):
+    """Demote tokens whose certified retained mass stays below threshold.
+
+    ``threshold`` is in probability units (compare with the pruning
+    threshold ``thr``); ``min_seen`` steps of evidence are required before
+    a token can be demoted, so fresh tokens are not judged on one query.
+    """
+
+    threshold: float = 1e-3
+    min_seen: int = 2
+
+    name = "mass"
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {self.threshold}")
+        if self.min_seen < 1:
+            raise ValueError(f"min_seen must be >= 1, got {self.min_seen}")
+
+    def demote_now(
+        self, view: TokenTierView, step: int, eligible: np.ndarray
+    ) -> np.ndarray:
+        mask = (view.mass[eligible] <= self.threshold) & (
+            view.seen[eligible] >= self.min_seen
+        )
+        return eligible[mask]
+
+    def rank(self, view: TokenTierView, step: int) -> np.ndarray:
+        return view.mass[: view.length].astype(np.float64)
+
+
+@dataclass(frozen=True)
+class LRUDemotionPolicy(DemotionPolicy):
+    """Demote tokens attention has not *kept* for ``idle_steps`` steps."""
+
+    idle_steps: int = 8
+
+    name = "lru"
+
+    def __post_init__(self) -> None:
+        if self.idle_steps < 1:
+            raise ValueError(f"idle_steps must be >= 1, got {self.idle_steps}")
+
+    def demote_now(
+        self, view: TokenTierView, step: int, eligible: np.ndarray
+    ) -> np.ndarray:
+        idle = step - view.last_kept[eligible]
+        return eligible[idle >= self.idle_steps]
+
+    def rank(self, view: TokenTierView, step: int) -> np.ndarray:
+        return view.last_kept[: view.length].astype(np.float64)
+
+
+@dataclass(frozen=True)
+class RecencyDemotionPolicy(DemotionPolicy):
+    """Demote everything but the trailing ``window`` positions."""
+
+    window: int = 64
+
+    name = "recency"
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+
+    def demote_now(
+        self, view: TokenTierView, step: int, eligible: np.ndarray
+    ) -> np.ndarray:
+        return eligible[eligible < view.length - self.window]
+
+    def rank(self, view: TokenTierView, step: int) -> np.ndarray:
+        return np.arange(view.length, dtype=np.float64)
+
+
+def make_demotion_policy(
+    name: str,
+    *,
+    mass_threshold: float = 1e-3,
+    min_seen: int = 2,
+    lru_idle_steps: int = 8,
+    recency_window: int = 64,
+) -> Optional[DemotionPolicy]:
+    """Policy factory the :class:`~repro.kvstore.tiers.TierConfig` uses."""
+    if name == "none":
+        return DemotionPolicy()
+    if name == "mass":
+        return MassDemotionPolicy(threshold=mass_threshold, min_seen=min_seen)
+    if name == "lru":
+        return LRUDemotionPolicy(idle_steps=lru_idle_steps)
+    if name == "recency":
+        return RecencyDemotionPolicy(window=recency_window)
+    raise ValueError(
+        f"unknown demotion policy {name!r} (expected one of {POLICY_NAMES})"
+    )

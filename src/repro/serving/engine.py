@@ -26,9 +26,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # engine <-> kvstore: runtime import stays lazy
+    from repro.hw.dram import TieredDRAMModel
+    from repro.kvstore.radix import RadixKVCache
+    from repro.kvstore.tiers import TierConfig
 
 from repro.core.config import TokenPickerConfig
 from repro.core.pruning import (
@@ -98,6 +103,12 @@ class SequenceStepView:
     request_id: Optional[int]
     context_length: int
     stats: PruneStats  # this step's attention accounting (all heads)
+    #: fetch-path split by memory tier when KV tiering is enabled
+    #: (``fast_bits + slow_bits == stats.total_bits_fetched``); both are
+    #: -1 on an untiered engine, and ``step_from_tiered`` falls back to
+    #: charging everything to the fast tier.
+    fast_bits: int = -1
+    slow_bits: int = -1
 
     @property
     def kept_tokens(self) -> int:
@@ -130,6 +141,12 @@ class EngineStepReport:
     #: (softmax/outputs/slicing + accounting) — the serve-sim ``--profile``
     #: and benchmark breakdowns read this
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: KV-tiering movement this step (zero on an untiered engine):
+    #: tokens demoted / promoted, and sequences whose kernel call was
+    #: re-run after an on-demand promotion
+    tier_demotions: int = 0
+    tier_promotions: int = 0
+    tier_reruns: int = 0
 
     @property
     def batch_size(self) -> int:
@@ -169,6 +186,10 @@ class VictimCandidate:
     admitted_step: int
     context_length: int
     remaining_tokens: int
+    #: fast-tier resident tokens — what a preemption swap actually has to
+    #: move (demoted rows already live in the cold tier).  Equals
+    #: ``context_length`` on an untiered engine.
+    hot_tokens: int = -1
 
 
 @dataclass
@@ -194,6 +215,9 @@ class ServingEngine:
         seed: int = 0,
         memory_manager=None,
         allow_bypass: bool = False,
+        kv_tiering: "Optional[TierConfig]" = None,
+        prefix_cache: "Optional[RadixKVCache]" = None,
+        tier_dram: "Optional[TieredDRAMModel]" = None,
     ) -> None:
         """``memory_manager`` switches admission from the conservative
         full-lifetime reservation (``None``, the default — decode can
@@ -201,7 +225,17 @@ class ServingEngine:
         admission/reservation footprint and, under decode-time pool
         pressure, which active sequence to preempt (see
         :mod:`repro.cluster.memory`).  ``allow_bypass`` enables the
-        scheduler's small-request head-of-line bypass."""
+        scheduler's small-request head-of-line bypass.
+
+        ``kv_tiering`` (a :class:`repro.kvstore.tiers.TierConfig`) layers
+        the two-tier KV store over the arena: low-mass tokens demote to a
+        byte-exact cold tier and promote back on demand, with generated
+        outputs bit-identical to the untiered engine.  ``prefix_cache``
+        (a :class:`repro.kvstore.radix.RadixKVCache`) dedupes shared
+        prompt prefixes into refcounted cold-tier extents.  ``tier_dram``
+        supplies the :class:`repro.hw.dram.TieredDRAMModel` ledger tier
+        traffic is charged to (a default model is built when tiering is
+        on)."""
         if safety_factor < 1.0:
             raise ValueError("safety_factor must be >= 1 (headroom only)")
         self.config = config or TokenPickerConfig()
@@ -216,6 +250,11 @@ class ServingEngine:
         self._seed = seed
         self.memory_manager = memory_manager
         self.allow_bypass = allow_bypass
+        self._tier_config = kv_tiering
+        self._tier_dram = tier_dram
+        self.tiers = None  # TieredKVStore, built with the pool
+        self.prefix_cache = prefix_cache
+        self._prefix_handles: Dict[int, object] = {}
         self.pool: Optional[KVCachePool] = None  # built on first pooled admit
         self._scratch = KernelScratch()  # fused-kernel work arrays, reused
         self.counter = AccessCounter()  # engine-wide aggregate
@@ -354,6 +393,16 @@ class ServingEngine:
                     else np.float64
                 ),
             )
+            if self._tier_config is not None:
+                from repro.kvstore.tiers import TieredKVStore
+
+                self.tiers = TieredKVStore(
+                    self.pool,
+                    self.config.quant,
+                    config=self._tier_config,
+                    dram=self._tier_dram,
+                    prompt_guard=self.config.prompt_guard,
+                )
         elif (
             self.pool.n_heads != request.n_heads
             or self.pool.head_dim != request.head_dim
@@ -382,6 +431,17 @@ class ServingEngine:
         pool.register(
             seq_id, scales=scales, reserve_tokens=self._reserve_tokens(request)
         )
+        prefix_hits = 0
+        if self.prefix_cache is not None:
+            # dedupe the prompt's cold-tier ingest against shared
+            # prefixes; the sequence still encodes from its *own* prompt
+            # tensors below (per-sequence frozen scales), so a hit only
+            # removes modelled transfer, never changes bytes
+            handle = self.prefix_cache.acquire(
+                request.prompt_keys, request.prompt_values
+            )
+            prefix_hits = handle.hit_tokens
+            self._prefix_handles[seq_id] = handle
         k_slots, v_slots = pool.append_slots(seq_id, request.prompt_tokens)
         _encode_kv_into(
             request.prompt_keys,
@@ -391,8 +451,17 @@ class ServingEngine:
             k_slots,
             v_slots,
         )
+        if self.tiers is not None:
+            self.tiers.register(seq_id)
+            self.tiers.note_append(
+                seq_id, request.prompt_tokens, self._step_index
+            )
+            self.tiers.charge_prefill_ingest(
+                request.prompt_tokens, prefix_hits
+            )
         stats = RequestStats(
             prompt_tokens=request.prompt_tokens,
+            prefix_hit_tokens=prefix_hits,
             submitted_step=self._submitted_at.pop(
                 request.request_id, self._step_index
             ),
@@ -433,7 +502,15 @@ class ServingEngine:
             raise ValueError(
                 f"sequence {seq_id} is external; the caller owns its cache"
             )
-        swapped = self.pool.swap_out(seq_id)
+        if self.tiers is not None:
+            # patch sketch-only demoted rows from their cold copies first,
+            # so the swapped segments stay byte-exact; swap_out then only
+            # charges the hot remainder as new cold-tier movement
+            swapped = self.tiers.on_swap_out(
+                seq_id, self.pool.swap_out(seq_id)
+            )
+        else:
+            swapped = self.pool.swap_out(seq_id)
         del self._active[seq_id]
         entry.stats.preemptions += 1
         if entry.request is not None:
@@ -464,6 +541,8 @@ class ServingEngine:
                 rec.swapped,
                 reserve_tokens=rec.swapped.length + self.pool.block_size,
             )
+            if self.tiers is not None:
+                self.tiers.on_swap_in(seq_id)
             del self._preempted[seq_id]
             entry = rec.entry
             self._active[seq_id] = entry
@@ -483,6 +562,11 @@ class ServingEngine:
                 admitted_step=entry.stats.admitted_step,
                 context_length=self.pool.length(entry.seq_id),
                 remaining_tokens=entry.remaining,
+                hot_tokens=(
+                    self.tiers.hot_tokens(entry.seq_id)
+                    if self.tiers is not None
+                    else self.pool.length(entry.seq_id)
+                ),
             )
             for entry in self._active.values()
             if not entry.external
@@ -593,6 +677,9 @@ class ServingEngine:
         v_rows = np.clip(np.rint(v_t / vsc), quant.qmin, quant.qmax) * vsc
         seq_ids = [e.seq_id for e in pooled]
         self.pool.append_rows(seq_ids, k_rows, v_rows)
+        if self.tiers is not None:
+            for sid in seq_ids:
+                self.tiers.note_append(sid, 1, now)
         segments = self.pool.segments_of(seq_ids)
         report.phase_seconds["pack"] = time.perf_counter() - t_mark
 
@@ -615,15 +702,34 @@ class ServingEngine:
             segments[:, 1].tolist()
         )
 
+        tier_bits: Optional[Dict[int, Tuple[int, int]]] = None
+        if self.tiers is not None:
+            tier_bits = self._tier_post_kernel(
+                pooled, qs, q_scales, k_scales, segments, ragged, report
+            )
+
         t_mark = time.perf_counter()
-        step_stats = self._account(pooled, ragged.results, instances=n_heads)
+        demoted_masks = (
+            [self.tiers.demoted_mask(e.seq_id) for e in pooled]
+            if self.tiers is not None
+            else None
+        )
+        step_stats = self._account(
+            pooled, ragged.results, instances=n_heads,
+            demoted_masks=demoted_masks,
+        )
         for entry, result, stats in zip(pooled, ragged.results, step_stats):
+            fast_bits, slow_bits = (
+                tier_bits[entry.seq_id] if tier_bits is not None else (-1, -1)
+            )
             report.results[entry.seq_id] = result
             report.per_sequence[entry.seq_id] = SequenceStepView(
                 seq_id=entry.seq_id,
                 request_id=entry.request.request_id if entry.request else None,
                 context_length=self.pool.length(entry.seq_id),
                 stats=stats,
+                fast_bits=fast_bits,
+                slow_bits=slow_bits,
             )
             entry.stats.generated_tokens += 1
             if entry.stats.generated_tokens == 1:
@@ -633,6 +739,11 @@ class ServingEngine:
                 entry.stats.finished_step = now
                 entry.stats.finished_wall = time.perf_counter()
                 self.pool.free(entry.seq_id)
+                if self.tiers is not None:
+                    self.tiers.free(entry.seq_id)
+                handle = self._prefix_handles.pop(entry.seq_id, None)
+                if handle is not None:
+                    self.prefix_cache.release(handle)
                 if entry.request is not None:
                     entry.request.state = RequestState.FINISHED
                 done = CompletedRequest(
@@ -642,6 +753,8 @@ class ServingEngine:
                 report.retired.append(done)
                 del self._active[entry.seq_id]
         self.scheduler.note_retired(len(report.retired))
+        if self.tiers is not None:
+            report.tier_demotions += self.tiers.run_policy(now)
         report.phase_seconds["unpack"] = (
             report.phase_seconds.get("unpack", 0.0)
             + time.perf_counter()
@@ -649,6 +762,70 @@ class ServingEngine:
         )
         self._step_index += 1
         return report
+
+    def _tier_post_kernel(
+        self,
+        pooled: List[_ActiveSequence],
+        qs: np.ndarray,
+        q_scales: np.ndarray,
+        k_scales: np.ndarray,
+        segments: np.ndarray,
+        ragged,
+        report: EngineStepReport,
+    ) -> Dict[int, Tuple[int, int]]:
+        """On-demand promotion and its bit-exactness repair loop.
+
+        A demoted token the kernel pruned within its sketch rounds was
+        pruned from exact chunk digits — the untiered decision, bit for
+        bit.  A demoted token that *outlived* the sketch needs the bytes
+        the cold tier holds: promote it (exact encoded rows restored) and
+        re-run the kernel for just that sequence (per-sequence results
+        are independent of batch composition, so the re-run is
+        bit-identical to the full fused call).  Sketch-round decisions
+        cannot change across re-runs — the sketch digits are exact either
+        way — so one pass converges; the loop bound is a defensive
+        invariant.
+
+        Afterwards every sequence's final result feeds the tier store's
+        policy signals and per-tier traffic split.
+        """
+        for _ in range(self.config.quant.n_chunks + 1):
+            rerun: List[int] = []
+            for i, entry in enumerate(pooled):
+                need = self.tiers.tokens_needing_promotion(
+                    entry.seq_id, ragged.results[i]
+                )
+                if need.size:
+                    report.tier_promotions += self.tiers.promote(
+                        entry.seq_id, need
+                    )
+                    rerun.append(i)
+            if not rerun:
+                break
+            idx = np.asarray(rerun, dtype=np.int64)
+            redo = token_picker_attention_ragged(
+                qs[idx],
+                None,
+                None,
+                self.config,
+                q_scales=q_scales[idx],
+                k_scales=k_scales[idx],
+                k_plane_arena=self.pool.k_arena,
+                v_arena=self.pool.v_arena,
+                segments=segments[idx],
+                scratch=self._scratch,
+                phase_times=report.phase_seconds,
+            )
+            for j, i in enumerate(rerun):
+                ragged.results[i] = redo.results[j]
+            report.tier_reruns += len(rerun)
+            self.tiers.rerun_steps_total += len(rerun)
+        tier_bits: Dict[int, Tuple[int, int]] = {}
+        for entry, result in zip(pooled, ragged.results):
+            tier_bits[entry.seq_id] = self.tiers.observe_step(
+                entry.seq_id, result, self._step_index
+            )
+        return tier_bits
 
     def run_until_drained(
         self, max_steps: int = 100_000
@@ -668,17 +845,25 @@ class ServingEngine:
         entries: Sequence[_ActiveSequence],
         results: Sequence[BatchedPickerResult],
         instances: int,
+        demoted_masks: Optional[Sequence[np.ndarray]] = None,
     ) -> List[PruneStats]:
         """Per-sequence + engine-wide traffic accounting for one step.
 
         Per-request counters are distinct objects, so each takes its own
         update; the engine-wide aggregate is applied once from the batch
         totals rather than once per sequence.
+
+        ``demoted_masks`` (tiered engines only) excludes demoted tokens
+        from the retained-mass bound: their reported ``scores`` are the
+        round-1 partials, not exact scores, so their Eq. 5 bound is not
+        evaluable here — the tier store tracks their mass per token
+        instead, and by construction of the demotion policy it is
+        negligible.
         """
         step_stats: List[PruneStats] = []
         totals = [0, 0, 0, 0, 0, 0]
         track_mass = self.memory_manager is not None
-        for entry, result in zip(entries, results):
+        for i, (entry, result) in enumerate(zip(entries, results)):
             stats = result.stats()
             if track_mass and result.kept.size:
                 # estimated attention probability mass retained this step:
@@ -694,8 +879,11 @@ class ServingEngine:
                         700.0,
                     )
                 )
+                excluded = result.kept
+                if demoted_masks is not None and demoted_masks[i].any():
+                    excluded = excluded | demoted_masks[i][None, :]
                 lost = np.minimum(
-                    np.where(result.kept, 0.0, bounds).sum(axis=1), 1.0
+                    np.where(excluded, 0.0, bounds).sum(axis=1), 1.0
                 )
                 entry.stats.retained_mass_sum += float(1.0 - lost.mean())
                 entry.stats.retained_mass_steps += 1

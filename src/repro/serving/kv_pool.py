@@ -144,10 +144,10 @@ class KVCachePool:
             raise ValueError("n_heads and head_dim must be >= 1")
         if block_size < 1:
             raise ValueError(f"block_size must be >= 1, got {block_size}")
-        if capacity_tokens < block_size:
+        if capacity_tokens != 0 and capacity_tokens < block_size:
             raise ValueError(
-                f"capacity_tokens ({capacity_tokens}) must hold at least one "
-                f"block ({block_size})"
+                f"capacity_tokens ({capacity_tokens}) must be 0 or hold at "
+                f"least one block ({block_size})"
             )
         self.n_heads = n_heads
         self.head_dim = head_dim
@@ -162,8 +162,13 @@ class KVCachePool:
             dtype=k_dtype,
         )
         self._v = np.zeros((self.n_blocks * block_size, n_heads, head_dim))
-        # hole list in block units, sorted by offset, coalesced
-        self._holes: List[Tuple[int, int]] = [(0, self.n_blocks)]
+        # hole list in block units, sorted by offset, coalesced.  A
+        # zero-capacity pool (capacity_tokens == 0) is legal — an
+        # always-full placeholder some capacity dashboards construct —
+        # and starts with no holes at all.
+        self._holes: List[Tuple[int, int]] = (
+            [(0, self.n_blocks)] if self.n_blocks else []
+        )
         self._seqs: Dict[int, _SequenceEntry] = {}
         # eviction accounting
         self.blocks_allocated_total = 0
@@ -196,7 +201,12 @@ class KVCachePool:
 
     @property
     def utilization(self) -> float:
-        """Occupied fraction of the pool, in blocks."""
+        """Occupied fraction of the pool, in blocks.
+
+        A zero-capacity pool reports 0.0 occupancy rather than dividing
+        by zero (regression-tested: dashboards poll this on pools they
+        did not construct).
+        """
         return self.blocks_in_use / self.n_blocks if self.n_blocks else 0.0
 
     @property

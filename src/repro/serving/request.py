@@ -119,6 +119,10 @@ class RequestStats:
     prompt_tokens: int = 0
     generated_tokens: int = 0
     clip_events: int = 0
+    #: prompt tokens whose cold-tier ingest was served by the prefix
+    #: cache (0 when no :class:`repro.kvstore.radix.RadixKVCache` is
+    #: attached to the engine)
+    prefix_hit_tokens: int = 0
     counter: AccessCounter = field(default_factory=AccessCounter)
     submitted_step: int = -1
     admitted_step: int = -1

@@ -6,9 +6,11 @@ from pathlib import Path
 import pytest
 
 from repro.eval.bench_schema import (
+    REGISTERED_ARTIFACTS,
     BenchSchemaError,
     validate_bench,
     validate_bench_file,
+    validate_repo_artifacts,
 )
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -92,11 +94,16 @@ class TestCommittedArtifacts:
     """CI catches malformed bench output: the committed artifacts must
     always satisfy the shared schema."""
 
-    @pytest.mark.parametrize(
-        "name", ["BENCH_engine.json", "BENCH_cluster.json"]
-    )
+    @pytest.mark.parametrize("name", REGISTERED_ARTIFACTS)
     def test_artifact_validates(self, name):
         path = REPO_ROOT / name
         assert path.exists(), f"{name} missing from the repo root"
         record = validate_bench_file(path)
         assert record["points"]
+
+    def test_kvstore_artifact_registered(self):
+        assert "BENCH_kvstore.json" in REGISTERED_ARTIFACTS
+
+    def test_validate_repo_artifacts_covers_registry(self):
+        records = validate_repo_artifacts(REPO_ROOT)
+        assert set(records) == set(REGISTERED_ARTIFACTS)

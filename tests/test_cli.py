@@ -43,6 +43,34 @@ class TestCLI:
             assert phase in out
         assert "ms/step" in out
 
+    def test_serve_sim_kv_tiering_profile(self, capsys):
+        code = main([
+            "serve-sim", "--batch-size", "4", "--n-requests", "6",
+            "--context-length", "48", "--max-new-tokens", "4",
+            "--kv-tiering", "--prefix-cache", "--profile",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "kv tiering (mass policy" in out
+        assert "demotions" in out
+        assert "B/token" in out
+        assert "prefix cache: hit rate" in out
+        assert "tiered step" in out
+
+    def test_serve_cluster_tiered_admission(self, capsys):
+        code = main([
+            "serve-cluster", "--replicas", "2", "--batch-size", "4",
+            "--n-requests", "8", "--context-length", "48",
+            "--max-new-tokens", "4", "--burst-size", "4",
+            "--admission", "tiered", "--kv-tiering", "--prefix-cache",
+            "--profile",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tiered admission" in out
+        assert "kv tiering" in out
+        assert "prefix cache" in out
+
     def test_all_excludes_serve_sim(self, capsys):
         """`all` regenerates the paper artifacts only."""
         from repro import cli

@@ -95,6 +95,29 @@ class TestMetrics:
             b.observe(v)
         assert a.summary() == b.summary()
 
+    def test_empty_state_behaviour(self):
+        """Empty metrics: counters read 0, histogram percentiles are nan
+        (consistently — not 0.0, not an exception), summaries stay
+        count-only."""
+        import math
+
+        from repro.cluster.metrics import Counter, Gauge
+
+        assert Counter().value == 0.0
+        assert Gauge().value == 0.0
+        hist = Histogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert math.isnan(hist.percentile(q))
+        assert hist.summary() == {"count": 0}
+        # bounds still validated on an empty histogram
+        with pytest.raises(ValueError):
+            hist.percentile(-0.1)
+        # one observation flips every percentile to a real number
+        hist.observe(0.25)
+        assert hist.percentile(50.0) == 0.25
+
     def test_histogram_edge_cases(self):
         hist = Histogram()
         assert hist.summary() == {"count": 0}

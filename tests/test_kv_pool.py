@@ -341,6 +341,24 @@ class TestValidation:
         with pytest.raises(ValueError):
             pool.append(0, np.zeros((2, 4, 4)), np.zeros((2, 5, 4)))
 
+    def test_zero_capacity_pool_is_safe(self):
+        """Regression: a 0-block pool must not divide by zero anywhere a
+        dashboard polls (utilization, hole sizes, fit checks)."""
+        pool = _pool(capacity_tokens=0)
+        assert pool.n_blocks == 0
+        assert pool.utilization == 0.0
+        assert pool.blocks_free == 0
+        assert pool.blocks_in_use == 0
+        assert pool.largest_hole_blocks == 0
+        assert not pool.can_fit(1)
+        pool.register(0)  # registering with no reservation is legal...
+        assert pool.utilization == 0.0
+        with pytest.raises(PoolExhausted):  # ...but any growth is not
+            pool.append_slots(0, 1)
+        # sub-block capacities other than zero stay rejected
+        with pytest.raises(ValueError):
+            _pool(capacity_tokens=4, block_size=8)
+
 
 class TestCalibration:
     def test_freeze_scales_matches_manual(self):
