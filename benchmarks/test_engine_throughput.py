@@ -175,6 +175,11 @@ def measure(repeats: int = 3) -> dict:
                 "phase_ms_per_step": _phase_breakdown(batch),
             }
         )
+    # the chunked-prefill latency comparison lives in its own module;
+    # its record rides along as the artifact's long_prompt_burst section
+    # (required by the bench schema for BENCH_engine.json)
+    from test_prefill_latency import measure_long_prompt_burst
+
     return {
         "config": {
             "threshold": CFG.threshold,
@@ -184,6 +189,7 @@ def measure(repeats: int = 3) -> dict:
             "max_new_tokens": MAX_NEW,
         },
         "points": points,
+        "long_prompt_burst": measure_long_prompt_burst(),
     }
 
 

@@ -84,6 +84,21 @@ def _prefix_cache(args):
     return RadixKVCache(capacity_tokens=args.prefix_cache_capacity)
 
 
+def _prefill_profile_lines(engine) -> List[str]:
+    """The ``--profile`` chunked-prefill block for one engine."""
+    if not engine.prefill_chunks_total:
+        return []
+    budget = engine.prefill_budget_tokens
+    mean_chunk = engine.prefill_tokens_total / engine.prefill_chunks_total
+    return [
+        "  chunked prefill "
+        f"(budget {budget if budget is not None else 'unbounded'}): "
+        f"{engine.prefill_tokens_total} prompt tokens in "
+        f"{engine.prefill_chunks_total} chunks "
+        f"(mean {mean_chunk:.1f} tokens/chunk)"
+    ]
+
+
 def _tier_profile_lines(engine) -> List[str]:
     """The ``--profile`` block for a tiered / prefix-cached engine."""
     lines: List[str] = []
@@ -131,6 +146,10 @@ def _run_serve_sim(args) -> str:
         raise ValueError(
             "--context-length must be >= 24 and --max-new-tokens >= 1"
         )
+    if args.prefill_budget < 0:
+        raise ValueError(
+            f"--prefill-budget must be >= 0, got {args.prefill_budget}"
+        )
     model = get_model_config(args.model)
     rng = np.random.default_rng(args.seed)
     n_heads, head_dim = 4, model.head_dim
@@ -141,6 +160,7 @@ def _run_serve_sim(args) -> str:
         max_batch_size=args.batch_size,
         capacity_tokens=capacity,
         seed=args.seed,
+        prefill_budget_tokens=args.prefill_budget or None,
         kv_tiering=_tier_config(args),
         prefix_cache=_prefix_cache(args),
     )
@@ -213,6 +233,7 @@ def _run_serve_sim(args) -> str:
                 f"({share:5.1%})"
             )
     if getattr(args, "profile", False):
+        lines.extend(_prefill_profile_lines(engine))
         lines.extend(_tier_profile_lines(engine))
     return "\n".join(lines)
 
@@ -234,6 +255,10 @@ def _run_serve_cluster(args) -> str:
         raise ValueError(
             "--context-length must be >= 24 and --max-new-tokens >= 1"
         )
+    if args.prefill_budget < 0:
+        raise ValueError(
+            f"--prefill-budget must be >= 0, got {args.prefill_budget}"
+        )
     model = get_model_config(args.model)
     n_heads, head_dim = 4, model.head_dim
     config = TokenPickerConfig(threshold=args.threshold)
@@ -248,6 +273,7 @@ def _run_serve_cluster(args) -> str:
         max_batch_size=args.batch_size,
         capacity_tokens=capacity,
         allow_bypass=args.allow_bypass,
+        prefill_budget_tokens=args.prefill_budget or None,
         seed=args.seed,
         kv_tiering=_tier_config(args),
         prefix_cache=getattr(args, "prefix_cache", False),
@@ -304,14 +330,18 @@ def _run_serve_cluster(args) -> str:
     ]
     if getattr(args, "profile", False):
         for rid, engine in enumerate(router.replicas):
-            tier_lines = _tier_profile_lines(engine)
-            if tier_lines:
+            extra = _prefill_profile_lines(engine) + _tier_profile_lines(
+                engine
+            )
+            if extra:
                 lines.append(f"  replica {rid}:")
-                lines.extend("  " + line for line in tier_lines)
+                lines.extend("  " + line for line in extra)
         lines.append("  telemetry (wall-clock, per replica):")
         for rid in range(args.replicas):
             for name, label in (
                 ("ttft_seconds", "TTFT"),
+                ("queue_wait_seconds", "queue wait"),
+                ("prefill_seconds", "prefill"),
                 ("token_latency_seconds", "token latency"),
             ):
                 hist = router.metrics.histogram(name, replica=rid)
@@ -366,6 +396,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     serve.add_argument(
         "--threshold", type=float, default=2e-3, help="pruning threshold thr"
+    )
+    serve.add_argument(
+        "--prefill-budget",
+        type=int,
+        default=0,
+        help="per-step prompt-ingestion budget with decode priority: "
+        "active decodes each claim one budget token (decode is never "
+        "throttled) and the leftover feeds prompt chunks; bounds the "
+        "inter-token latency spike a long prompt can cause "
+        "(0: unbounded, monolithic prefill)",
     )
     serve.add_argument(
         "--profile",

@@ -98,10 +98,14 @@ class OptimisticMemory:
         """The sequence retaining the least estimated attention mass.
 
         Ties (e.g. freshly admitted sequences that have not decoded yet,
-        all at the no-data default of 1.0) break toward the most recently
-        admitted — LIFO preemption preserves the oldest sequences'
-        progress — then toward the higher sequence id, so selection is
-        fully deterministic.
+        all at the no-data default of 1.0) break toward still-prefilling
+        sequences first — a mid-prefill victim has decoded nothing, its
+        swap moves only the ingested chunk (``context_length`` counts
+        exactly the partially-prefilled footprint), and its un-ingested
+        prompt tail costs nothing to evict — then toward the most
+        recently admitted (LIFO preserves the oldest sequences'
+        progress), then the higher sequence id, so selection is fully
+        deterministic.
         """
         if not candidates:
             return None
@@ -109,6 +113,7 @@ class OptimisticMemory:
             candidates,
             key=lambda c: (
                 c.retained_mass,
+                not c.prefilling,
                 -c.admitted_step,
                 -c.seq_id,
             ),
@@ -142,6 +147,7 @@ class TieredMemory(OptimisticMemory):
             key=lambda c: (
                 c.hot_tokens,
                 c.retained_mass,
+                not c.prefilling,
                 -c.admitted_step,
                 -c.seq_id,
             ),

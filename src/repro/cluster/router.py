@@ -70,6 +70,7 @@ class ClusterRouter:
         block_size: int = 16,
         safety_factor: float = 1.25,
         allow_bypass: bool = False,
+        prefill_budget_tokens: Optional[int] = None,
         seed: int = 0,
         registry: Optional[MetricsRegistry] = None,
         kv_tiering=None,
@@ -82,7 +83,10 @@ class ClusterRouter:
         :class:`~repro.kvstore.radix.RadixKVCache` (extents live with the
         replica that owns the sequences' KV, so caches are per-replica),
         bounded to ``prefix_cache_capacity`` retained tokens each
-        (0: unbounded)."""
+        (0: unbounded).  ``prefill_budget_tokens`` enables chunked
+        prefill on every replica: each engine step spends at most that
+        many tokens of work, decode first and the leftover on prompt
+        chunks (``None``: monolithic prefill)."""
         if n_replicas < 1:
             raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
         if policy not in ROUTER_POLICIES:
@@ -115,6 +119,7 @@ class ClusterRouter:
                     admission, block_size=block_size
                 ),
                 allow_bypass=allow_bypass,
+                prefill_budget_tokens=prefill_budget_tokens,
                 kv_tiering=kv_tiering,
                 prefix_cache=_replica_prefix_cache(),
             )
@@ -248,7 +253,12 @@ class ClusterRouter:
         m = self.metrics
         m.gauge("queue_depth", replica=rid).set(engine.n_pending)
         m.gauge("active_sequences", replica=rid).set(report.n_active)
+        m.gauge("prefilling_sequences", replica=rid).set(report.prefilling)
         m.gauge("preempted_sequences", replica=rid).set(engine.n_preempted)
+        if report.prefill_tokens:
+            m.counter("prefill_tokens", replica=rid).inc(
+                report.prefill_tokens
+            )
         occupancy = engine.pool.utilization if engine.pool is not None else 0.0
         m.gauge("arena_occupancy", replica=rid).set(occupancy)
         self._occupancy_sum[rid] += report.n_active
@@ -269,9 +279,21 @@ class ClusterRouter:
             )
         for done in report.retired:
             m.counter("requests_completed", replica=rid).inc()
+            # TTFT runs submit -> first *decoded* token; with chunked
+            # prefill its queue-wait and prefill shares come from the
+            # split stamps, so the histograms attribute them correctly
+            # even when ingestion spans whole steps
             if done.stats.ttft_seconds >= 0:
                 m.histogram("ttft_seconds", replica=rid).observe(
                     done.stats.ttft_seconds
+                )
+            if done.stats.queue_wait_seconds >= 0:
+                m.histogram("queue_wait_seconds", replica=rid).observe(
+                    done.stats.queue_wait_seconds
+                )
+            if done.stats.prefill_seconds >= 0:
+                m.histogram("prefill_seconds", replica=rid).observe(
+                    done.stats.prefill_seconds
                 )
             if done.stats.e2e_seconds >= 0:
                 m.histogram("e2e_seconds", replica=rid).observe(
@@ -329,8 +351,13 @@ class ClusterRouter:
         """Mean active sequences per step over the replica's lifetime.
 
         Deterministic (counts only): total tokens divided by steps, the
-        quantity the optimistic-vs-conservative benchmark compares.
+        quantity the optimistic-vs-conservative benchmark compares.  A
+        replica that has taken zero steps reports 0.0 (not a division
+        error); an unknown replica id is a :class:`ValueError`, never a
+        silent negative-index alias.
         """
+        if not 0 <= replica_id < self.n_replicas:
+            raise ValueError(f"unknown replica {replica_id}")
         steps = self.replicas[replica_id].step_index
         if steps == 0:
             return 0.0
@@ -369,9 +396,15 @@ class ClusterRouter:
                         else 0
                     ),
                     "keep_fraction": round(engine.counter.keep_fraction, 4),
-                    "kv_bit_reduction": round(
-                        engine.counter.total_reduction, 3
+                    # a zero-traffic replica has no reduction evidence:
+                    # report the 1.0 identity, not the counter's inf
+                    # (which would make the summary non-JSON-serialisable)
+                    "kv_bit_reduction": (
+                        round(engine.counter.total_reduction, 3)
+                        if engine.counter.total_bits
+                        else 1.0
                     ),
+                    "prefill_chunks": engine.prefill_chunks_total,
                     "generated_tokens": sum(
                         c.stats.generated_tokens for c in engine.completed
                     ),

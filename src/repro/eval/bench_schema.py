@@ -7,7 +7,13 @@ trajectory mechanically and CI can reject malformed bench output:
 * a ``"config"`` object naming the workload dimensions,
 * a non-empty ``"points"`` list, each point carrying at least one
   ``*tokens_per_sec*`` throughput number and a ``"phase_ms_per_step"``
-  object with the four hot-path phases (pack / score / prune / unpack).
+  object with the four hot-path phases (pack / score / prune / unpack),
+* optionally a ``"long_prompt_burst"`` section (required for
+  ``BENCH_engine.json``): the chunked-prefill latency recording —
+  modelled p95 inter-token latency and p95 TTFT on
+  :func:`repro.workloads.traces.long_prompt_burst_trace` under an
+  unbounded vs a finite per-step prefill budget, with prefill ingest
+  priced into the modelled step latency.
 
 :func:`validate_bench` raises :class:`BenchSchemaError` with a pointed
 message; :func:`validate_bench_file` wraps it for on-disk artifacts.
@@ -21,6 +27,18 @@ from typing import Mapping
 
 #: the engine hot path's wall-clock phases, recorded per bench point
 REQUIRED_PHASES = ("pack", "score", "prune", "unpack")
+
+#: per-variant latency fields of the ``long_prompt_burst`` section —
+#: recorded once for the unbounded budget and once for the finite one
+LONG_BURST_VARIANT_FIELDS = (
+    "p95_inter_token_ms",
+    "p95_ttft_ms",
+    "mean_ttft_ms",
+)
+
+#: artifacts whose records must carry the ``long_prompt_burst`` section
+#: (the chunked-prefill latency trajectory lives with the engine bench)
+LONG_BURST_REQUIRED_IN = ("BENCH_engine.json",)
 
 #: every perf artifact the repo commits at its root; CI and the schema
 #: test validate each one that exists, so a new benchmark registers its
@@ -71,6 +89,45 @@ def validate_bench(record: Mapping, name: str = "bench") -> None:
                     f"{where}.phase_ms_per_step.{phase}",
                     f"must be a number >= 0, got {value!r}",
                 )
+    burst = record.get("long_prompt_burst")
+    if burst is None:
+        if name in LONG_BURST_REQUIRED_IN:
+            _fail(
+                f"{name}.long_prompt_burst",
+                "missing: the engine artifact must record the "
+                "chunked-prefill latency comparison",
+            )
+    else:
+        _validate_long_burst(burst, f"{name}.long_prompt_burst")
+
+
+def _validate_long_burst(burst, where: str) -> None:
+    """The chunked-prefill section: unbounded vs budgeted latencies."""
+    if not isinstance(burst, Mapping):
+        _fail(where, f"must be an object, got {type(burst).__name__}")
+    budget = burst.get("prefill_budget_tokens")
+    if not isinstance(budget, int) or budget < 1:
+        _fail(
+            f"{where}.prefill_budget_tokens",
+            f"must be an int >= 1, got {budget!r}",
+        )
+    for variant in ("unbounded", "budgeted"):
+        section = burst.get(variant)
+        if not isinstance(section, Mapping):
+            _fail(f"{where}.{variant}", "must be an object")
+        for field in LONG_BURST_VARIANT_FIELDS:
+            value = section.get(field)
+            if not isinstance(value, (int, float)) or value < 0:
+                _fail(
+                    f"{where}.{variant}.{field}",
+                    f"must be a number >= 0, got {value!r}",
+                )
+    gain = burst.get("p95_inter_token_improvement")
+    if not isinstance(gain, (int, float)) or gain <= 0:
+        _fail(
+            f"{where}.p95_inter_token_improvement",
+            f"must be a number > 0, got {gain!r}",
+        )
 
 
 def validate_bench_file(path) -> dict:

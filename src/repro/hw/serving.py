@@ -40,16 +40,25 @@ if TYPE_CHECKING:  # avoid a runtime hw -> serving dependency
 
 @dataclass(frozen=True)
 class ServingStepResult:
-    """Cycle breakdown of one batched decode step for one design."""
+    """Cycle breakdown of one batched decode step for one design.
+
+    ``prefill_cycles`` prices the prompt-chunk KV rows *ingested* during
+    the step (encoded K digits + V streamed into DRAM) — zero on a pure
+    decode step, large on a step that swallowed a monolithic prefill,
+    and bounded by the engine's ``prefill_budget_tokens`` under chunked
+    prefill.  It was silently omitted before, which is exactly how
+    prefill head-of-line blocking hid from the modelled latency.
+    """
 
     variant: str
     batch_size: int
     weight_cycles: int
     attention_cycles: int
+    prefill_cycles: int = 0
 
     @property
     def total_cycles(self) -> int:
-        return self.weight_cycles + self.attention_cycles
+        return self.weight_cycles + self.attention_cycles + self.prefill_cycles
 
     @property
     def attention_fraction(self) -> float:
@@ -123,11 +132,32 @@ class ServingSimulator:
             attention_cycles=int(round(per_instance * n_instances)),
         )
 
+    def _head_scale(self, engine_heads: Optional[int]) -> float:
+        if engine_heads is None:
+            return 1.0
+        if engine_heads < 1:
+            raise ValueError("engine_heads must be >= 1")
+        return self.model.n_heads / engine_heads
+
+    def _prefill_cycles(self, prefill_bits: int, scale: float) -> int:
+        """Cycles to stream one step's ingested prompt-chunk rows into
+        DRAM (one contiguous write stream — ingest batches, unlike the
+        per-sequence fetch tails)."""
+        if prefill_bits <= 0:
+            return 0
+        return streaming_cycles(
+            int(np.ceil(prefill_bits * scale / 8)),
+            self.hw.n_channels,
+            self.hw.channel_bytes_per_cycle,
+            self.hw.dram_latency_cycles,
+        )
+
     def step_from_traffic(
         self,
         per_sequence: Sequence[PruneStats],
         variant: str = "topick",
         engine_heads: Optional[int] = None,
+        prefill_bits: int = 0,
     ) -> ServingStepResult:
         """Decode-step latency from *measured* per-sequence KV traffic.
 
@@ -138,47 +168,51 @@ class ServingSimulator:
         its own DRAM latency tail (``streaming_cycles`` per sequence, not
         one call on the pooled total): private KV traffic does not batch.
 
+        ``prefill_bits`` adds the encoded KV bits of prompt chunks the
+        step ingested (:attr:`EngineStepReport.prefill_bits`), priced as
+        one DRAM write stream — a step may be prefill-only (empty
+        ``per_sequence``) when every budget token went to ingestion.
+
         The engine models one layer's heads; traffic is scaled by
         ``model.n_layers`` and, when ``engine_heads`` is given, by
         ``model.n_heads / engine_heads`` to cover the full stack.  The
         ``baseline`` variant charges the unpruned footprint of the same
-        sequences.
+        sequences (prefill ingest is identical on both variants).
         """
-        if not per_sequence:
-            raise ValueError("need at least one sequence's stats")
-        head_scale = 1.0
-        if engine_heads is not None:
-            if engine_heads < 1:
-                raise ValueError("engine_heads must be >= 1")
-            head_scale = self.model.n_heads / engine_heads
-        # each sequence's private KV stream is charged its own latency
-        # tail (private KV traffic does not batch), all in one vectorised
-        # streaming-cycles call
-        bits = np.array(
-            [
-                stats.baseline_total_bits
-                if variant == "baseline"
-                else stats.total_bits_fetched
-                for stats in per_sequence
-            ],
-            dtype=np.float64,
-        )
-        n_bytes = np.ceil(bits * head_scale * self.model.n_layers / 8).astype(
-            np.int64
-        )
-        attention_cycles = int(
-            streaming_cycles_batch(
-                n_bytes,
-                self.hw.n_channels,
-                self.hw.channel_bytes_per_cycle,
-                self.hw.dram_latency_cycles,
-            ).sum()
-        )
+        if not per_sequence and not prefill_bits:
+            raise ValueError(
+                "need at least one sequence's stats or prefill traffic"
+            )
+        scale = self._head_scale(engine_heads) * self.model.n_layers
+        attention_cycles = 0
+        if per_sequence:
+            # each sequence's private KV stream is charged its own latency
+            # tail (private KV traffic does not batch), all in one
+            # vectorised streaming-cycles call
+            bits = np.array(
+                [
+                    stats.baseline_total_bits
+                    if variant == "baseline"
+                    else stats.total_bits_fetched
+                    for stats in per_sequence
+                ],
+                dtype=np.float64,
+            )
+            n_bytes = np.ceil(bits * scale / 8).astype(np.int64)
+            attention_cycles = int(
+                streaming_cycles_batch(
+                    n_bytes,
+                    self.hw.n_channels,
+                    self.hw.channel_bytes_per_cycle,
+                    self.hw.dram_latency_cycles,
+                ).sum()
+            )
         return ServingStepResult(
             variant=variant,
             batch_size=len(per_sequence),
             weight_cycles=self.weight_streaming_cycles(),
             attention_cycles=attention_cycles,
+            prefill_cycles=self._prefill_cycles(prefill_bits, scale),
         )
 
     def step_from_engine(
@@ -187,10 +221,14 @@ class ServingSimulator:
         variant: str = "topick",
         engine_heads: Optional[int] = None,
     ) -> ServingStepResult:
-        """Latency of one *engine* step from its per-sequence accounting."""
+        """Latency of one *engine* step from its per-sequence accounting,
+        including the prompt-chunk ingest the step performed."""
         stats = [view.stats for view in report.per_sequence.values()]
         return self.step_from_traffic(
-            stats, variant=variant, engine_heads=engine_heads
+            stats,
+            variant=variant,
+            engine_heads=engine_heads,
+            prefill_bits=report.prefill_bits,
         )
 
     def step_from_tiered(
@@ -212,15 +250,13 @@ class ServingSimulator:
         -1) charge everything to the fast tier.
         """
         views = list(report.per_sequence.values())
-        if not views:
-            raise ValueError("need at least one sequence's step view")
+        prefill_bits = report.prefill_bits
+        if not views and not prefill_bits:
+            raise ValueError(
+                "need at least one sequence's step view or prefill traffic"
+            )
         slow = slow if slow is not None else DEFAULT_SLOW_TIER
-        head_scale = 1.0
-        if engine_heads is not None:
-            if engine_heads < 1:
-                raise ValueError("engine_heads must be >= 1")
-            head_scale = self.model.n_heads / engine_heads
-        scale = head_scale * self.model.n_layers
+        scale = self._head_scale(engine_heads) * self.model.n_layers
         fast_bits = np.array(
             [
                 v.stats.total_bits_fetched if v.fast_bits < 0 else v.fast_bits
@@ -249,6 +285,7 @@ class ServingSimulator:
             slow_attention_cycles=slow_cycles,
             fast_bytes=int(fast_bytes.sum()),
             slow_bytes=int(slow_bytes.sum()),
+            prefill_cycles=self._prefill_cycles(prefill_bits, scale),
         )
 
     def step_from_cluster(
@@ -263,14 +300,15 @@ class ServingSimulator:
         and its own sequences' KV — replicas run concurrently, so the
         cluster's step latency is the *slowest* replica's step and the
         aggregate throughput is the *sum* of per-replica token rates.
-        Idle replicas (empty reports) contribute nothing.
+        Idle replicas (no decode and no prefill ingest) contribute
+        nothing; a prefill-only replica still counts toward the straggler.
         """
         per_replica = [
             self.step_from_engine(
                 report, variant=variant, engine_heads=engine_heads
             )
             for report in reports
-            if report.per_sequence
+            if report.per_sequence or report.prefill_bits
         ]
         if not per_replica:
             raise ValueError("every replica is idle; nothing to aggregate")
@@ -312,6 +350,8 @@ class TieredStepResult:
     slow_attention_cycles: int
     fast_bytes: int
     slow_bytes: int
+    #: prompt-chunk ingest priced inside this step (fast-tier write)
+    prefill_cycles: int = 0
 
     @property
     def attention_cycles(self) -> int:
@@ -319,7 +359,7 @@ class TieredStepResult:
 
     @property
     def total_cycles(self) -> int:
-        return self.weight_cycles + self.attention_cycles
+        return self.weight_cycles + self.attention_cycles + self.prefill_cycles
 
 
 @dataclass(frozen=True)

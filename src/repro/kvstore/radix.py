@@ -107,6 +107,21 @@ class PrefixHandle:
     def miss_tokens(self) -> int:
         return self.prompt_tokens - self.hit_tokens
 
+    def hits_in(self, start: int, stop: int) -> int:
+        """Cache-hit tokens inside the prompt slice ``[start, stop)``.
+
+        The resident prefix covers positions ``[0, hit_tokens)``, so a
+        chunked prefill can charge each chunk's ingest with exactly its
+        share of the hit — the chunk-at-a-time counterpart of charging
+        ``hit_tokens`` once for a monolithic ingest.
+        """
+        if not 0 <= start <= stop <= self.prompt_tokens:
+            raise ValueError(
+                f"chunk [{start}, {stop}) outside prompt of "
+                f"{self.prompt_tokens} tokens"
+            )
+        return max(0, min(stop, self.hit_tokens) - start)
+
 
 class RadixKVCache:
     """Refcounted radix tree of raw prompt-KV extents (the cold tier's

@@ -251,7 +251,13 @@ class TieredKVStore:
 
     def charge_prefill_ingest(self, n_tokens: int, hit_tokens: int) -> None:
         """Prompt ingestion: missed tokens are written into the cold tier
-        from outside; hit tokens are already resident (read only)."""
+        from outside; hit tokens are already resident (read only).
+
+        Called once per prompt *chunk* under chunked prefill (with that
+        chunk's share of the prefix-cache hit,
+        :meth:`repro.kvstore.radix.PrefixHandle.hits_in`), so the ledger
+        charges ingest in the step it actually happens — the per-chunk
+        charges sum exactly to the monolithic charge."""
         if not 0 <= hit_tokens <= n_tokens:
             raise ValueError("hit_tokens must be in [0, n_tokens]")
         self.dram.slow_write(

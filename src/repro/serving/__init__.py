@@ -13,7 +13,11 @@ serving context:
   storage with per-sequence logical views, frozen per-sequence
   quantization scales and eviction accounting.
 * :class:`~repro.serving.scheduler.Scheduler` — FIFO continuous-batching
-  admission and longest-first ragged packing.
+  admission (with an optional small-request head-of-line bypass and a
+  per-step prefill token budget) and longest-first ragged packing.
+  Chunked prefill interleaves prompt ingestion with decode
+  (decode-priority) so long prompts cannot stall co-resident decodes;
+  outputs stay bit-identical to monolithic prefill.
 * :mod:`~repro.serving.request` — request/response dataclasses with
   per-request traffic and latency stats.
 """

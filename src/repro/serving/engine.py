@@ -122,7 +122,10 @@ class EngineStepReport:
     ``per_sequence`` carries each active sequence's *measured* traffic for
     this step — the quantity :meth:`repro.hw.serving.ServingSimulator.
     step_from_engine` converts to cycles, replacing the old
-    single-instance-mean approximation.
+    single-instance-mean approximation.  ``prefill_bits`` carries the
+    encoded KV bits of every prompt chunk ingested *this step*, so the
+    hardware model prices prefill traffic inside the step it actually
+    happens instead of silently omitting it.
     """
 
     step_index: int
@@ -147,6 +150,13 @@ class EngineStepReport:
     tier_demotions: int = 0
     tier_promotions: int = 0
     tier_reruns: int = 0
+    #: chunked-prefill work this step: sequences still mid-prefill after
+    #: it, prompt tokens ingested, and the modelled encoded bits those
+    #: tokens wrote (K chunk digits + V) — what the serving simulator
+    #: prices as this step's ingest stream
+    prefilling: int = 0
+    prefill_tokens: int = 0
+    prefill_bits: int = 0
 
     @property
     def batch_size(self) -> int:
@@ -167,6 +177,24 @@ class _ActiveSequence:
     remaining: int = 0
     external: bool = False
     steps: int = 0
+    #: prompt tokens ingested into the pool so far; the sequence joins
+    #: the fused decode batch only once this reaches the prompt length
+    prefill_pos: int = 0
+
+    @property
+    def prefilling(self) -> bool:
+        return (
+            self.request is not None
+            and not self.external
+            and self.prefill_pos < self.request.prompt_tokens
+        )
+
+    @property
+    def pending_prompt_tokens(self) -> int:
+        """Prompt tokens admitted but not yet written to the pool."""
+        if self.request is None or self.external:
+            return 0
+        return self.request.prompt_tokens - self.prefill_pos
 
 
 @dataclass(frozen=True)
@@ -190,6 +218,11 @@ class VictimCandidate:
     #: move (demoted rows already live in the cold tier).  Equals
     #: ``context_length`` on an untiered engine.
     hot_tokens: int = -1
+    #: the sequence is still mid-prefill: ``context_length`` counts only
+    #: the ingested prompt chunk (the swap footprint), while
+    #: ``remaining_tokens`` includes the not-yet-ingested prompt tail —
+    #: policies can prefer these victims (no decoded progress to lose)
+    prefilling: bool = False
 
 
 @dataclass
@@ -215,6 +248,7 @@ class ServingEngine:
         seed: int = 0,
         memory_manager=None,
         allow_bypass: bool = False,
+        prefill_budget_tokens: Optional[int] = None,
         kv_tiering: "Optional[TierConfig]" = None,
         prefix_cache: "Optional[RadixKVCache]" = None,
         tier_dram: "Optional[TieredDRAMModel]" = None,
@@ -226,6 +260,17 @@ class ServingEngine:
         pressure, which active sequence to preempt (see
         :mod:`repro.cluster.memory`).  ``allow_bypass`` enables the
         scheduler's small-request head-of-line bypass.
+
+        ``prefill_budget_tokens`` bounds each step's *prompt ingestion*
+        with decode priority: decode itself is never throttled — every
+        active sequence claims one budget token first — and only the
+        leftover is spent ingesting prompt chunks of admitted-but-
+        incomplete requests in admission order, so a long prompt streams
+        in over several steps instead of stalling every co-resident
+        decode for one monolithic prefill.  ``None`` (default) keeps the
+        monolithic behaviour.  Scales are always frozen from the *full*
+        prompt before the first chunk, so chunked ingestion is
+        bit-identical to monolithic prefill.
 
         ``kv_tiering`` (a :class:`repro.kvstore.tiers.TierConfig`) layers
         the two-tier KV store over the arena: low-mass tokens demote to a
@@ -244,7 +289,10 @@ class ServingEngine:
                 "the serving engine uses the breadth schedule (hardware order)"
             )
         self.safety_factor = safety_factor
-        self.scheduler = Scheduler(max_batch_size=max_batch_size)
+        self.scheduler = Scheduler(
+            max_batch_size=max_batch_size,
+            prefill_budget_tokens=prefill_budget_tokens,
+        )
         self._capacity_tokens = capacity_tokens
         self._block_size = block_size
         self._seed = seed
@@ -269,12 +317,25 @@ class ServingEngine:
         self.peak_concurrency = 0
         self.preemptions_total = 0
         self.resumes_total = 0
+        self.prefill_chunks_total = 0
+        self.prefill_tokens_total = 0
 
     # ------------------------------------------------------------ properties
     @property
     def n_active(self) -> int:
-        """Pooled sequences currently decoding."""
+        """Pooled sequences holding a batch slot (decoding or mid-prefill)."""
         return sum(1 for e in self._active.values() if not e.external)
+
+    @property
+    def n_prefilling(self) -> int:
+        """Admitted sequences whose prompt is not fully ingested yet."""
+        return sum(1 for e in self._active.values() if e.prefilling)
+
+    @property
+    def prefill_budget_tokens(self) -> Optional[int]:
+        """Per-step token budget for decode + prompt-chunk ingest
+        (``None``: unbounded, monolithic prefill)."""
+        return self.scheduler.prefill_budget_tokens
 
     @property
     def n_pending(self) -> int:
@@ -298,9 +359,17 @@ class ServingEngine:
         for entry in self._active.values():
             if entry.external:
                 continue
-            total += self.pool.length(entry.seq_id) + entry.remaining
+            total += (
+                self.pool.length(entry.seq_id)
+                + entry.pending_prompt_tokens
+                + entry.remaining
+            )
         for rec in self._preempted.values():
-            total += rec.swapped.length + rec.entry.remaining
+            total += (
+                rec.swapped.length
+                + rec.entry.pending_prompt_tokens
+                + rec.entry.remaining
+            )
         return total
 
     @property
@@ -414,7 +483,16 @@ class ServingEngine:
         return self.pool
 
     def _prefill(self, request: GenerationRequest) -> None:
-        """Admit one request: freeze scales and load the prompt into the pool."""
+        """Admit one request: reserve its arena run and freeze its scales.
+
+        Admission commits the reservation exactly as before, but prompt
+        *ingestion* is now resumable: the prompt lands in the pool in
+        budgeted chunks (:meth:`_run_prefill`, called from every step —
+        one chunk covering the whole prompt when the budget is
+        unbounded).  Scales are frozen here, once, from the full prompt,
+        so every later chunk encodes with the same per-head windows and
+        the encoded bytes stay bit-identical to monolithic prefill.
+        """
         pool = self._ensure_pool(request)
         seq_id = self._next_seq_id
         self._next_seq_id += 1
@@ -435,30 +513,15 @@ class ServingEngine:
         if self.prefix_cache is not None:
             # dedupe the prompt's cold-tier ingest against shared
             # prefixes; the sequence still encodes from its *own* prompt
-            # tensors below (per-sequence frozen scales), so a hit only
-            # removes modelled transfer, never changes bytes
+            # tensors chunk by chunk (per-sequence frozen scales), so a
+            # hit only removes modelled transfer, never changes bytes
             handle = self.prefix_cache.acquire(
                 request.prompt_keys, request.prompt_values
             )
             prefix_hits = handle.hit_tokens
             self._prefix_handles[seq_id] = handle
-        k_slots, v_slots = pool.append_slots(seq_id, request.prompt_tokens)
-        _encode_kv_into(
-            request.prompt_keys,
-            request.prompt_values,
-            scales,
-            self.config.quant,
-            k_slots,
-            v_slots,
-        )
         if self.tiers is not None:
             self.tiers.register(seq_id)
-            self.tiers.note_append(
-                seq_id, request.prompt_tokens, self._step_index
-            )
-            self.tiers.charge_prefill_ingest(
-                request.prompt_tokens, prefix_hits
-            )
         stats = RequestStats(
             prompt_tokens=request.prompt_tokens,
             prefix_hit_tokens=prefix_hits,
@@ -466,11 +529,11 @@ class ServingEngine:
                 request.request_id, self._step_index
             ),
             admitted_step=self._step_index,
-            submitted_wall=self._submitted_wall.pop(
+            queued_wall=self._submitted_wall.pop(
                 request.request_id, time.perf_counter()
             ),
         )
-        request.state = RequestState.RUNNING
+        request.state = RequestState.PREFILLING
         source = request.step_source
         if source is None:
             rng = np.random.default_rng(
@@ -486,7 +549,96 @@ class ServingEngine:
             request=request,
             step_source=source,
             remaining=request.max_new_tokens,
+            prefill_pos=0,
         )
+
+    @property
+    def _prefill_row_bits(self) -> int:
+        """Modelled encoded bits one ingested token writes (K digits + V)."""
+        return (
+            2 * self.pool.n_heads * self.pool.head_dim
+            * self.config.quant.total_bits
+        )
+
+    def _ingest_prefill_chunk(
+        self, entry: _ActiveSequence, n: int, report: EngineStepReport
+    ) -> None:
+        """Encode + append ``n`` prompt tokens from where the last chunk
+        stopped, charging tier ingest for exactly this chunk."""
+        request = entry.request
+        start = entry.prefill_pos
+        if start == 0 and entry.stats.prefill_start_wall < 0:
+            entry.stats.prefill_start_wall = time.perf_counter()
+        k_slots, v_slots = self.pool.append_slots(entry.seq_id, n)
+        _encode_kv_into(
+            request.prompt_keys[:, start:start + n],
+            request.prompt_values[:, start:start + n],
+            entry.scales,
+            self.config.quant,
+            k_slots,
+            v_slots,
+        )
+        if self.tiers is not None:
+            self.tiers.note_append(entry.seq_id, n, self._step_index)
+            handle = self._prefix_handles.get(entry.seq_id)
+            self.tiers.charge_prefill_ingest(
+                n, handle.hits_in(start, start + n) if handle else 0
+            )
+        entry.prefill_pos = start + n
+        entry.stats.prefill_chunks += 1
+        self.prefill_chunks_total += 1
+        self.prefill_tokens_total += n
+        report.prefill_tokens += n
+        report.prefill_bits += n * self._prefill_row_bits
+        if not entry.prefilling:
+            request.state = RequestState.RUNNING
+
+    def _run_prefill(self, report: EngineStepReport) -> None:
+        """Spend this step's leftover token budget on prompt chunks.
+
+        Decode-priority: every sequence that will decode this step claims
+        one budget token first; what remains feeds prompt ingestion in
+        admission order (FIFO completion minimises the queue head's
+        TTFT).  An unbounded budget ingests every pending prompt whole —
+        the monolithic behaviour, bit-for-bit.  Under optimistic
+        admission a chunk that outgrows the sequence's reservation (only
+        possible after a mid-prefill preemption cycle) defends itself by
+        preemption exactly like decode growth does.
+        """
+        # admission order, robust to a preempt/resume cycle re-inserting
+        # an old sequence behind younger ones in the _active dict
+        waiting = sorted(
+            (e for e in self._active.values() if e.prefilling),
+            key=lambda e: (e.stats.admitted_step, e.seq_id),
+        )
+        if not waiting:
+            return
+        budget = self.scheduler.prefill_budget_tokens
+        left: Optional[int] = None
+        if budget is not None:
+            n_decoding = sum(
+                1
+                for e in self._active.values()
+                if not e.external and not e.prefilling
+            )
+            left = max(budget - n_decoding, 0)
+        for entry in waiting:
+            if left == 0:
+                break
+            if entry.seq_id not in self._active:
+                continue  # preempted defending an earlier chunk
+            n = entry.pending_prompt_tokens
+            if left is not None:
+                n = min(n, left)
+            if n <= 0:
+                continue
+            target = self.pool.length(entry.seq_id) + n
+            if not self._ensure_tokens(entry, target, report):
+                continue  # the chunk evicted its own sequence
+            self._ingest_prefill_chunk(entry, n, report)
+            if left is not None:
+                left -= n
+        report.prefilling = self.n_prefilling
 
     # ------------------------------------------------------ preempt / resume
     def preempt(self, seq_id: int) -> None:
@@ -532,22 +684,25 @@ class ServingEngine:
             if self.n_active >= self.max_batch_size:
                 break
             rec = self._preempted[seq_id]
-            if not self.pool.can_fit(
-                rec.swapped.length + self.pool.block_size
-            ):
+            entry = rec.entry
+            # a mid-prefill victim re-reserves its admission footprint so
+            # the remaining prompt chunks can never fail to grow into it
+            reserve = rec.swapped.length + self.pool.block_size
+            if entry.prefilling:
+                reserve = max(reserve, self._reserve_tokens(entry.request))
+            if not self.pool.can_fit(reserve):
                 continue
-            self.pool.swap_in(
-                seq_id,
-                rec.swapped,
-                reserve_tokens=rec.swapped.length + self.pool.block_size,
-            )
+            self.pool.swap_in(seq_id, rec.swapped, reserve_tokens=reserve)
             if self.tiers is not None:
                 self.tiers.on_swap_in(seq_id)
             del self._preempted[seq_id]
-            entry = rec.entry
             self._active[seq_id] = entry
             if entry.request is not None:
-                entry.request.state = RequestState.RUNNING
+                entry.request.state = (
+                    RequestState.PREFILLING
+                    if entry.prefilling
+                    else RequestState.RUNNING
+                )
                 report.resumed.append(entry.request.request_id)
             self.resumes_total += 1
 
@@ -561,16 +716,53 @@ class ServingEngine:
                 retained_mass=entry.stats.mean_retained_mass,
                 admitted_step=entry.stats.admitted_step,
                 context_length=self.pool.length(entry.seq_id),
-                remaining_tokens=entry.remaining,
+                remaining_tokens=(
+                    entry.pending_prompt_tokens + entry.remaining
+                ),
                 hot_tokens=(
                     self.tiers.hot_tokens(entry.seq_id)
                     if self.tiers is not None
                     else self.pool.length(entry.seq_id)
                 ),
+                prefilling=entry.prefilling,
             )
             for entry in self._active.values()
             if not entry.external
         ]
+
+    def _ensure_tokens(
+        self,
+        entry: _ActiveSequence,
+        target_tokens: int,
+        report: EngineStepReport,
+    ) -> bool:
+        """Grow ``entry``'s arena run to ``target_tokens``, preempting
+        victims under a memory manager; ``False`` means ``entry`` itself
+        was picked as a victim (its growth is abandoned this step).
+
+        The shared pressure valve of decode growth (one token) and
+        prefill-chunk growth (``n`` tokens): runs *before* any tensors
+        are drawn or encoded, so a preempted sequence's streams are
+        untouched and it resumes bit-identically.
+        """
+        while True:
+            try:
+                self.pool.ensure_capacity(entry.seq_id, target_tokens)
+                return True
+            except PoolExhausted:
+                if self.memory_manager is None:
+                    raise  # conservative contract violated: surface it
+                victim = self.memory_manager.select_victim(
+                    self._victim_candidates()
+                )
+                if victim is None or victim not in self._active:
+                    raise
+                victim_entry = self._active[victim]
+                self.preempt(victim)
+                if victim_entry.request is not None:
+                    report.preempted.append(victim_entry.request.request_id)
+                if victim == entry.seq_id:
+                    return False
 
     def _preflight_growth(
         self, pooled: List[_ActiveSequence], report: EngineStepReport
@@ -582,40 +774,22 @@ class ServingEngine:
         next-token growth cannot be satisfied triggers preemption: the
         manager picks victims (lowest estimated retained attention mass)
         until the growth fits or the growing sequence is itself evicted.
-        Runs *before* any step tensors are drawn, so a preempted
-        sequence's decode stream is untouched and resumes bit-identically.
         """
-        preempted_ids: set = set()
         for entry in pooled:
-            if entry.seq_id in preempted_ids:
-                continue
-            while True:
-                try:
-                    self.pool.ensure_capacity(
-                        entry.seq_id, self.pool.length(entry.seq_id) + 1
-                    )
-                    break
-                except PoolExhausted:
-                    if self.memory_manager is None:
-                        raise  # conservative contract violated: surface it
-                    candidates = self._victim_candidates()
-                    victim = self.memory_manager.select_victim(candidates)
-                    if victim is None or victim not in self._active:
-                        raise
-                    victim_entry = self._active[victim]
-                    self.preempt(victim)
-                    preempted_ids.add(victim)
-                    if victim_entry.request is not None:
-                        report.preempted.append(
-                            victim_entry.request.request_id
-                        )
-                    if victim == entry.seq_id:
-                        break  # evicted itself; skip its growth
-        return [e for e in pooled if e.seq_id not in preempted_ids]
+            if entry.seq_id not in self._active:
+                continue  # already evicted as an earlier victim
+            self._ensure_tokens(
+                entry, self.pool.length(entry.seq_id) + 1, report
+            )
+        return [e for e in pooled if e.seq_id in self._active]
 
     # ----------------------------------------------------------- fused decode
     def step(self) -> EngineStepReport:
-        """One fused decode step: resume, admit, batch-attend, retire."""
+        """One fused decode step: resume, admit, prefill, batch-attend,
+        retire.  Prompt ingestion is budgeted with decode priority
+        (active decodes each claim one budget token, the leftover feeds
+        prefill — decode is never throttled); a sequence joins the fused
+        decode batch the step its last prompt chunk lands."""
         now = self._step_index
         report = EngineStepReport(step_index=now)
         if self._preempted:
@@ -628,8 +802,13 @@ class ServingEngine:
             allow_bypass=self.allow_bypass,
         )
         report.admitted = [r.request_id for r in admitted]
+        self._run_prefill(report)
 
-        pooled = [e for e in self._active.values() if not e.external]
+        pooled = [
+            e
+            for e in self._active.values()
+            if not e.external and not e.prefilling
+        ]
         if pooled:
             pooled = self._preflight_growth(pooled, report)
         for rec in self._preempted.values():

@@ -434,8 +434,16 @@ class KVCachePool:
         """Claim ``n`` new token rows, returning writable arena views.
 
         The caller fills the returned ``(n, k_heads, d)`` and
-        ``(n, n_heads, d)`` views in place — how prefill encodes a whole
-        prompt straight into the arena without staging copies.
+        ``(n, n_heads, d)`` views in place — how prefill encodes prompt
+        tokens straight into the arena without staging copies.  Appends
+        are incremental: chunked prefill calls this once per budgeted
+        chunk of a partially-ingested sequence, and each call continues
+        exactly where the previous chunk's rows ended (the sequence's run
+        stays one contiguous slab, so a mid-prefill sequence swaps out
+        and resumes like any other).  Within the admission reservation
+        growth never relocates; beyond it (only possible after a
+        mid-prefill preemption cycle under optimistic admission) the
+        engine preflights the chunk with :meth:`ensure_capacity` first.
         """
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")

@@ -28,13 +28,18 @@ StepSource = Callable[[int], StepTensors]
 class RequestState(str, Enum):
     """Lifecycle of a request inside an engine (or a cluster replica).
 
-    ``QUEUED -> RUNNING -> FINISHED`` is the conservative-admission path;
-    optimistic admission adds the ``RUNNING <-> PREEMPTED`` cycle — a
-    preempted sequence's KV segments are swapped out of the arena and the
+    ``QUEUED -> PREFILLING -> RUNNING -> FINISHED`` is the
+    conservative-admission path: admission reserves blocks and the prompt
+    is then ingested in budgeted chunks (one step under an unbounded
+    prefill budget, several under a finite one) before the first decode
+    step.  Optimistic admission adds the ``PREFILLING/RUNNING <->
+    PREEMPTED`` cycle — a preempted sequence's KV segments (possibly a
+    partially-ingested prompt) are swapped out of the arena and the
     request resumes (bit-identically) once headroom returns.
     """
 
     QUEUED = "queued"
+    PREFILLING = "prefilling"
     RUNNING = "running"
     PREEMPTED = "preempted"
     FINISHED = "finished"
@@ -119,6 +124,9 @@ class RequestStats:
     prompt_tokens: int = 0
     generated_tokens: int = 0
     clip_events: int = 0
+    #: chunks the prompt was ingested in (1 = monolithic prefill; more
+    #: under a finite per-step prefill token budget)
+    prefill_chunks: int = 0
     #: prompt tokens whose cold-tier ingest was served by the prefix
     #: cache (0 when no :class:`repro.kvstore.radix.RadixKVCache` is
     #: attached to the engine)
@@ -138,9 +146,14 @@ class RequestStats:
     retained_mass_sum: float = 0.0
     retained_mass_steps: int = 0
     #: wall-clock stamps (``time.perf_counter`` domain; < 0 when unset) —
-    #: the cluster metrics registry derives TTFT and end-to-end latency
-    #: percentiles from these
-    submitted_wall: float = -1.0
+    #: the cluster metrics registry derives TTFT, queue-wait, prefill and
+    #: end-to-end latency percentiles from these.  ``queued_wall`` is
+    #: stamped at submit, ``prefill_start_wall`` when the first prompt
+    #: chunk is ingested, ``first_token_wall`` at the first *decoded*
+    #: token — so queue wait and prefill time stay separable even when
+    #: chunked prefill spreads ingestion across many steps.
+    queued_wall: float = -1.0
+    prefill_start_wall: float = -1.0
     first_token_wall: float = -1.0
     finished_wall: float = -1.0
 
@@ -179,17 +192,34 @@ class RequestStats:
 
     @property
     def ttft_seconds(self) -> float:
-        """Wall-clock time to first generated token (< 0 when unset)."""
-        if self.first_token_wall < 0 or self.submitted_wall < 0:
+        """Wall-clock time from submit to the first *decoded* token
+        (< 0 when unset) — queue wait plus prefill time."""
+        if self.first_token_wall < 0 or self.queued_wall < 0:
             return -1.0
-        return self.first_token_wall - self.submitted_wall
+        return self.first_token_wall - self.queued_wall
+
+    @property
+    def queue_wait_seconds(self) -> float:
+        """Wall-clock time from submit to the first prompt chunk landing
+        in the pool (< 0 when unset) — the admission-queue share of TTFT."""
+        if self.prefill_start_wall < 0 or self.queued_wall < 0:
+            return -1.0
+        return self.prefill_start_wall - self.queued_wall
+
+    @property
+    def prefill_seconds(self) -> float:
+        """Wall-clock time from the first prompt chunk to the first
+        decoded token (< 0 when unset) — the prefill share of TTFT."""
+        if self.first_token_wall < 0 or self.prefill_start_wall < 0:
+            return -1.0
+        return self.first_token_wall - self.prefill_start_wall
 
     @property
     def e2e_seconds(self) -> float:
         """Wall-clock submit-to-finish latency (< 0 when unset)."""
-        if self.finished_wall < 0 or self.submitted_wall < 0:
+        if self.finished_wall < 0 or self.queued_wall < 0:
             return -1.0
-        return self.finished_wall - self.submitted_wall
+        return self.finished_wall - self.queued_wall
 
     @property
     def kv_reduction(self) -> float:

@@ -22,7 +22,7 @@ per-round alive frontier dense at the front of that axis.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Sequence
+from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 from repro.serving.request import GenerationRequest
 
@@ -30,12 +30,32 @@ from repro.serving.request import GenerationRequest
 class Scheduler:
     """FIFO continuous-batching admission over a shared KV pool."""
 
-    def __init__(self, max_batch_size: int = 32) -> None:
+    def __init__(
+        self,
+        max_batch_size: int = 32,
+        prefill_budget_tokens: Optional[int] = None,
+    ) -> None:
+        """``prefill_budget_tokens`` is the per-step token budget the
+        engine's step loop honours for *prompt ingestion*, with decode
+        priority: every active decode claims one budget token first
+        (decode itself is never throttled), and only the leftover is
+        spent on prompt chunks — so a step ingests at most
+        ``max(budget - n_decoding, 0)`` prompt tokens, the chunked-
+        prefill rule that stops a long prompt from stalling co-resident
+        decodes.  ``None`` (the default) is unbounded: a prompt ingests
+        whole in the step its request is admitted, the monolithic
+        behaviour."""
         if max_batch_size < 1:
             raise ValueError(
                 f"max_batch_size must be >= 1, got {max_batch_size}"
             )
+        if prefill_budget_tokens is not None and prefill_budget_tokens < 1:
+            raise ValueError(
+                f"prefill_budget_tokens must be >= 1 or None, "
+                f"got {prefill_budget_tokens}"
+            )
         self.max_batch_size = max_batch_size
+        self.prefill_budget_tokens = prefill_budget_tokens
         self.pending: Deque[GenerationRequest] = deque()
         self.admitted_total = 0
         self.retired_total = 0
@@ -86,20 +106,25 @@ class Scheduler:
             and n_active + len(admitted) < self.max_batch_size
         ):
             # the head is blocked on headroom but a slot is open: scan
-            # the rest of the queue for admissible small requests
+            # the rest of the queue for admissible small requests.  The
+            # scan short-circuits the moment slots run out: candidates
+            # past that point are unadmittable, so the tail is left in
+            # place instead of being popped and re-appended wholesale
+            # (the old scan churned the entire deque every step a head
+            # blocked, O(queue) per step on a backlogged engine).
             survivors: List[GenerationRequest] = [self.pending.popleft()]
-            while self.pending:
+            while (
+                self.pending
+                and n_active + len(admitted) < self.max_batch_size
+            ):
                 request = self.pending.popleft()
-                if (
-                    n_active + len(admitted) < self.max_batch_size
-                    and can_fit(request)
-                ):
+                if can_fit(request):
                     prefill(request)
                     admitted.append(request)
                     self.bypassed_total += 1
                 else:
                     survivors.append(request)
-            self.pending.extend(survivors)
+            self.pending.extendleft(reversed(survivors))
         self.admitted_total += len(admitted)
         return admitted
 

@@ -12,6 +12,9 @@ from repro.workloads.traces import (
     harvest_instances,
     harvest_with_bias,
     harvested_dominance_profile,
+    long_context_trace,
+    long_prompt_burst_trace,
+    shared_prefix_trace,
 )
 from repro.workloads.scores import (
     HEAD_ARCHETYPES,
@@ -33,9 +36,12 @@ __all__ = [
     "InstanceParams",
     "fig3_instances",
     "induction_corpus",
+    "long_context_trace",
+    "long_prompt_burst_trace",
     "markov_corpus",
     "mixed_corpus",
     "sample_workload",
+    "shared_prefix_trace",
     "synthetic_instance",
     "train_eval_split",
 ]

@@ -107,3 +107,53 @@ class TestCommittedArtifacts:
     def test_validate_repo_artifacts_covers_registry(self):
         records = validate_repo_artifacts(REPO_ROOT)
         assert set(records) == set(REGISTERED_ARTIFACTS)
+
+
+class TestLongPromptBurstSection:
+    VARIANT = {
+        "p95_inter_token_ms": 4.0,
+        "p95_ttft_ms": 4.0,
+        "mean_ttft_ms": 3.0,
+    }
+    SECTION = {
+        "prefill_budget_tokens": 256,
+        "unbounded": VARIANT,
+        "budgeted": dict(VARIANT, p95_inter_token_ms=3.0),
+        "p95_inter_token_improvement": 1.33,
+    }
+
+    def test_optional_section_validated_when_present(self):
+        validate_bench(_mutated(long_prompt_burst=self.SECTION))
+
+    def test_required_for_engine_artifact(self):
+        with pytest.raises(BenchSchemaError, match="long_prompt_burst"):
+            validate_bench(_mutated(), name="BENCH_engine.json")
+        validate_bench(
+            _mutated(long_prompt_burst=self.SECTION),
+            name="BENCH_engine.json",
+        )
+
+    @pytest.mark.parametrize(
+        "patch, fragment",
+        [
+            ({"prefill_budget_tokens": 0}, "prefill_budget_tokens"),
+            ({"unbounded": None}, "unbounded"),
+            ({"budgeted": {}}, "p95_inter_token_ms"),
+            ({"p95_inter_token_improvement": 0.0}, "improvement"),
+            ({"p95_inter_token_improvement": None}, "improvement"),
+        ],
+    )
+    def test_malformed_section_rejected(self, patch, fragment):
+        section = json.loads(json.dumps(self.SECTION))
+        section.update(patch)
+        with pytest.raises(BenchSchemaError, match=fragment):
+            validate_bench(_mutated(long_prompt_burst=section))
+
+    def test_committed_engine_artifact_has_the_section(self):
+        record = validate_bench_file(REPO_ROOT / "BENCH_engine.json")
+        burst = record["long_prompt_burst"]
+        assert (
+            burst["budgeted"]["p95_inter_token_ms"]
+            < burst["unbounded"]["p95_inter_token_ms"]
+        ), "committed artifact must show the budgeted improvement"
+        assert burst["p95_inter_token_improvement"] > 1.0

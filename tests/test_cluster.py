@@ -523,3 +523,220 @@ class TestClusterHardwareModel:
         )
         with pytest.raises(ValueError):
             sim.step_from_cluster([])
+
+
+# ------------------------------------------------------ mid-prefill preemption
+class TestMidPrefillPreemption:
+    def _kept_and_outputs(self, engine, max_steps=100_000):
+        out = {}
+        for report in engine.run_until_drained(max_steps):
+            for sid, view in report.per_sequence.items():
+                out.setdefault(view.request_id, []).append(
+                    (report.results[sid].kept, report.results[sid].outputs)
+                )
+        return out
+
+    def test_forced_preempt_half_ingested_prompt_resumes_bit_identical(self):
+        """Preempt a sequence whose prompt is half-ingested, resume it,
+        and require bit-identical output vs uninterrupted monolithic
+        prefill."""
+        rng = np.random.default_rng(50)
+        request, stream = _replayable_request(rng, prompt=48, max_new=6)
+        clone = GenerationRequest(
+            prompt_keys=request.prompt_keys.copy(),
+            prompt_values=request.prompt_values.copy(),
+            max_new_tokens=request.max_new_tokens,
+            step_source=request.step_source,
+        )
+        engine = _optimistic_engine(
+            capacity_tokens=512, prefill_budget_tokens=16
+        )
+        rid = engine.submit(request)
+        engine.step()  # 16 of 48 prompt tokens ingested
+        (seq_id,) = [
+            e.seq_id for e in engine._active.values() if e.prefilling
+        ]
+        assert engine.pool.length(seq_id) == 16
+        engine.preempt(seq_id)
+        assert request.state is RequestState.PREEMPTED
+        assert engine.n_preempted == 1
+        kept = self._kept_and_outputs(engine)
+        assert request.state is RequestState.FINISHED
+        stats = engine.completed[0].stats
+        assert stats.preemptions == 1
+        assert stats.prefill_chunks >= 3  # resumed mid-prompt, kept chunking
+
+        roomy = ServingEngine(CFG, max_batch_size=8, capacity_tokens=8192)
+        ref_id = roomy.submit(clone)
+        ref = self._kept_and_outputs(roomy)
+        assert len(kept[rid]) == len(ref[ref_id]) == 6
+        for (ka, oa), (kb, ob) in zip(kept[rid], ref[ref_id]):
+            assert np.array_equal(ka, kb)
+            assert np.array_equal(oa, ob)
+
+    def test_victim_policy_accounts_for_prefilling_candidates(self):
+        from repro.serving import VictimCandidate
+
+        def cand(seq_id, mass, admitted, prefilling=False):
+            return VictimCandidate(
+                seq_id=seq_id,
+                request_id=seq_id,
+                retained_mass=mass,
+                admitted_step=admitted,
+                context_length=10,
+                remaining_tokens=5,
+                prefilling=prefilling,
+            )
+
+        policy = OptimisticMemory()
+        # equal mass: the mid-prefill candidate is preferred even though
+        # an equally fresh decoding candidate exists
+        picked = policy.select_victim(
+            [cand(1, 1.0, 5), cand(2, 1.0, 5, prefilling=True), cand(3, 1.0, 5)]
+        )
+        assert picked == 2
+        # decode evidence still dominates: lower retained mass wins
+        picked = policy.select_victim(
+            [cand(1, 0.2, 0), cand(2, 1.0, 5, prefilling=True)]
+        )
+        assert picked == 1
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        capacity_blocks=st.integers(12, 20),
+        budget=st.integers(8, 48),
+    )
+    def test_chunked_prefill_preemption_property_zero_divergence(
+        self, seed, capacity_blocks, budget
+    ):
+        """Property: chunked prefill + optimistic preemption (including
+        sequences preempted mid-prefill) never diverges from a roomy
+        monolithic engine fed the same streams."""
+        rng = np.random.default_rng(seed)
+        pairs = [
+            _replayable_request(
+                rng, prompt=int(rng.integers(16, 48)), max_new=10
+            )
+            for _ in range(4)
+        ]
+
+        def kept_by_request(engine):
+            out = {}
+            for report in engine.run_until_drained():
+                for sid, view in report.per_sequence.items():
+                    out.setdefault(view.request_id, []).append(
+                        report.results[sid].kept
+                    )
+            return out
+
+        tight = _optimistic_engine(
+            capacity_tokens=capacity_blocks * 16,
+            prefill_budget_tokens=budget,
+        )
+        roomy = ServingEngine(
+            CFG, max_batch_size=8, capacity_tokens=8192, seed=0
+        )
+        id_map = {}
+        for request, _ in pairs:
+            tight_id = tight.submit(request)
+            clone = GenerationRequest(
+                prompt_keys=request.prompt_keys.copy(),
+                prompt_values=request.prompt_values.copy(),
+                max_new_tokens=request.max_new_tokens,
+                step_source=request.step_source,
+            )
+            id_map[tight_id] = roomy.submit(clone)
+        tight_kept = kept_by_request(tight)
+        roomy_kept = kept_by_request(roomy)
+        for tight_id, roomy_id in id_map.items():
+            a, b = tight_kept[tight_id], roomy_kept[roomy_id]
+            assert len(a) == len(b)
+            for ka, kb in zip(a, b):
+                assert np.array_equal(ka, kb)
+
+
+# ------------------------------------------------------------ zero-work edges
+class TestZeroWorkEdges:
+    def test_idle_cluster_drain_with_zero_steps_returns_empty(self):
+        router = ClusterRouter(2, CFG)
+        assert router.run_until_drained(max_steps=0) == []
+        assert router.run_until_drained() == []
+
+    def test_idle_engine_drain_with_zero_steps_returns_empty(self):
+        engine = ServingEngine(CFG)
+        assert engine.run_until_drained(max_steps=0) == []
+
+    def test_zero_step_replica_summary_and_occupancy(self):
+        """A replica that never stepped: occupancy 0.0, summary complete
+        and JSON-serialisable (no inf kv_bit_reduction)."""
+        import json
+
+        router = ClusterRouter(2, CFG)
+        assert router.mean_batch_occupancy(0) == 0.0
+        assert router.mean_batch_occupancy(1) == 0.0
+        summary = router.summary()
+        json.dumps(summary, allow_nan=False)  # must not raise
+        for rep in summary["per_replica"]:
+            assert rep["kv_bit_reduction"] == 1.0
+            assert rep["mean_batch_occupancy"] == 0.0
+            assert rep["steps"] == 0
+
+    def test_unknown_replica_id_is_a_value_error(self):
+        router = ClusterRouter(2, CFG)
+        with pytest.raises(ValueError, match="unknown replica"):
+            router.mean_batch_occupancy(2)
+        with pytest.raises(ValueError, match="unknown replica"):
+            router.mean_batch_occupancy(-1)
+
+    def test_one_busy_one_idle_replica_summary(self):
+        """Mixed fleet: the idle replica's zero-traffic fields stay sane
+        next to a busy peer's real numbers."""
+        import json
+
+        router = ClusterRouter(
+            2, CFG, policy="round-robin", max_batch_size=4,
+            capacity_tokens=1024, seed=0,
+        )
+        rng = np.random.default_rng(0)
+        router.submit(synthetic_request(rng, 2, 24, 16, 3))  # replica 0
+        router.run_until_drained()
+        summary = router.summary()
+        json.dumps(summary, allow_nan=False)
+        busy, idle = summary["per_replica"]
+        assert busy["requests_completed"] == 1
+        assert busy["kv_bit_reduction"] > 1.0
+        assert idle["requests_completed"] == 0
+        assert idle["kv_bit_reduction"] == 1.0
+        assert idle["mean_batch_occupancy"] == 0.0
+
+
+class TestSplitLatencyHistograms:
+    def test_queue_wait_and_prefill_histograms_recorded(self):
+        """The TTFT histogram splits: queue wait + prefill are recorded
+        per finished request from the split stamps, and TTFT still runs
+        submit -> first decoded token."""
+        router = ClusterRouter(
+            1, CFG, max_batch_size=4, capacity_tokens=2048,
+            prefill_budget_tokens=16, seed=3,
+        )
+        trace = bursty_trace(
+            np.random.default_rng(3), 6, n_heads=2, head_dim=16,
+            prompt_tokens=24, max_new_tokens=4, burst_size=3, gap_steps=1,
+        )
+        router.run_trace(trace)
+        done = router.replicas[0].completed
+        assert len(done) == 6
+        ttft = router.metrics.histogram("ttft_seconds", replica=0)
+        wait = router.metrics.histogram("queue_wait_seconds", replica=0)
+        pre = router.metrics.histogram("prefill_seconds", replica=0)
+        assert ttft.count == wait.count == pre.count == 6
+        for c in done:
+            assert c.stats.prefill_chunks >= 2  # 24-token prompts, 16/step
+            assert c.stats.ttft_seconds == pytest.approx(
+                c.stats.queue_wait_seconds + c.stats.prefill_seconds
+            )
+        assert (
+            router.metrics.counter("prefill_tokens", replica=0).value
+            == sum(c.stats.prompt_tokens for c in done)
+        )

@@ -118,3 +118,54 @@ class TestThroughput:
         tps = tokens_per_second(r, clock_ghz=0.5)
         # 2000 cycles at 500 MHz = 4 us for 16 tokens -> 4M tokens/s
         assert tps == pytest.approx(16 / (2000 / 0.5e9))
+
+
+class TestPrefillPricing:
+    def test_prefill_bits_priced_as_extra_stream(self, sim):
+        stats = TestMeasuredTraffic()._stats(fetched_chunks=300, kept=20)
+        plain = sim.step_from_traffic([stats], engine_heads=4)
+        with_ingest = sim.step_from_traffic(
+            [stats], engine_heads=4, prefill_bits=4096 * 8
+        )
+        assert plain.prefill_cycles == 0
+        assert with_ingest.prefill_cycles > 0
+        assert with_ingest.attention_cycles == plain.attention_cycles
+        assert with_ingest.weight_cycles == plain.weight_cycles
+        assert with_ingest.total_cycles == (
+            plain.total_cycles + with_ingest.prefill_cycles
+        )
+
+    def test_prefill_only_step_is_priceable(self, sim):
+        """A step whose whole budget went to ingestion has no decode
+        traffic but still has a modelled latency."""
+        r = sim.step_from_traffic([], prefill_bits=10_000, engine_heads=4)
+        assert r.batch_size == 0 and r.attention_cycles == 0
+        assert r.prefill_cycles > 0
+        assert r.total_cycles == r.weight_cycles + r.prefill_cycles
+        # an idle step (no decode, no ingest) is still a ValueError
+        with pytest.raises(ValueError):
+            sim.step_from_traffic([], prefill_bits=0)
+
+    def test_baseline_and_variant_charge_identical_ingest(self, sim):
+        stats = TestMeasuredTraffic()._stats(fetched_chunks=300, kept=20)
+        ours = sim.step_from_traffic(
+            [stats], engine_heads=4, prefill_bits=65536
+        )
+        base = sim.step_from_traffic(
+            [stats], "baseline", engine_heads=4, prefill_bits=65536
+        )
+        assert ours.prefill_cycles == base.prefill_cycles > 0
+
+    def test_tiered_prefill_only_step_is_priceable(self, sim):
+        """A tiered engine's ingest-only step (budget all spent on prompt
+        chunks) prices like the untiered path: prefill cycles, no
+        attention streams."""
+        from repro.serving.engine import EngineStepReport
+
+        report = EngineStepReport(step_index=0, prefill_bits=24576)
+        r = sim.step_from_tiered(report, engine_heads=4)
+        assert r.batch_size == 0 and r.prefill_cycles > 0
+        assert r.fast_attention_cycles == r.slow_attention_cycles == 0
+        assert r.total_cycles == r.weight_cycles + r.prefill_cycles
+        with pytest.raises(ValueError):
+            sim.step_from_tiered(EngineStepReport(step_index=0))

@@ -9,6 +9,7 @@ from repro.eval.batching import measured_batch_point
 from repro.model.config import get_model_config
 from repro.serving import (
     GenerationRequest,
+    RequestState,
     Scheduler,
     ServingEngine,
     replayable_step_source,
@@ -400,3 +401,206 @@ class TestScheduler:
     def test_max_batch_validation(self):
         with pytest.raises(ValueError):
             Scheduler(max_batch_size=0)
+
+
+class TestChunkedPrefill:
+    def _kept_by_request(self, engine):
+        out = {}
+        for report in engine.run_until_drained():
+            for sid, view in report.per_sequence.items():
+                out.setdefault(view.request_id, []).append(
+                    report.results[sid].kept
+                )
+        return out
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError, match="prefill_budget_tokens"):
+            _engine(prefill_budget_tokens=0)
+        with pytest.raises(ValueError, match="prefill_budget_tokens"):
+            Scheduler(prefill_budget_tokens=-3)
+        assert _engine(prefill_budget_tokens=None).prefill_budget_tokens is None
+        assert _engine(prefill_budget_tokens=7).prefill_budget_tokens == 7
+
+    def test_long_prompt_ingests_in_budgeted_chunks(self):
+        rng = np.random.default_rng(30)
+        engine = _engine(max_batch_size=4, prefill_budget_tokens=16)
+        rid = engine.submit(synthetic_request(rng, 2, 50, 16, max_new_tokens=2))
+        ingest_steps = []
+        while engine.n_pending or engine.n_active:
+            report = engine.step()
+            if report.prefill_tokens:
+                ingest_steps.append(report.prefill_tokens)
+                assert report.prefill_tokens <= 16
+                assert report.prefill_bits == (
+                    report.prefill_tokens * 2 * 2 * 16 * CFG.quant.total_bits
+                )
+        # 50 prompt tokens at 16/step: 16+16+16+2, then decode begins
+        assert ingest_steps == [16, 16, 16, 2]
+        done = engine.completed[0]
+        assert done.request_id == rid
+        assert done.stats.prefill_chunks == 4
+        assert engine.prefill_chunks_total == 4
+        assert engine.prefill_tokens_total == 50
+
+    def test_unbounded_budget_is_monolithic(self):
+        rng = np.random.default_rng(31)
+        engine = _engine()
+        engine.submit(synthetic_request(rng, 2, 40, 16, max_new_tokens=3))
+        report = engine.step()
+        # whole prompt in one chunk, decode in the same step
+        assert report.prefill_tokens == 40 and report.prefilling == 0
+        assert report.batch_size == 1
+        done = engine.run_until_drained()
+        assert engine.completed[0].stats.prefill_chunks == 1
+
+    def test_decode_priority_leftover_feeds_prefill(self):
+        """Active decodes claim one budget token each; only the leftover
+        ingests prompt chunks."""
+        rng = np.random.default_rng(32)
+        engine = _engine(max_batch_size=4, prefill_budget_tokens=10)
+        engine.submit(synthetic_request(rng, 2, 8, 16, max_new_tokens=12))
+        engine.submit(synthetic_request(rng, 2, 8, 16, max_new_tokens=12))
+        engine.step()  # both shorts prefill (8 each, over two steps)
+        engine.step()
+        assert engine.n_prefilling == 0 and engine.n_active == 2
+        engine.submit(synthetic_request(rng, 2, 40, 16, max_new_tokens=1))
+        report = engine.step()
+        # 10 budget - 2 decoding = 8 tokens of prefill this step
+        assert report.prefill_tokens == 8
+        assert report.batch_size == 2  # the long request is not decoding yet
+        assert report.prefilling == 1
+        engine.run_until_drained()
+        assert len(engine.completed) == 3
+
+    def test_prefilling_request_state_and_ttft_stamps(self):
+        rng = np.random.default_rng(33)
+        engine = _engine(max_batch_size=2, prefill_budget_tokens=8)
+        request = synthetic_request(rng, 2, 20, 16, max_new_tokens=2)
+        engine.submit(request)
+        engine.step()
+        assert request.state is RequestState.PREFILLING
+        engine.run_until_drained()
+        assert request.state is RequestState.FINISHED
+        stats = engine.completed[0].stats
+        # the split stamps order: queued -> prefill start -> first token
+        assert 0 < stats.queued_wall <= stats.prefill_start_wall
+        assert stats.prefill_start_wall <= stats.first_token_wall
+        assert stats.ttft_seconds == pytest.approx(
+            stats.queue_wait_seconds + stats.prefill_seconds
+        )
+        assert stats.queue_wait_seconds >= 0
+        assert stats.prefill_seconds > 0
+
+    def test_chunked_outputs_bit_identical_to_monolithic(self):
+        """Property: for any budget, chunked prefill reproduces the
+        monolithic engine's pruning decisions bit for bit (scales frozen
+        once from the full prompt before the first chunk)."""
+        for budget in (5, 16, 64, None):
+            rng = np.random.default_rng(34)
+            pairs = [
+                _replayable_request(
+                    rng, prompt=int(rng.integers(16, 80)), max_new=4
+                )
+                for _ in range(5)
+            ]
+            engine = _engine(prefill_budget_tokens=budget)
+            id_map = {}
+            for request, _ in pairs:
+                clone = GenerationRequest(
+                    prompt_keys=request.prompt_keys.copy(),
+                    prompt_values=request.prompt_values.copy(),
+                    max_new_tokens=request.max_new_tokens,
+                    step_source=request.step_source,
+                )
+                id_map[engine.submit(clone)] = request
+            kept = self._kept_by_request(engine)
+            for rid, request in id_map.items():
+                session_engine = _engine()
+                ref_id = session_engine.submit(request)
+                ref_kept = self._kept_by_request(session_engine)[ref_id]
+                assert len(kept[rid]) == len(ref_kept)
+                for a, b in zip(kept[rid], ref_kept):
+                    assert np.array_equal(a, b)
+
+    def test_outstanding_tokens_counts_pending_prompt(self):
+        rng = np.random.default_rng(35)
+        engine = _engine(max_batch_size=2, prefill_budget_tokens=8)
+        engine.submit(synthetic_request(rng, 2, 32, 16, max_new_tokens=4))
+        before = engine.outstanding_tokens
+        assert before == 36
+        engine.step()  # 8 tokens ingested, 24 still pending + 4 decodes
+        assert engine.outstanding_tokens == 36
+        engine.run_until_drained()
+        assert engine.outstanding_tokens == 0
+
+
+class TestSchedulerBypassShortCircuit:
+    def test_scan_stops_once_slots_exhausted(self):
+        """Regression: once the batch fills mid-scan the bypass loop
+        stops — the queue tail is left in place (no wholesale
+        pop/re-append churn) and ``can_fit`` is never probed past the
+        last admissible slot; pinned via can_fit call order,
+        bypassed_total and queue order."""
+        scheduler = Scheduler(max_batch_size=2)
+        rng = np.random.default_rng(40)
+        requests = [
+            synthetic_request(rng, 2, p, 16, max_new_tokens=1)
+            for p in (90, 20, 25, 95, 30)
+        ]
+        for i, r in enumerate(requests):
+            r.request_id = i
+            scheduler.submit(r)
+        probed = []
+
+        def can_fit(request):
+            probed.append(request.request_id)
+            return request.prompt_tokens < 50
+
+        admitted = scheduler.admit(
+            can_fit, 0, lambda r: None, allow_bypass=True
+        )
+        # head (90) blocks; 20 and 25 bypass, filling both slots; the
+        # scan stops there: 95 and 30 are never probed
+        assert [r.request_id for r in admitted] == [1, 2]
+        assert scheduler.bypassed_total == 2
+        assert probed == [0, 1, 2]
+        assert [r.request_id for r in scheduler.pending] == [0, 3, 4]
+
+    def test_bypass_unfit_candidates_keep_order_before_untouched_tail(self):
+        scheduler = Scheduler(max_batch_size=3)
+        rng = np.random.default_rng(41)
+        requests = [
+            synthetic_request(rng, 2, p, 16, max_new_tokens=1)
+            for p in (90, 80, 20, 70, 25, 60)
+        ]
+        for i, r in enumerate(requests):
+            r.request_id = i
+            scheduler.submit(r)
+        admitted = scheduler.admit(
+            lambda r: r.prompt_tokens < 50, 1, lambda r: None,
+            allow_bypass=True,
+        )
+        # slots: 3 - 1 active = 2; 20 and 25 admit, scan stops at 60
+        assert [r.request_id for r in admitted] == [2, 4]
+        assert [r.request_id for r in scheduler.pending] == [0, 1, 3, 5]
+
+    def test_prefill_order_is_admission_order_not_dict_order(self):
+        """Regression: a preempt/resume cycle re-inserts a sequence at
+        the end of the active dict; leftover budget must still feed the
+        earliest-admitted prompt first."""
+        rng = np.random.default_rng(37)
+        engine = _engine(max_batch_size=4, prefill_budget_tokens=8)
+        a = engine.submit(synthetic_request(rng, 2, 24, 16, max_new_tokens=1))
+        engine.submit(synthetic_request(rng, 2, 24, 16, max_new_tokens=1))
+        engine.step()  # both admitted; the 8-token chunk goes to A
+        sid_a, sid_b = sorted(engine._active)
+        assert engine._active[sid_a].prefill_pos == 8
+        assert engine._active[sid_b].prefill_pos == 0
+        # simulate the resume reordering: A re-inserted behind B
+        entry_a = engine._active.pop(sid_a)
+        engine._active[sid_a] = entry_a
+        engine.step()
+        assert engine._active[sid_a].prefill_pos == 16  # A still first
+        assert engine._active[sid_b].prefill_pos == 0
+        engine.run_until_drained()
+        assert [c.request_id for c in engine.completed][0] == a
