@@ -5,9 +5,14 @@ would: tokens generated per second of wall-clock engine stepping, plus
 the fused-step speedup over looping per-sequence sessions across the same
 sequences (same streams, bit-identical pruning decisions), plus the
 engine's per-step phase breakdown (pack / score / prune / unpack) from
-the arena fast path.  ``python benchmarks/test_engine_throughput.py``
-records the same measurements to ``BENCH_engine.json`` so later PRs have
-a perf trajectory to diff against.
+the arena fast path.  The score phase is further split into the lazy
+kernel's sub-phases — the one full-width chunk-0 pass vs the alive-set
+refinement rounds — and each point records the per-round alive-fraction
+profile (``alive_fraction_per_round``), i.e. what fraction of
+(head, token) pairs was still undecided entering each chunk round.
+``python benchmarks/test_engine_throughput.py`` records the same
+measurements to ``BENCH_engine.json`` so later PRs have a perf
+trajectory to diff against.
 
 Setting ``TOKENPICKER_BENCH_TINY=1`` shrinks every dimension so CI's
 non-blocking benchmark-smoke job can surface kernel-shape regressions in
@@ -36,6 +41,7 @@ N_HEADS, HEAD_DIM = (2, 16) if _TINY else (4, 64)
 PROMPT_TOKENS, MAX_NEW = (24, 3) if _TINY else (256, 16)
 CFG = TokenPickerConfig(threshold=2e-3)
 PHASES = ("pack", "score", "prune", "unpack")
+SCORE_SUBPHASES = ("score_chunk0", "score_refine")
 
 
 def _replayable_requests(batch: int, seed: int = 0):
@@ -88,19 +94,29 @@ def _loop_sessions_timed(pairs) -> float:
 
 
 def _phase_breakdown(batch: int, seed: int = 0):
-    """Per-step mean milliseconds by phase, from one untimed drain."""
+    """Per-step mean ms by phase (with the lazy score sub-phases) and
+    the per-round alive-fraction profile, from one untimed drain."""
     engine = _fresh_engine(batch, seed)
-    totals = {phase: 0.0 for phase in PHASES}
+    totals = {phase: 0.0 for phase in PHASES + SCORE_SUBPHASES}
     busy = 0
     for report in engine.run_until_drained():
         if report.batch_size:
             busy += 1
-            for phase in PHASES:
+            for phase in totals:
                 totals[phase] += report.phase_seconds.get(phase, 0.0)
-    return {
+    phases = {
         phase: round(1e3 * seconds / max(busy, 1), 4)
         for phase, seconds in totals.items()
     }
+    rounds = engine.round_alive_totals
+    if rounds is not None and rounds[0] > 0:
+        alive_fractions = [
+            round(float(count) / float(rounds[0]), 4) for count in rounds
+        ]
+        alive_fractions[0] = 1.0
+    else:
+        alive_fractions = []
+    return phases, alive_fractions
 
 
 @pytest.mark.parametrize("batch", BATCH_SIZES)
@@ -114,14 +130,37 @@ def test_engine_drain_throughput(benchmark, batch):
 
 
 def test_step_reports_phase_breakdown():
-    """Every busy step reports wall-clock for all four hot-path phases."""
+    """Every busy step reports wall-clock for all four hot-path phases,
+    and the lazy kernel splits score into chunk-0 vs refinement."""
     engine = _fresh_engine(min(BATCH_SIZES[-1], 4))
     busy = [r for r in engine.run_until_drained() if r.batch_size]
     assert busy
     for report in busy:
-        for phase in PHASES:
+        for phase in PHASES + SCORE_SUBPHASES:
             assert report.phase_seconds.get(phase, 0.0) >= 0.0
         assert set(PHASES) <= set(report.phase_seconds)
+        assert set(SCORE_SUBPHASES) <= set(report.phase_seconds)
+        subtotal = sum(report.phase_seconds[p] for p in SCORE_SUBPHASES)
+        assert subtotal <= report.phase_seconds["score"] + 1e-9
+
+
+@pytest.mark.skipif(
+    _TINY, reason="timing assertions are meaningless at smoke sizes"
+)
+def test_batch32_throughput_floor():
+    """Regression guard: batch-32 fused decode must clear a committed
+    absolute floor.  The floor is set far below the recorded trajectory
+    (see ``BENCH_engine.json``) so shared-runner noise cannot trip it,
+    but a lazy-kernel regression that doubles score cost will.
+    """
+    floor_tokens_per_sec = 1200.0
+    batch = 32
+    best = min(_drain_timed(_fresh_engine(batch, seed=s)) for s in range(3))
+    rate = batch * MAX_NEW / best
+    assert rate >= floor_tokens_per_sec, (
+        f"batch-32 fused decode at {rate:.0f} tok/s fell below the "
+        f"committed floor of {floor_tokens_per_sec:.0f} tok/s"
+    )
 
 
 @pytest.mark.skipif(
@@ -163,6 +202,7 @@ def measure(repeats: int = 3) -> dict:
             for _ in range(repeats)
         )
         tokens = batch * MAX_NEW
+        phases, alive_fractions = _phase_breakdown(batch)
         points.append(
             {
                 "batch_size": batch,
@@ -172,7 +212,8 @@ def measure(repeats: int = 3) -> dict:
                 "fused_speedup": round(looped_s / fused_s, 3),
                 "kv_bit_reduction": round(engine.counter.total_reduction, 3),
                 "keep_fraction": round(engine.counter.keep_fraction, 4),
-                "phase_ms_per_step": _phase_breakdown(batch),
+                "phase_ms_per_step": phases,
+                "alive_fraction_per_round": alive_fractions,
             }
         )
     # the chunked-prefill latency comparison lives in its own module;
@@ -183,6 +224,7 @@ def measure(repeats: int = 3) -> dict:
     return {
         "config": {
             "threshold": CFG.threshold,
+            "score_backend": CFG.score_backend,
             "n_heads": N_HEADS,
             "head_dim": HEAD_DIM,
             "prompt_tokens": PROMPT_TOKENS,

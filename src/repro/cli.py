@@ -99,6 +99,38 @@ def _prefill_profile_lines(engine) -> List[str]:
     ]
 
 
+def _kernel_profile_lines(engine) -> List[str]:
+    """The ``--profile`` per-round alive-fraction block for one engine.
+
+    Derives both displays from the engine's accumulated ``round_alive``
+    counters: the fraction of (head, token) pairs still undecided
+    entering each chunk round (what the lazy score backend actually pays
+    for), and the chunks-fetched histogram (how many pairs were decided
+    by each refinement depth — the paper's average-chunks-per-token
+    metric in distribution form).
+    """
+    totals = getattr(engine, "round_alive_totals", None)
+    if totals is None or not totals[0]:
+        return []
+    n_chunks = totals.shape[0] - 1
+    entering = float(totals[0])
+    fracs = "  ".join(
+        f"round {b}: {totals[b] / entering:.3f}" for b in range(n_chunks)
+    )
+    # pairs decided during round b fetched exactly b+1 chunks; survivors
+    # of the last round fetched everything and were kept
+    decided = [int(totals[b] - totals[b + 1]) for b in range(n_chunks)]
+    decided[-1] += int(totals[n_chunks])
+    hist = "  ".join(
+        f"{b + 1}ch: {d / entering:.1%}" for b, d in enumerate(decided)
+    )
+    return [
+        f"  kernel rounds ({engine.config.score_backend} score backend): "
+        f"alive fraction  {fracs}  kept: {totals[n_chunks] / entering:.4f}",
+        f"    chunks fetched: {hist}",
+    ]
+
+
 def _tier_profile_lines(engine) -> List[str]:
     """The ``--profile`` block for a tiered / prefix-cached engine."""
     lines: List[str] = []
@@ -153,7 +185,9 @@ def _run_serve_sim(args) -> str:
     model = get_model_config(args.model)
     rng = np.random.default_rng(args.seed)
     n_heads, head_dim = 4, model.head_dim
-    config = TokenPickerConfig(threshold=args.threshold)
+    config = TokenPickerConfig(
+        threshold=args.threshold, score_backend=args.kernel_backend
+    )
     capacity = args.batch_size * (args.context_length + args.max_new_tokens + 16)
     engine = ServingEngine(
         config,
@@ -232,7 +266,18 @@ def _run_serve_sim(args) -> str:
                 f"    {phase:<6} {1e3 * seconds / busy_steps:7.3f} ms/step "
                 f"({share:5.1%})"
             )
+            if phase == "score":
+                # lazy backends split the score phase: the one
+                # full-width chunk-0 pass vs alive-set refinement
+                for sub in ("score_chunk0", "score_refine"):
+                    if sub in phase_totals:
+                        seconds = phase_totals[sub]
+                        lines.append(
+                            f"      {sub[len('score_'):]:<7}"
+                            f"{1e3 * seconds / busy_steps:7.3f} ms/step"
+                        )
     if getattr(args, "profile", False):
+        lines.extend(_kernel_profile_lines(engine))
         lines.extend(_prefill_profile_lines(engine))
         lines.extend(_tier_profile_lines(engine))
     return "\n".join(lines)
@@ -261,7 +306,9 @@ def _run_serve_cluster(args) -> str:
         )
     model = get_model_config(args.model)
     n_heads, head_dim = 4, model.head_dim
-    config = TokenPickerConfig(threshold=args.threshold)
+    config = TokenPickerConfig(
+        threshold=args.threshold, score_backend=args.kernel_backend
+    )
     capacity = args.capacity_tokens or args.batch_size * (
         args.context_length + args.max_new_tokens + 16
     )
@@ -330,8 +377,10 @@ def _run_serve_cluster(args) -> str:
     ]
     if getattr(args, "profile", False):
         for rid, engine in enumerate(router.replicas):
-            extra = _prefill_profile_lines(engine) + _tier_profile_lines(
-                engine
+            extra = (
+                _kernel_profile_lines(engine)
+                + _prefill_profile_lines(engine)
+                + _tier_profile_lines(engine)
             )
             if extra:
                 lines.append(f"  replica {rid}:")
@@ -406,6 +455,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "throttled) and the leftover feeds prompt chunks; bounds the "
         "inter-token latency spike a long prompt can cause "
         "(0: unbounded, monolithic prefill)",
+    )
+    serve.add_argument(
+        "--kernel-backend",
+        choices=("numpy", "numba", "eager"),
+        default="numpy",
+        help="fused ragged kernel score phase: the lazy alive-set "
+        "pipeline with NumPy ('numpy') or compiled ('numba', falls back "
+        "to numpy with a warning when numba is missing) contraction "
+        "primitives, or the eager full-table reference ('eager'); all "
+        "bit-identical in pruning decisions and outputs",
     )
     serve.add_argument(
         "--profile",

@@ -41,6 +41,7 @@ from repro.core.quantization import (
     quantize,
     signed_chunk_digit,
 )
+from repro.core.score_backend import resolve_backend
 from repro.utils.numerics import softmax
 
 
@@ -716,6 +717,14 @@ class RaggedPickerResult:
     results: list  # List[BatchedPickerResult], in the caller's order
     lengths: np.ndarray  # int (S,)
     pack_order: np.ndarray  # int (S,) longest-first packing order
+    #: alive (head, token) pairs entering each chunk round, plus the
+    #: final kept-pair count in the last slot — shape (n_chunks + 1,).
+    #: ``round_alive[b] - round_alive[b + 1]`` is how many pairs were
+    #: decided by fetching exactly ``b + 1`` chunks, so the per-round
+    #: survival fractions and the chunks-fetched histogram both derive
+    #: from this one array (the serving profile prints both).  ``None``
+    #: only for an all-empty batch.
+    round_alive: "Optional[np.ndarray]" = None
 
     @property
     def n_sequences(self) -> int:
@@ -853,6 +862,13 @@ def token_picker_attention_ragged(
         now = time.perf_counter()
         phase_times[phase] = phase_times.get(phase, 0.0) + (now - t_mark)
         t_mark = now
+
+    def _resync() -> None:
+        # restart the phase clock without attributing the elapsed span to
+        # any phase (the lazy score loop accounts its own sub-phases)
+        nonlocal t_mark
+        if phase_times is not None:
+            t_mark = time.perf_counter()
 
     qs = np.asarray(qs, dtype=np.float64)
     if qs.ndim != 3:
@@ -1059,135 +1075,28 @@ def token_picker_attention_ragged(
 
     mins, maxs = margin_pairs_batch(q_codes, quant)  # (S, H, C+1)
 
-    # ---- cumulative partial-score table ps[c, h, t], exact by
-    # construction.  Plane x query products are bounded by d * 2^(2N-2):
-    # exact in float64 for every practical format (any association order
-    # yields the same integer), with an int64 fallback for wider formats.
+    # Plane x query products are bounded by d * 2^(2N-2): exact in
+    # float64 for every practical format (any association order yields
+    # the same integer), with an int64 fallback for wider formats.
     n_chunks = quant.n_chunks
     exact_in_float = (
         2 * quant.total_bits - 2 + max(head_dim - 1, 1).bit_length() <= 52
     )
-    if arena_mode:
-        planes_view = k_arena[base:span_end]  # (total, H, C, d) digit view
-        # One batched (C, d) x (d, 1) matmul per segment, straight on the
-        # arena view: the query is constant within a segment, so this
-        # avoids gathering a (T, H, d) per-token query table, and exact
-        # integer arithmetic makes the contraction order irrelevant.  The
-        # arena stores *unshifted* digits — each chunk's power-of-two
-        # positional shift is applied after its contraction (an
-        # exponent-only multiply, exactness preserved), which is what
-        # lets a float32 arena carry practical formats at half the
-        # memory traffic.
-        if k_arena.dtype == np.float32:
-            digit_bound = (
-                head_dim * ((1 << quant.chunk_bits) - 1) * quant.qmax
-            )
-            if not (exact_in_float and digit_bound < 2 ** 24):
-                raise ValueError(
-                    "float32 k_plane_arena requires digit contractions "
-                    "exact in float32 (head_dim * digit_max * qmax < 2**24)"
-                )
-            contrib = take_buf(
-                "contrib32", (total, n_heads, n_chunks), np.float32
-            )
-            q_f = q_codes.astype(np.float32)
-        elif exact_in_float:
-            contrib = take_buf("contrib", (total, n_heads, n_chunks))
-            q_f = q_codes.astype(np.float64)
-        else:
-            contrib = take_buf(
-                "contrib_i", (total, n_heads, n_chunks), np.int64
-            )
-            # wide-format fallback: integer accumulation needs an int64
-            # copy of the span (scratch-backed; digits are exact ints, so
-            # the cast is lossless) — unavoidable O(span) work unless the
-            # pool stores int64 digits for such formats
-            planes_i = take_buf(
-                "planes_i", planes_view.shape, np.int64
-            )
-            np.copyto(planes_i, planes_view, casting="unsafe")
-            planes_view = planes_i
-            q_f = q_codes
-        for i in range(n_live):
-            s = int(seg_ids[i])
-            np.matmul(
-                planes_view[st[i]:en[i]],
-                q_f[s][:, :, None],
-                out=contrib[st[i]:en[i], :, :, None],
-            )
-        if not valid.all():  # arena gaps: scrub stale scratch contents
-            contrib[~valid] = 0
-        shifts = np.array(
-            [
-                1 << (quant.total_bits - (c + 1) * quant.chunk_bits)
-                for c in range(n_chunks)
-            ]
+    if arena_mode and k_arena.dtype == np.float32:
+        digit_bound = (
+            head_dim * ((1 << quant.chunk_bits) - 1) * quant.qmax
         )
-        if contrib.dtype == np.int64:
-            ps = take_buf("ps_i", (n_chunks, n_heads, total), np.int64)
-            np.multiply(
-                contrib.transpose(2, 1, 0), shifts[:, None, None], out=ps
+        if not (exact_in_float and digit_bound < 2 ** 24):
+            raise ValueError(
+                "float32 k_plane_arena requires digit contractions "
+                "exact in float32 (head_dim * digit_max * qmax < 2**24)"
             )
-        else:
-            ps = take_buf("ps", (n_chunks, n_heads, total))
-            np.multiply(
-                contrib.transpose(2, 1, 0),
-                shifts.astype(np.float64)[:, None, None],
-                out=ps,
-            )
-        np.cumsum(ps, axis=0, out=ps)
-    elif k_planes is not None:
-        # Pre-encoded chunk planes: one dense dot product per chunk, no
-        # per-step requantization or digit extraction.
-        if exact_in_float:
-            q_tok = np.take(q_codes.astype(np.float64), seq_idx, axis=0)
-            ps = np.empty((n_chunks, n_heads, total))
-        else:
-            q_tok = np.take(q_codes, seq_idx, axis=0)
-            ps = np.empty((n_chunks, n_heads, total), dtype=np.int64)
-        for c in range(n_chunks):
-            plane_c = np.concatenate(
-                [k_planes[int(s)][:, c].transpose(1, 0, 2) for s in seg_ids],
-                axis=0,
-            )
-            if exact_in_float:
-                np.einsum("thd,thd->ht", plane_c, q_tok, out=ps[c])
-            else:
-                np.einsum(
-                    "thd,thd->ht", plane_c.astype(np.int64), q_tok, out=ps[c]
-                )
-        np.cumsum(ps, axis=0, out=ps)
-    else:
-        packed_keys = np.concatenate(
-            [keys[int(s)].transpose(1, 0, 2) for s in seg_ids], axis=0
-        )
-        k_scale_tok = k_scale[seq_idx]  # (total, H)
-        packed_codes = np.clip(
-            np.rint(packed_keys / k_scale_tok[:, :, None]),
-            quant.qmin,
-            quant.qmax,
-        ).astype(np.int64)
-        # Chunk-plane partial scores, one chunk at a time: materialising
-        # the full (T, H, d, C) plane tensor (chunk_plane_values) falls
-        # out of cache at serving batch sizes.  The per-chunk loop streams
-        # (T, H, d) once per chunk instead — integer arithmetic
-        # throughout, so the scores stay exact.
-        pattern = packed_codes & ((1 << quant.total_bits) - 1)  # 2's compl.
-        q_tok = np.take(q_codes, seq_idx, axis=0)
-        ps = np.empty((n_chunks, n_heads, total), dtype=np.int64)
-        for c in range(n_chunks):
-            shift = quant.total_bits - (c + 1) * quant.chunk_bits
-            digit = signed_chunk_digit(pattern, c, quant)
-            np.einsum("thd,thd->ht", digit << shift, q_tok, out=ps[c])
-        np.cumsum(ps, axis=0, out=ps)
 
-    # ---- per-token broadcast tables and score bounds, head-major (H, T).
-    # Margins are pre-scaled per (sequence, head, chunk) — the same
-    # ``margin * scale`` products the rectangular kernel computes per
-    # token, evaluated once and broadcast.  A zero bias is skipped
-    # entirely: ``x + 0.0`` can only alter the sign of a zero, and the
-    # bound expressions cannot produce -0.0 (their nonzero operands have
-    # magnitude >= the score scale), so skipping stays bit-identical.
+    # ---- per-token broadcast tables, head-major (H, T).  A zero bias
+    # is skipped entirely: ``x + 0.0`` can only alter the sign of a
+    # zero, and the bound expressions cannot produce -0.0 (their nonzero
+    # operands have magnitude >= the score scale), so skipping stays
+    # bit-identical.
     ss_ht = take_buf("ss", (n_heads, total))
     np.take(score_scale.T, seq_clip, axis=1, out=ss_ht)
     no_bias = all(b is None for b in biases)
@@ -1199,32 +1108,6 @@ def token_picker_attention_ragged(
             b_arr = biases[int(seg_ids[i])]
             if b_arr is not None:
                 bias_ht[:, st[i]:en[i]] = b_arr
-    margin_lo = take_buf("margin_lo", (n_chunks, n_heads, total))
-    margin_hi = take_buf("margin_hi", (n_chunks, n_heads, total))
-    np.take(
-        np.ascontiguousarray(
-            (mins[:, :, 1:] * score_scale[:, :, None]).transpose(2, 1, 0)
-        ),
-        seq_clip, axis=2, out=margin_lo,
-    )
-    np.take(
-        np.ascontiguousarray(
-            (maxs[:, :, 1:] * score_scale[:, :, None]).transpose(2, 1, 0)
-        ),
-        seq_clip, axis=2, out=margin_hi,
-    )
-    # same elementwise tree as the rectangular kernel:
-    # (ps * scale + margin * scale) + bias
-    s_min = take_buf("s_min", (n_chunks, n_heads, total))
-    s_max = take_buf("s_max", (n_chunks, n_heads, total))
-    np.multiply(ps, ss_ht, out=s_min)
-    s_min += margin_lo
-    np.multiply(ps, ss_ht, out=s_max)
-    s_max += margin_hi
-    if bias_ht is not None:
-        s_min += bias_ht
-        s_max += bias_ht
-
     pos = np.arange(total)
     end_col = np.empty(n_cols, dtype=np.int64)
     end_col[::2] = en
@@ -1232,13 +1115,54 @@ def token_picker_attention_ragged(
     guard_t = valid & (
         pos >= np.repeat(end_col, widths) - config.prompt_guard
     )
-    _mark("score")
+    guard_row = guard_t[None, :]
 
-    # ---- breadth rounds.  One reduceat pass computes every sequence's
-    # per-round denominator at once; the folds match the rectangular
-    # kernel's row folds bit for bit, and a sequence whose tokens are all
-    # decided simply stops changing (recomputing its denominator from
-    # unchanged bounds reproduces the frozen value exactly).
+    # ---- per-round denominator scratch, hoisted out of the chunk loop
+    # (``ld_cols`` and the token broadcasts used to be fresh allocations
+    # every round of every step).  ``col_of_tok`` turns the per-column
+    # ``np.repeat`` broadcasts into ``np.take`` writes into reused
+    # buffers — identical output, zero allocator traffic.
+    col_of_tok = np.repeat(np.arange(n_cols, dtype=np.intp), widths)
+    m_cols_buf = take_buf("m_cols", (n_heads, n_cols))
+    m_fix_buf = take_buf("m_fix", (n_heads, n_cols))
+    den_cols_buf = take_buf("den_cols", (n_heads, n_cols))
+    ld_cols_buf = take_buf("ld_cols", (n_heads, n_cols))
+    ld_cols_buf.fill(0.0)  # gap columns never receive a denominator
+    m_tok_buf = take_buf("m_tok", (n_heads, total))
+    ld_tok_buf = take_buf("ld_tok", (n_heads, total))
+    ex = take_buf("ex", (n_heads, total))
+
+    def _round_denominator(lb):
+        """One round's per-segment log denominators, full-row fold.
+
+        Every round re-reduces the whole (H, T) lower-bound row —
+        decided tokens' frozen bounds included, since their exp terms
+        shift as the running max rises — through the same interleaved
+        ``reduceat`` folds as always, so the lazy and eager score
+        phases share these bits by construction.  Returns
+        ``(log_den_seg (H, n_live), log_den_tok (H, total))``; the
+        latter is a scratch view valid until the next round.
+        """
+        np.maximum.reduceat(lb, reduce_idx, axis=1, out=m_cols_buf)
+        m_seg = m_cols_buf[:, ::2]
+        np.copyto(m_fix_buf, m_cols_buf)
+        np.copyto(m_fix_buf, 0.0, where=~np.isfinite(m_cols_buf))
+        np.take(m_fix_buf, col_of_tok, axis=1, out=m_tok_buf)
+        np.subtract(lb, m_tok_buf, out=ex)
+        np.clip(ex, -700.0, 0.0, out=ex)
+        np.exp(ex, out=ex)
+        np.add.reduceat(ex, reduce_idx, axis=1, out=den_cols_buf)
+        seg_den = m_seg + np.log(den_cols_buf[:, ::2])
+        ld_cols_buf[:, ::2] = seg_den
+        np.take(ld_cols_buf, col_of_tok, axis=1, out=ld_tok_buf)
+        return seg_den, ld_tok_buf
+
+    # ---- breadth-round state.  One reduceat pass computes every
+    # sequence's per-round denominator at once; the folds match the
+    # rectangular kernel's row folds bit for bit, and a sequence whose
+    # tokens are all decided simply stops changing (recomputing its
+    # denominator from unchanged bounds reproduces the frozen value
+    # exactly).
     log_thr = config.log_threshold
     alive = take_buf("alive", (n_heads, total), bool)
     alive[:] = valid[None, :]
@@ -1246,39 +1170,400 @@ def token_picker_attention_ragged(
     chunks_fetched.fill(0)
     current_lb = take_buf("lb", (n_heads, total))
     current_lb.fill(-np.inf)
-    ex = take_buf("ex", (n_heads, total))
-    guard_row = guard_t[None, :]
     log_den_seg = np.full((n_heads, n_live), -np.inf)
+    round_alive = np.zeros(n_chunks + 1, dtype=np.int64)
 
-    for b in range(n_chunks):
-        np.copyto(chunks_fetched, b + 1, where=alive)
-        np.copyto(current_lb, s_min[b], where=alive)
-        m_cols = np.maximum.reduceat(current_lb, reduce_idx, axis=1)
-        m_seg = m_cols[:, ::2]
-        m_tok = np.repeat(
-            np.where(np.isfinite(m_cols), m_cols, 0.0), widths, axis=1
+    lazy = arena_mode and config.score_backend != "eager"
+    if lazy:
+        # ---- lazy alive-set score phase.  Round 1 (chunk 0) touches
+        # every token once through one batched contraction; each later
+        # round gathers only the surviving (head, token) pairs' next
+        # chunk digit from the arena view and extends their partial
+        # scores, so per-round score cost scales with the alive set
+        # (the keep fraction of T) instead of T * C.  Chunk contractions
+        # are exact integers under the same gates as the eager table, so
+        # incremental accumulation is bit-identical to the eager cumsum,
+        # and the per-round denominators reuse the full-row fold above —
+        # kept sets, fetched chunks, probabilities, outputs and log
+        # denominators match the eager path bit for bit.  Reported
+        # ``scores`` of *pruned* tokens are the certified upper bound at
+        # the round that pruned them (their remaining chunks are never
+        # fetched — that is the point); kept tokens' scores stay the
+        # exact full-depth values.
+        backend = resolve_backend(config.score_backend)
+        _mark("score")  # setup cost up to here counts as score
+        timing = phase_times is not None
+        sub_t = {"score_chunk0": 0.0, "score_refine": 0.0, "prune": 0.0}
+        t_sub = time.perf_counter() if timing else 0.0
+
+        def _sub(key):
+            nonlocal t_sub
+            if timing:
+                now = time.perf_counter()
+                sub_t[key] += now - t_sub
+                t_sub = now
+
+        shifts = [
+            1 << (quant.total_bits - (c + 1) * quant.chunk_bits)
+            for c in range(n_chunks)
+        ]
+        planes4 = k_arena[base:span_end]  # (total, H, C, d) digit view
+        int_mode = not exact_in_float
+        if int_mode:
+            # wide-format fallback: only the chunk-0 slice needs an
+            # int64 copy up front (1/C of the eager fallback's span
+            # copy); later rounds cast just the gathered alive rows
+            q_f = q_codes
+            contrib0 = take_buf("lz_c0_i", (n_heads, total), np.int64)
+            planes_c0 = take_buf(
+                "lz_p0_i", (total, n_heads, head_dim), np.int64
+            )
+            np.copyto(planes_c0, planes4[:, :, 0, :], casting="unsafe")
+        elif k_arena.dtype == np.float32:
+            q_f = q_codes.astype(np.float32)
+            contrib0 = take_buf("lz_c0_f32", (n_heads, total), np.float32)
+            planes_c0 = planes4[:, :, 0, :]
+        else:
+            q_f = q_codes.astype(np.float64)
+            contrib0 = take_buf("lz_c0", (n_heads, total))
+            planes_c0 = planes4[:, :, 0, :]
+        q_seg = q_f[seg_ids]  # (n_live, H, d)
+        ps_run = take_buf(
+            "lz_ps_i" if int_mode else "lz_ps",
+            (n_heads, total),
+            np.int64 if int_mode else np.float64,
         )
-        np.subtract(current_lb, m_tok, out=ex)
-        np.clip(ex, -700.0, 0.0, out=ex)
-        np.exp(ex, out=ex)
-        den_cols = np.add.reduceat(ex, reduce_idx, axis=1)
-        log_den_seg = m_seg + np.log(den_cols[:, ::2])
-        ld_cols = np.zeros((n_heads, n_cols))
-        ld_cols[:, ::2] = log_den_seg
-        log_den_tok = np.repeat(ld_cols, widths, axis=1)
-        prune_now = alive & ((s_max[b] - log_den_tok) <= log_thr) & ~guard_row
-        alive &= ~prune_now
-        if not alive.any():
-            break
-    _mark("prune")
+        # pre-scaled margin tables (C, H, S): the same margin * scale
+        # products the eager path broadcasts to (H, T), gathered
+        # per-round on the alive set instead
+        mlo_tbl = np.ascontiguousarray(
+            (mins[:, :, 1:] * score_scale[:, :, None]).transpose(2, 1, 0)
+        )
+        mhi_tbl = np.ascontiguousarray(
+            (maxs[:, :, 1:] * score_scale[:, :, None]).transpose(2, 1, 0)
+        )
+        s_min_row = take_buf("lz_smin", (n_heads, total))
+        s_max_row = take_buf("lz_smax", (n_heads, total))
+        m_row = take_buf("lz_mrow", (n_heads, total))
+        exact_scores = take_buf("scores", (n_heads, total))
+        exact_scores.fill(0.0)
+        survivors = int(np.count_nonzero(alive))
+        for b in range(n_chunks):
+            if not survivors:
+                break
+            round_alive[b] = survivors
+            # Strategy per round: a dense full-width chunk extension
+            # (one batched per-segment contraction) beats compacted
+            # pair gathers while the alive set is still a sizeable
+            # fraction of the arena — the threshold-driven first
+            # refinement round typically retains tens of percent of
+            # pairs, and only later rounds thin to the ~0.4% keep
+            # fraction.  Both strategies run the identical per-element
+            # value chain, so the switch is purely a performance
+            # decision — every output is bit-identical either way.
+            dense = b == 0 or (
+                not int_mode and survivors * 8 >= alive.size
+            )
+            if dense:
+                planes_cb = planes_c0 if b == 0 else planes4[:, :, b, :]
+                backend.contract_chunk0(
+                    planes_cb, q_seg, st, en, contrib0
+                )
+                if b == 0:
+                    if not valid.all():  # scrub stale gap columns
+                        contrib0[:, ~valid] = 0
+                    # same value chain as the eager table's shift
+                    # column: promote the digit dot to the accumulator
+                    # dtype first, then scale by the chunk's
+                    # power-of-two shift (exact either way — a float32
+                    # contribution must NOT be multiplied by the shift
+                    # in float32, where the product can exceed 2**24
+                    # and round)
+                    np.copyto(ps_run, contrib0)
+                    ps_run *= shifts[0]
+                else:
+                    # dead and gap columns accumulate garbage here —
+                    # harmless: every consumer below is masked by
+                    # ``alive`` and death scores were already recorded
+                    np.copyto(m_row, contrib0)
+                    m_row *= float(shifts[b])
+                    ps_run += m_row
+                # full-width bounds — same elementwise tree as the
+                # eager tables: (ps * scale + margin * scale) + bias
+                # (one base product, copied: both bounds share it)
+                np.multiply(ps_run, ss_ht, out=s_max_row)
+                np.copyto(s_min_row, s_max_row)
+                np.take(mlo_tbl[b], seq_clip, axis=1, out=m_row)
+                s_min_row += m_row
+                np.take(mhi_tbl[b], seq_clip, axis=1, out=m_row)
+                s_max_row += m_row
+                if bias_ht is not None:
+                    s_min_row += bias_ht
+                    s_max_row += bias_ht
+                np.copyto(chunks_fetched, b + 1, where=alive)
+                np.copyto(current_lb, s_min_row, where=alive)
+                _sub("score_chunk0" if b == 0 else "score_refine")
+
+                log_den_seg, log_den_tok = _round_denominator(
+                    current_lb
+                )
+                prune_now = (
+                    alive
+                    & ((s_max_row - log_den_tok) <= log_thr)
+                    & ~guard_row
+                )
+                # a pruned token's reported score is its certified
+                # upper bound at the pruning decision (p'' >= p, Eq. 5)
+                np.copyto(exact_scores, s_max_row, where=prune_now)
+                alive &= ~prune_now
+                survivors = int(np.count_nonzero(alive))
+                _sub("prune")
+            else:
+                h_idx, t_idx = np.nonzero(alive)
+                q_pair = q_f[seq_idx[t_idx], h_idx]  # (A, d)
+                contrib_pair = np.empty(
+                    h_idx.size, dtype=contrib0.dtype
+                )
+                backend.contract_pairs(
+                    planes4, b, t_idx, h_idx, q_pair, contrib_pair
+                )
+                ps_pair = ps_run[h_idx, t_idx]
+                if int_mode:
+                    ps_pair += contrib_pair * shifts[b]
+                else:
+                    cp = (
+                        contrib_pair
+                        if contrib_pair.dtype == np.float64
+                        else contrib_pair.astype(np.float64)
+                    )
+                    ps_pair += cp * float(shifts[b])
+                ps_run[h_idx, t_idx] = ps_pair
+                ss_pair = ss_ht[h_idx, t_idx]
+                seqs_pair = seq_idx[t_idx]
+                s_min_pair = ps_pair * ss_pair
+                s_min_pair += mlo_tbl[b][h_idx, seqs_pair]
+                s_max_pair = ps_pair * ss_pair
+                s_max_pair += mhi_tbl[b][h_idx, seqs_pair]
+                if bias_ht is not None:
+                    bias_pair = bias_ht[h_idx, t_idx]
+                    s_min_pair += bias_pair
+                    s_max_pair += bias_pair
+                chunks_fetched[h_idx, t_idx] = b + 1
+                current_lb[h_idx, t_idx] = s_min_pair
+                _sub("score_refine")
+
+                log_den_seg, log_den_tok = _round_denominator(
+                    current_lb
+                )
+                prune_pair = (
+                    (s_max_pair - log_den_tok[h_idx, t_idx]) <= log_thr
+                ) & ~guard_t[t_idx]
+                if prune_pair.any():
+                    dh = h_idx[prune_pair]
+                    dt = t_idx[prune_pair]
+                    exact_scores[dh, dt] = s_max_pair[prune_pair]
+                    alive[dh, dt] = False
+                    survivors -= int(dh.size)
+                _sub("prune")
+        round_alive[n_chunks] = survivors
+
+        # kept tokens survived every round, so their running partial
+        # scores are the exact full-depth values — finish their
+        # reported scores with the eager path's elementwise ops
+        kh, kt = np.nonzero(alive)
+        if kh.size:
+            kept_scores = ps_run[kh, kt] * ss_ht[kh, kt]
+            if bias_ht is not None:
+                kept_scores += bias_ht[kh, kt]
+            exact_scores[kh, kt] = kept_scores
+        _sub("score_refine")
+        if timing:
+            phase_times["score"] = (
+                phase_times.get("score", 0.0)
+                + sub_t["score_chunk0"]
+                + sub_t["score_refine"]
+            )
+            phase_times["score_chunk0"] = (
+                phase_times.get("score_chunk0", 0.0)
+                + sub_t["score_chunk0"]
+            )
+            phase_times["score_refine"] = (
+                phase_times.get("score_refine", 0.0)
+                + sub_t["score_refine"]
+            )
+            phase_times["prune"] = (
+                phase_times.get("prune", 0.0) + sub_t["prune"]
+            )
+        _resync()
+    else:
+        # ---- eager reference: the complete cumulative partial-score
+        # table ps[c, h, t] plus full bound tables, exact by
+        # construction (same gates as above).
+        if arena_mode:
+            planes_view = k_arena[base:span_end]  # (total, H, C, d) view
+            # One batched (C, d) x (d, 1) matmul per segment, straight
+            # on the arena view: the query is constant within a segment,
+            # so this avoids gathering a (T, H, d) per-token query
+            # table, and exact integer arithmetic makes the contraction
+            # order irrelevant.  The arena stores *unshifted* digits —
+            # each chunk's power-of-two positional shift is applied
+            # after its contraction (an exponent-only multiply,
+            # exactness preserved), which is what lets a float32 arena
+            # carry practical formats at half the memory traffic.
+            if k_arena.dtype == np.float32:
+                contrib = take_buf(
+                    "contrib32", (total, n_heads, n_chunks), np.float32
+                )
+                q_f = q_codes.astype(np.float32)
+            elif exact_in_float:
+                contrib = take_buf("contrib", (total, n_heads, n_chunks))
+                q_f = q_codes.astype(np.float64)
+            else:
+                contrib = take_buf(
+                    "contrib_i", (total, n_heads, n_chunks), np.int64
+                )
+                # wide-format fallback: integer accumulation needs an
+                # int64 copy of the span (scratch-backed; digits are
+                # exact ints, so the cast is lossless) — unavoidable
+                # O(span) work unless the pool stores int64 digits for
+                # such formats
+                planes_i = take_buf(
+                    "planes_i", planes_view.shape, np.int64
+                )
+                np.copyto(planes_i, planes_view, casting="unsafe")
+                planes_view = planes_i
+                q_f = q_codes
+            for i in range(n_live):
+                s = int(seg_ids[i])
+                np.matmul(
+                    planes_view[st[i]:en[i]],
+                    q_f[s][:, :, None],
+                    out=contrib[st[i]:en[i], :, :, None],
+                )
+            if not valid.all():  # arena gaps: scrub stale scratch
+                contrib[~valid] = 0
+            shifts = np.array(
+                [
+                    1 << (quant.total_bits - (c + 1) * quant.chunk_bits)
+                    for c in range(n_chunks)
+                ]
+            )
+            if contrib.dtype == np.int64:
+                ps = take_buf("ps_i", (n_chunks, n_heads, total), np.int64)
+                np.multiply(
+                    contrib.transpose(2, 1, 0), shifts[:, None, None], out=ps
+                )
+            else:
+                ps = take_buf("ps", (n_chunks, n_heads, total))
+                np.multiply(
+                    contrib.transpose(2, 1, 0),
+                    shifts.astype(np.float64)[:, None, None],
+                    out=ps,
+                )
+            np.cumsum(ps, axis=0, out=ps)
+        elif k_planes is not None:
+            # Pre-encoded chunk planes: one dense dot product per chunk,
+            # no per-step requantization or digit extraction.
+            if exact_in_float:
+                q_tok = np.take(q_codes.astype(np.float64), seq_idx, axis=0)
+                ps = np.empty((n_chunks, n_heads, total))
+            else:
+                q_tok = np.take(q_codes, seq_idx, axis=0)
+                ps = np.empty((n_chunks, n_heads, total), dtype=np.int64)
+            for c in range(n_chunks):
+                plane_c = np.concatenate(
+                    [
+                        k_planes[int(s)][:, c].transpose(1, 0, 2)
+                        for s in seg_ids
+                    ],
+                    axis=0,
+                )
+                if exact_in_float:
+                    np.einsum("thd,thd->ht", plane_c, q_tok, out=ps[c])
+                else:
+                    np.einsum(
+                        "thd,thd->ht", plane_c.astype(np.int64), q_tok,
+                        out=ps[c],
+                    )
+            np.cumsum(ps, axis=0, out=ps)
+        else:
+            packed_keys = np.concatenate(
+                [keys[int(s)].transpose(1, 0, 2) for s in seg_ids], axis=0
+            )
+            k_scale_tok = k_scale[seq_idx]  # (total, H)
+            packed_codes = np.clip(
+                np.rint(packed_keys / k_scale_tok[:, :, None]),
+                quant.qmin,
+                quant.qmax,
+            ).astype(np.int64)
+            # Chunk-plane partial scores, one chunk at a time:
+            # materialising the full (T, H, d, C) plane tensor
+            # (chunk_plane_values) falls out of cache at serving batch
+            # sizes.  The per-chunk loop streams (T, H, d) once per
+            # chunk instead — integer arithmetic throughout, so the
+            # scores stay exact.
+            pattern = packed_codes & ((1 << quant.total_bits) - 1)
+            q_tok = np.take(q_codes, seq_idx, axis=0)
+            ps = np.empty((n_chunks, n_heads, total), dtype=np.int64)
+            for c in range(n_chunks):
+                shift = quant.total_bits - (c + 1) * quant.chunk_bits
+                digit = signed_chunk_digit(pattern, c, quant)
+                np.einsum("thd,thd->ht", digit << shift, q_tok, out=ps[c])
+            np.cumsum(ps, axis=0, out=ps)
+
+        # ---- score-bound tables.  Margins are pre-scaled per
+        # (sequence, head, chunk) — the same ``margin * scale`` products
+        # the rectangular kernel computes per token, evaluated once and
+        # broadcast to the full (C, H, T) tables.
+        margin_lo = take_buf("margin_lo", (n_chunks, n_heads, total))
+        margin_hi = take_buf("margin_hi", (n_chunks, n_heads, total))
+        np.take(
+            np.ascontiguousarray(
+                (mins[:, :, 1:] * score_scale[:, :, None]).transpose(2, 1, 0)
+            ),
+            seq_clip, axis=2, out=margin_lo,
+        )
+        np.take(
+            np.ascontiguousarray(
+                (maxs[:, :, 1:] * score_scale[:, :, None]).transpose(2, 1, 0)
+            ),
+            seq_clip, axis=2, out=margin_hi,
+        )
+        # same elementwise tree as the rectangular kernel:
+        # (ps * scale + margin * scale) + bias
+        s_min = take_buf("s_min", (n_chunks, n_heads, total))
+        s_max = take_buf("s_max", (n_chunks, n_heads, total))
+        np.multiply(ps, ss_ht, out=s_min)
+        s_min += margin_lo
+        np.multiply(ps, ss_ht, out=s_max)
+        s_max += margin_hi
+        if bias_ht is not None:
+            s_min += bias_ht
+            s_max += bias_ht
+        _mark("score")
+
+        # ---- breadth rounds over the full-width tables.
+        for b in range(n_chunks):
+            round_alive[b] = int(np.count_nonzero(alive))
+            np.copyto(chunks_fetched, b + 1, where=alive)
+            np.copyto(current_lb, s_min[b], where=alive)
+            log_den_seg, log_den_tok = _round_denominator(current_lb)
+            prune_now = (
+                alive & ((s_max[b] - log_den_tok) <= log_thr) & ~guard_row
+            )
+            alive &= ~prune_now
+            if not alive.any():
+                break
+        round_alive[n_chunks] = int(np.count_nonzero(alive))
+        _mark("prune")
+
+        exact_scores = take_buf("scores", (n_heads, total))
+        np.multiply(ps[-1], ss_ht, out=exact_scores)
+        if bias_ht is not None:
+            exact_scores += bias_ht
 
     # ---- unpack: masked grouped softmax over the packed (H, T) score
     # matrix, one segment-reduced weighted-V pass, per-sequence slicing.
-    exact_scores = take_buf("scores", (n_heads, total))
-    np.multiply(ps[-1], ss_ht, out=exact_scores)
-    if bias_ht is not None:
-        exact_scores += bias_ht
-
     probs_ht = take_buf("probs", (n_heads, total))
     probs_ht.fill(0.0)
     kept_counts = np.add.reduceat(
@@ -1330,7 +1615,12 @@ def token_picker_attention_ragged(
         )
     _mark("unpack")
 
-    return RaggedPickerResult(results=results, lengths=lengths, pack_order=pack_order)
+    return RaggedPickerResult(
+        results=results,
+        lengths=lengths,
+        pack_order=pack_order,
+        round_alive=round_alive,
+    )
 
 
 def multi_head_token_picker(

@@ -28,6 +28,14 @@ from typing import Mapping
 #: the engine hot path's wall-clock phases, recorded per bench point
 REQUIRED_PHASES = ("pack", "score", "prune", "unpack")
 
+#: the lazy score pipeline's sub-phases (the one full-width chunk-0
+#: pass vs the alive-set refinement rounds); they sum to "score"
+SCORE_SUBPHASES = ("score_chunk0", "score_refine")
+
+#: artifacts whose points must carry the score sub-phase split and the
+#: per-round alive fractions (the engine bench runs the lazy kernel)
+LAZY_DETAIL_REQUIRED_IN = ("BENCH_engine.json",)
+
 #: per-variant latency fields of the ``long_prompt_burst`` section —
 #: recorded once for the unbounded budget and once for the finite one
 LONG_BURST_VARIANT_FIELDS = (
@@ -89,6 +97,19 @@ def validate_bench(record: Mapping, name: str = "bench") -> None:
                     f"{where}.phase_ms_per_step.{phase}",
                     f"must be a number >= 0, got {value!r}",
                 )
+        if name in LAZY_DETAIL_REQUIRED_IN:
+            for phase in SCORE_SUBPHASES:
+                value = phases.get(phase)
+                if not isinstance(value, (int, float)) or value < 0:
+                    _fail(
+                        f"{where}.phase_ms_per_step.{phase}",
+                        "missing score sub-phase: the engine bench must "
+                        f"split 'score' into {SCORE_SUBPHASES}, got {value!r}",
+                    )
+            _validate_alive_fractions(
+                point.get("alive_fraction_per_round"),
+                f"{where}.alive_fraction_per_round",
+            )
     burst = record.get("long_prompt_burst")
     if burst is None:
         if name in LONG_BURST_REQUIRED_IN:
@@ -99,6 +120,29 @@ def validate_bench(record: Mapping, name: str = "bench") -> None:
             )
     else:
         _validate_long_burst(burst, f"{name}.long_prompt_burst")
+
+
+def _validate_alive_fractions(fractions, where: str) -> None:
+    """The lazy kernel's per-round survival profile: a nonincreasing
+    list starting at 1.0 (every (head, token) pair pays for chunk 0),
+    whose last entry is the kept fraction after the final round."""
+    if not isinstance(fractions, list) or len(fractions) < 2:
+        _fail(where, f"must be a list of >= 2 fractions, got {fractions!r}")
+    for j, value in enumerate(fractions):
+        if not isinstance(value, (int, float)) or not 0.0 <= value <= 1.0:
+            _fail(f"{where}[{j}]", f"must be a number in [0, 1], got {value!r}")
+    if fractions[0] != 1.0:
+        _fail(
+            f"{where}[0]",
+            f"round 0 must cover every pair (1.0), got {fractions[0]!r}",
+        )
+    for j in range(1, len(fractions)):
+        if fractions[j] > fractions[j - 1]:
+            _fail(
+                f"{where}[{j}]",
+                "alive fractions must be nonincreasing, got "
+                f"{fractions[j - 1]!r} -> {fractions[j]!r}",
+            )
 
 
 def _validate_long_burst(burst, where: str) -> None:

@@ -80,19 +80,39 @@ def _encode_kv_into(
     the whole cache.
     """
     n_heads, n, head_dim = keys.shape
-    k_codes = np.clip(
-        np.rint(keys / scales.k_scale[:, None, None]), quant.qmin, quant.qmax
-    ).astype(np.int64)
-    pattern = k_codes & ((1 << quant.total_bits) - 1)  # 2's complement
+    # Work in the arena's token-major layout from the start and reuse one
+    # buffer per stage: the quantize → pattern → per-chunk digit chain is
+    # elementwise, so in-place ufuncs produce bit-identical codes to the
+    # head-major + per-chunk-transpose formulation while skipping its
+    # temporaries and strided copies (prefill encodes whole prompts, so
+    # this is a measurable slice of time-to-first-token).
+    kt = keys.transpose(1, 0, 2)  # (n, H, d) view
+    buf = np.divide(kt, scales.k_scale[None, :, None])
+    np.rint(buf, out=buf)
+    np.clip(buf, quant.qmin, quant.qmax, out=buf)
+    pattern = buf.astype(np.int64)
+    np.bitwise_and(pattern, (1 << quant.total_bits) - 1, out=pattern)
     k3 = k_out.reshape(n, n_heads, quant.n_chunks, head_dim)
+    chunk_mask = (1 << quant.chunk_bits) - 1
+    digit = np.empty_like(pattern)
     for c in range(quant.n_chunks):
-        k3[:, :, c, :] = signed_chunk_digit(pattern, c, quant).transpose(
-            1, 0, 2
-        )
-    vsc = scales.v_scale[:, None, None]
-    v_out[:] = (
-        np.clip(np.rint(values / vsc), quant.qmin, quant.qmax) * vsc
-    ).transpose(1, 0, 2)
+        shift = quant.total_bits - (c + 1) * quant.chunk_bits
+        np.right_shift(pattern, shift, out=digit)
+        np.bitwise_and(digit, chunk_mask, out=digit)
+        if c == 0:
+            # sign-extend the sign-carrying chunk (same rule as
+            # signed_chunk_digit, Eq. 4)
+            wrap = 1 << quant.chunk_bits
+            np.subtract(
+                digit, wrap, out=digit, where=digit >= (wrap >> 1)
+            )
+        k3[:, :, c, :] = digit
+    vsc = scales.v_scale[None, :, None]
+    vbuf = np.divide(values.transpose(1, 0, 2), vsc)
+    np.rint(vbuf, out=vbuf)
+    np.clip(vbuf, quant.qmin, quant.qmax, out=vbuf)
+    vbuf *= vsc
+    v_out[:] = vbuf
 
 
 @dataclass(frozen=True)
@@ -142,7 +162,11 @@ class EngineStepReport:
     #: wall-clock seconds by phase: "pack" (draw/encode/append), "score"
     #: (partial-score table + bounds), "prune" (breadth rounds), "unpack"
     #: (softmax/outputs/slicing + accounting) — the serve-sim ``--profile``
-    #: and benchmark breakdowns read this
+    #: and benchmark breakdowns read this.  On the lazy score paths
+    #: (``score_backend`` "numpy"/"numba") the score phase is further
+    #: split into "score_chunk0" (the one full-width chunk-0 pass) and
+    #: "score_refine" (alive-set refinement rounds); the two sum to
+    #: "score".
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     #: KV-tiering movement this step (zero on an untiered engine):
     #: tokens demoted / promoted, and sequences whose kernel call was
@@ -157,6 +181,10 @@ class EngineStepReport:
     prefilling: int = 0
     prefill_tokens: int = 0
     prefill_bits: int = 0
+    #: this step's main kernel call's alive (head, token) pairs entering
+    #: each chunk round plus the final kept count — shape
+    #: (n_chunks + 1,); None when the step ran no kernel call
+    round_alive: Optional[np.ndarray] = None
 
     @property
     def batch_size(self) -> int:
@@ -319,6 +347,15 @@ class ServingEngine:
         self.resumes_total = 0
         self.prefill_chunks_total = 0
         self.prefill_tokens_total = 0
+        #: elementwise sum of every main kernel call's ``round_alive``
+        #: (tier-repair reruns excluded — they would double-count pairs):
+        #: alive (head, token) pairs entering each chunk round plus the
+        #: final kept count, shape (n_chunks + 1,).  The serve CLIs'
+        #: ``--profile`` derives per-round survival fractions and the
+        #: chunks-fetched histogram from this.
+        self.round_alive_totals = np.zeros(
+            self.config.quant.n_chunks + 1, dtype=np.int64
+        )
 
     # ------------------------------------------------------------ properties
     @property
@@ -880,6 +917,9 @@ class ServingEngine:
         report.ragged_utilization = Scheduler.ragged_utilization(
             segments[:, 1].tolist()
         )
+        if ragged.round_alive is not None:
+            report.round_alive = ragged.round_alive
+            self.round_alive_totals += ragged.round_alive
 
         tier_bits: Optional[Dict[int, Tuple[int, int]]] = None
         if self.tiers is not None:

@@ -28,11 +28,29 @@ VALID = {
     ],
 }
 
+#: a point satisfying the stricter engine-artifact requirements: the
+#: score sub-phase split and the per-round alive-fraction profile
+LAZY_POINT = {
+    "batch_size": 8,
+    "fused_tokens_per_sec": 1000.0,
+    "phase_ms_per_step": {
+        "pack": 0.1, "score": 1.0, "prune": 0.2, "unpack": 0.3,
+        "score_chunk0": 0.6, "score_refine": 0.4,
+    },
+    "alive_fraction_per_round": [1.0, 0.3, 0.01],
+}
+
 
 def _mutated(**overrides):
     record = json.loads(json.dumps(VALID))
     record.update(overrides)
     return record
+
+
+def _lazy_point(**overrides):
+    point = json.loads(json.dumps(LAZY_POINT))
+    point.update(overrides)
+    return point
 
 
 class TestValidator:
@@ -127,9 +145,11 @@ class TestLongPromptBurstSection:
 
     def test_required_for_engine_artifact(self):
         with pytest.raises(BenchSchemaError, match="long_prompt_burst"):
-            validate_bench(_mutated(), name="BENCH_engine.json")
+            validate_bench(
+                _mutated(points=[_lazy_point()]), name="BENCH_engine.json"
+            )
         validate_bench(
-            _mutated(long_prompt_burst=self.SECTION),
+            _mutated(points=[_lazy_point()], long_prompt_burst=self.SECTION),
             name="BENCH_engine.json",
         )
 
@@ -157,3 +177,73 @@ class TestLongPromptBurstSection:
             < burst["unbounded"]["p95_inter_token_ms"]
         ), "committed artifact must show the budgeted improvement"
         assert burst["p95_inter_token_improvement"] > 1.0
+
+
+class TestLazyDetailSection:
+    """Engine-artifact points must carry the lazy kernel's score
+    sub-phase split and the per-round alive-fraction profile."""
+
+    def _engine_record(self, point):
+        return _mutated(
+            points=[point],
+            long_prompt_burst=TestLongPromptBurstSection.SECTION,
+        )
+
+    def test_plain_point_fine_for_other_artifacts(self):
+        validate_bench(_mutated(), name="BENCH_cluster.json")
+
+    def test_lazy_point_passes_for_engine(self):
+        validate_bench(
+            self._engine_record(_lazy_point()), name="BENCH_engine.json"
+        )
+
+    @pytest.mark.parametrize(
+        "point, fragment",
+        [
+            (
+                _lazy_point(
+                    phase_ms_per_step={
+                        "pack": 0.1, "score": 1.0, "prune": 0.2,
+                        "unpack": 0.3, "score_chunk0": 0.6,
+                    }
+                ),
+                "score_refine",
+            ),
+            (
+                {
+                    k: v
+                    for k, v in _lazy_point().items()
+                    if k != "alive_fraction_per_round"
+                },
+                "alive_fraction_per_round",
+            ),
+            (_lazy_point(alive_fraction_per_round=[1.0]), "fractions"),
+            (
+                _lazy_point(alive_fraction_per_round=[0.9, 0.3]),
+                r"round 0 must cover every pair",
+            ),
+            (
+                _lazy_point(alive_fraction_per_round=[1.0, 0.3, 0.4]),
+                "nonincreasing",
+            ),
+            (
+                _lazy_point(alive_fraction_per_round=[1.0, 1.5]),
+                r"in \[0, 1\]",
+            ),
+        ],
+    )
+    def test_malformed_lazy_details_rejected(self, point, fragment):
+        with pytest.raises(BenchSchemaError, match=fragment):
+            validate_bench(
+                self._engine_record(point), name="BENCH_engine.json"
+            )
+
+    def test_committed_engine_artifact_has_the_profile(self):
+        record = validate_bench_file(REPO_ROOT / "BENCH_engine.json")
+        for point in record["points"]:
+            phases = point["phase_ms_per_step"]
+            assert phases["score_chunk0"] + phases["score_refine"] <= (
+                phases["score"] + 1e-6
+            )
+            profile = point["alive_fraction_per_round"]
+            assert profile[-1] < 0.5, "pruning must decide most pairs"
