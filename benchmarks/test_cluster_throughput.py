@@ -227,6 +227,14 @@ def measure(repeats: int = 3) -> dict:
             }
         )
     conservative, optimistic, divergent = _run_admission_comparison()
+    # the robustness sections (overload control + fault recovery) live in
+    # this artifact too — same cross-bench-import pattern as the engine
+    # bench's long_prompt_burst section
+    from test_robustness import (
+        measure_fault_recovery,
+        measure_overload_goodput,
+    )
+
     record = {
         "config": {
             "threshold": CFG.threshold,
@@ -253,6 +261,8 @@ def measure(repeats: int = 3) -> dict:
             "preemptions": optimistic.summary()["preemptions"],
             "divergent_requests": divergent,
         },
+        "overload_goodput": measure_overload_goodput(),
+        "fault_recovery": measure_fault_recovery(),
     }
     validate_bench(record, name="BENCH_cluster.json")
     return record

@@ -407,6 +407,190 @@ def _run_serve_cluster(args) -> str:
     return "\n".join(lines)
 
 
+def _run_serve_frontend(args) -> str:
+    """Async streaming frontend demo: SLO overload control or chaos run."""
+    import asyncio
+
+    import numpy as np
+
+    from repro.core import TokenPickerConfig
+    from repro.model.config import get_model_config
+
+    if args.n_requests < 1:
+        raise ValueError(f"--n-requests must be >= 1, got {args.n_requests}")
+    if args.slo_p95_ms < 0 or args.deadline < 0:
+        raise ValueError("--slo-p95-ms and --deadline must be >= 0")
+    model = get_model_config(args.model)
+    n_heads, head_dim = 4, model.head_dim
+    config = TokenPickerConfig(
+        threshold=args.threshold, score_backend=args.kernel_backend
+    )
+    rng = np.random.default_rng(args.seed)
+
+    if args.inject_faults:
+        # deterministic chaos run: seeded replica kills/revives/spikes on
+        # a cluster, with a fault-free rerun as the bit-identity witness
+        from repro.cluster import ClusterRouter, FaultInjector, fault_schedule
+        from repro.workloads import failover_trace
+
+        if args.replicas < 2:
+            raise ValueError("--inject-faults needs --replicas >= 2")
+
+        def run(with_faults: bool):
+            router = ClusterRouter(
+                args.replicas,
+                config,
+                max_batch_size=args.batch_size,
+                capacity_tokens=args.batch_size
+                * (args.context_length + args.max_new_tokens + 16),
+                seed=args.seed,
+            )
+            schedule = (
+                fault_schedule(args.seed, args.replicas, n_kills=2)
+                if with_faults
+                else []
+            )
+            injector = FaultInjector(router, schedule)
+            injector.run_trace(
+                failover_trace(
+                    np.random.default_rng(args.seed),
+                    n_heads=n_heads,
+                    head_dim=head_dim,
+                    n_requests=args.n_requests,
+                    prompt_tokens=max(8, args.context_length // 2),
+                    max_new_tokens=args.max_new_tokens,
+                )
+            )
+            return injector
+
+        clean, faulted = run(False), run(True)
+
+        def traffic(injector):
+            return {
+                key: (
+                    done.stats.counter.k_bits,
+                    done.stats.counter.v_bits,
+                    done.stats.generated_tokens,
+                )
+                for key, done in injector.outputs.items()
+            }
+
+        identical = traffic(clean) == traffic(faulted)
+        stats = faulted.stats
+        lines = [
+            f"Chaos run ({model.name}, {args.replicas} replicas, "
+            f"thr={args.threshold:g})",
+            f"  kills: {stats.kills}  revives: {stats.revives}  "
+            f"spikes: {stats.spikes}",
+            f"  retries: {stats.retries}  swap-resumes: "
+            f"{stats.swap_resumes}  re-prefills: {stats.re_prefills}  "
+            f"requeues: {stats.requeues}",
+            f"  completed: {len(faulted.outputs)}/{args.n_requests}  "
+            f"bit-identical to fault-free run: {identical}",
+        ]
+        if getattr(args, "profile", False):
+            lines.append(faulted.router.metrics.render())
+        if not identical:
+            raise RuntimeError(
+                "faulted outputs diverged from the fault-free run"
+            )
+        return "\n".join(lines)
+
+    from repro.hw.serving import ServingSimulator
+    from repro.serving import (
+        AsyncStreamingFrontend,
+        ServingEngine,
+        SLOConfig,
+        ShedError,
+    )
+    from repro.workloads import sustained_overload_trace
+
+    engine = ServingEngine(
+        config,
+        max_batch_size=args.batch_size,
+        capacity_tokens=args.batch_size
+        * (args.context_length + args.max_new_tokens + 16)
+        * 2,
+        seed=args.seed,
+        prefill_budget_tokens=args.prefill_budget or None,
+        kv_tiering=_tier_config(args),
+        prefix_cache=_prefix_cache(args),
+    )
+    simulator = ServingSimulator(
+        model,
+        context_length=args.context_length + args.max_new_tokens,
+        config=config,
+    )
+    slo = (
+        SLOConfig(p95_inter_token_ms=args.slo_p95_ms)
+        if args.slo_p95_ms > 0
+        else None
+    )
+    frontend = AsyncStreamingFrontend(engine, slo=slo, simulator=simulator)
+    trace = sustained_overload_trace(
+        rng,
+        n_heads=n_heads,
+        head_dim=head_dim,
+        n_requests=args.n_requests,
+        arrivals_per_step=2,
+        prompt_tokens=args.context_length,
+        max_new_tokens=args.max_new_tokens,
+    )
+
+    async def drive():
+        results, shed = [], 0
+        async with frontend:
+            streams = []
+            for _, request in trace:
+                try:
+                    streams.append(
+                        await frontend.submit(
+                            request, deadline_ms=args.deadline or None
+                        )
+                    )
+                except ShedError:
+                    shed += 1
+                await asyncio.sleep(0)
+            for stream in streams:
+                results.append(await stream.drain())
+        return results, shed
+
+    results, shed = asyncio.run(drive())
+    by_state: dict = {}
+    for done in results:
+        by_state[done.state.value] = by_state.get(done.state.value, 0) + 1
+    lines = [
+        f"Async streaming frontend ({model.name}, thr={args.threshold:g}, "
+        f"batch {args.batch_size})",
+        f"  submitted: {len(trace)}  completed: "
+        f"{by_state.get('finished', 0)}  timed out: "
+        f"{by_state.get('timed_out', 0)}  cancelled: "
+        f"{by_state.get('cancelled', 0)}  shed: {shed}",
+        f"  engine steps: {frontend.steps_run}  modelled time: "
+        f"{1e3 * frontend.model_time_s:.1f} ms",
+    ]
+    if frontend.controller is not None:
+        c = frontend.controller
+        peak = max((s.level for s in c.timeline), default=0)
+        lines.append(
+            f"  overload control: SLO p95 {args.slo_p95_ms:g} ms  "
+            f"peak degrade level {peak}  final level {c.level}  "
+            f"final threshold {c.threshold:g}"
+            f"{'  (shedding)' if c.shedding else ''}"
+        )
+        if c.timeline:
+            tail = c.timeline[-4:]
+            lines.append(
+                "  control windows (step: p95 / level): "
+                + "  ".join(
+                    f"{s.step}: {s.p95_ms:.2f}ms/L{s.level}" for s in tail
+                )
+            )
+    if getattr(args, "profile", False):
+        lines.append(frontend.registry.render())
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -416,7 +600,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        choices=EXPERIMENTS + ("all", "serve-sim", "serve-cluster"),
+        choices=EXPERIMENTS
+        + ("all", "serve-sim", "serve-cluster", "serve-frontend"),
         help="which artifacts to regenerate (or a serving simulation)",
     )
     parser.add_argument(
@@ -547,13 +732,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="let small queued requests bypass a blocked queue head",
     )
+    frontend = parser.add_argument_group("serve-frontend options")
+    frontend.add_argument(
+        "--slo-p95-ms",
+        type=float,
+        default=0.0,
+        help="inter-token p95 SLO in modelled ms; breaches degrade the "
+        "keep threshold in rungs, then shed new admissions with a "
+        "retry-after hint (0: overload controller off)",
+    )
+    frontend.add_argument(
+        "--deadline",
+        type=float,
+        default=0.0,
+        help="per-request wall-clock deadline in ms; expired requests "
+        "are timed out and their KV freed mid-flight (0: none)",
+    )
+    frontend.add_argument(
+        "--inject-faults",
+        action="store_true",
+        help="run the deterministic chaos harness instead: seeded "
+        "replica kills/revives/latency spikes on a cluster, verifying "
+        "bit-identical outputs against a fault-free rerun "
+        "(needs --replicas >= 2)",
+    )
     args = parser.parse_args(argv)
 
     if "all" in args.experiments:
         # `all` covers the paper artifacts; explicitly named serving
         # simulations still run alongside them
         names = list(EXPERIMENTS)
-        for sim_name in ("serve-sim", "serve-cluster"):
+        for sim_name in ("serve-sim", "serve-cluster", "serve-frontend"):
             if sim_name in args.experiments:
                 names.append(sim_name)
     else:
@@ -564,6 +773,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             output = _run_serve_sim(args)
         elif name == "serve-cluster":
             output = _run_serve_cluster(args)
+        elif name == "serve-frontend":
+            output = _run_serve_frontend(args)
         else:
             output = _run_one(name, args.fast)
         elapsed = time.time() - start

@@ -20,6 +20,12 @@ instead of a constant:
   replica (``tokenpicker serve-cluster --profile`` prints it).
 """
 
+from repro.cluster.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultInjectorStats,
+    fault_schedule,
+)
 from repro.cluster.memory import (
     ConservativeMemory,
     OptimisticMemory,
@@ -45,7 +51,11 @@ __all__ = [
     "ClusterStepReport",
     "ConservativeMemory",
     "Counter",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultInjectorStats",
     "Gauge",
+    "fault_schedule",
     "Histogram",
     "MetricsRegistry",
     "OptimisticMemory",

@@ -71,6 +71,16 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
 
+    def reset(self) -> None:
+        """Drop every observation (windowed percentile use — the overload
+        controller reads a fresh p95 per control window)."""
+        self._buckets.clear()
+        self._underflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
     def observe(self, value: float, n: int = 1) -> None:
         """Record ``value`` (``n`` times — e.g. one step latency shared by
         every token the step produced)."""

@@ -31,8 +31,16 @@ import numpy as np
 from repro.core.config import TokenPickerConfig
 from repro.cluster.memory import make_memory_manager
 from repro.cluster.metrics import MetricsRegistry
-from repro.serving.engine import EngineStepReport, ServingEngine
-from repro.serving.request import GenerationRequest, synthetic_request
+from repro.serving.engine import (
+    EngineStepReport,
+    FailoverHarvest,
+    ServingEngine,
+)
+from repro.serving.request import (
+    GenerationRequest,
+    RequestState,
+    synthetic_request,
+)
 
 ROUTER_POLICIES = ("least-loaded", "round-robin")
 
@@ -97,44 +105,68 @@ class ClusterRouter:
         self.admission = admission
         self.metrics = registry if registry is not None else MetricsRegistry()
         self._seed = seed
-
-        def _replica_prefix_cache():
-            if not prefix_cache:
-                return None
-            from repro.kvstore.radix import RadixKVCache
-
-            return RadixKVCache(capacity_tokens=prefix_cache_capacity)
-
+        self._replica_kwargs = dict(
+            config=config,
+            max_batch_size=max_batch_size,
+            safety_factor=safety_factor,
+            capacity_tokens=capacity_tokens,
+            block_size=block_size,
+            allow_bypass=allow_bypass,
+            prefill_budget_tokens=prefill_budget_tokens,
+            kv_tiering=kv_tiering,
+            prefix_cache=prefix_cache,
+            prefix_cache_capacity=prefix_cache_capacity,
+        )
         # each replica gets an independent seed stream; request-level RNGs
         # derive from (replica seed, request id) inside the engine
         self.replicas: List[ServingEngine] = [
-            ServingEngine(
-                config,
-                max_batch_size=max_batch_size,
-                safety_factor=safety_factor,
-                capacity_tokens=capacity_tokens,
-                block_size=block_size,
-                seed=seed * 100_003 + rid,
-                memory_manager=make_memory_manager(
-                    admission, block_size=block_size
-                ),
-                allow_bypass=allow_bypass,
-                prefill_budget_tokens=prefill_budget_tokens,
-                kv_tiering=kv_tiering,
-                prefix_cache=_replica_prefix_cache(),
-            )
-            for rid in range(n_replicas)
+            self._make_replica(rid) for rid in range(n_replicas)
         ]
         self._draining: set = set()
+        self._dead: set = set()
         self._rr_next = 0
         self._step_index = 0
         self._routed: Dict[int, List[int]] = {
             rid: [] for rid in range(n_replicas)
         }
-        # deterministic occupancy accounting (no wall-clock involved)
+        # deterministic occupancy accounting (no wall-clock involved);
+        # the denominator counts only steps the replica was live-and-
+        # routable or still finishing work, so a drained/dead replica's
+        # idle ticks cannot skew the fleet mean (they used to)
         self._occupancy_sum: Dict[int, int] = {
             rid: 0 for rid in range(n_replicas)
         }
+        self._occupancy_steps: Dict[int, int] = {
+            rid: 0 for rid in range(n_replicas)
+        }
+        #: finished requests of replicas that have since been replaced
+        #: (``revive_replica``), so :attr:`completed` never loses history
+        self._archived_completed: List[Tuple[int, object]] = []
+
+    def _make_replica(self, rid: int) -> ServingEngine:
+        kw = self._replica_kwargs
+        prefix_cache = None
+        if kw["prefix_cache"]:
+            from repro.kvstore.radix import RadixKVCache
+
+            prefix_cache = RadixKVCache(
+                capacity_tokens=kw["prefix_cache_capacity"]
+            )
+        return ServingEngine(
+            kw["config"],
+            max_batch_size=kw["max_batch_size"],
+            safety_factor=kw["safety_factor"],
+            capacity_tokens=kw["capacity_tokens"],
+            block_size=kw["block_size"],
+            seed=self._seed * 100_003 + rid,
+            memory_manager=make_memory_manager(
+                self.admission, block_size=kw["block_size"]
+            ),
+            allow_bypass=kw["allow_bypass"],
+            prefill_budget_tokens=kw["prefill_budget_tokens"],
+            kv_tiering=kw["kv_tiering"],
+            prefix_cache=prefix_cache,
+        )
 
     # --------------------------------------------------------------- routing
     @property
@@ -148,8 +180,20 @@ class ClusterRouter:
     def routable(self) -> List[int]:
         """Replica ids currently accepting new requests."""
         return [
-            rid for rid in range(self.n_replicas) if rid not in self._draining
+            rid
+            for rid in range(self.n_replicas)
+            if rid not in self._draining and rid not in self._dead
         ]
+
+    def replica_status(self, replica_id: int) -> str:
+        """``"live"``, ``"draining"`` or ``"dead"``."""
+        if not 0 <= replica_id < self.n_replicas:
+            raise ValueError(f"unknown replica {replica_id}")
+        if replica_id in self._dead:
+            return "dead"
+        if replica_id in self._draining:
+            return "draining"
+        return "live"
 
     def effective_load(self, replica_id: int) -> float:
         """Outstanding arena tokens, discounted by live pruning behaviour.
@@ -167,7 +211,9 @@ class ClusterRouter:
         """Route one request under the configured policy."""
         routable = self.routable()
         if not routable:
-            raise RuntimeError("every replica is draining; nowhere to route")
+            raise RuntimeError(
+                "every replica is draining or dead; nowhere to route"
+            )
         if self.policy == "round-robin":
             for _ in range(self.n_replicas):
                 rid = self._rr_next % self.n_replicas
@@ -229,11 +275,101 @@ class ClusterRouter:
             ).inc(len(withdrawn))
         return len(withdrawn)
 
+    # --------------------------------------------------------- kill / revive
+    def kill_replica(self, replica_id: int) -> "FailoverHarvest":
+        """Declare a replica dead and harvest its recoverable requests.
+
+        The replica stops being stepped and routed immediately.  Its
+        queued requests, swapped-out sequences (byte-exact host copies)
+        and arena-resident sequences (KV lost — re-prefill) come back as
+        a :class:`~repro.serving.engine.FailoverHarvest` the caller
+        resubmits to survivors (:meth:`resubmit_harvest` applies the
+        default policy; :class:`repro.cluster.faults.FaultInjector` adds
+        backoff).  At least one replica must remain routable.
+        """
+        if not 0 <= replica_id < self.n_replicas:
+            raise ValueError(f"unknown replica {replica_id}")
+        if replica_id in self._dead:
+            raise ValueError(f"replica {replica_id} is already dead")
+        self._dead.add(replica_id)
+        if not self.routable():
+            self._dead.discard(replica_id)
+            raise RuntimeError("cannot kill the last routable replica")
+        self.metrics.counter("replica_kills", replica=replica_id).inc()
+        return self.replicas[replica_id].harvest_for_failover()
+
+    def revive_replica(self, replica_id: int) -> None:
+        """Bring a dead replica back as a **fresh** engine.
+
+        Death lost the arena, so revival is a cold start: the old
+        engine's finished-request history is archived (``completed``
+        keeps reporting it) and its occupancy accounting resets.
+        """
+        if replica_id not in self._dead:
+            raise ValueError(f"replica {replica_id} is not dead")
+        old = self.replicas[replica_id]
+        self._archived_completed.extend(
+            (replica_id, done) for done in old.completed
+        )
+        self.replicas[replica_id] = self._make_replica(replica_id)
+        self._occupancy_sum[replica_id] = 0
+        self._occupancy_steps[replica_id] = 0
+        self._dead.discard(replica_id)
+        self.metrics.counter("replica_revives", replica=replica_id).inc()
+
+    def resubmit_harvest(
+        self, harvest: "FailoverHarvest"
+    ) -> List[Tuple[int, int, str]]:
+        """Place a dead replica's harvest on survivors, preferring the
+        byte-exact swap-resume path.
+
+        Queued and KV-lost requests re-route through :meth:`submit`
+        (re-prefill); swapped-out exports are adopted by the least-loaded
+        survivor so decode continues without re-ingesting the prompt —
+        falling back to re-prefill when no survivor can adopt (tiered
+        engines refuse).  Returns ``(replica_id, request_id, how)``
+        per request, ``how`` in ``{"requeued", "swap_resume",
+        "re_prefill"}``.
+        """
+        placed: List[Tuple[int, int, str]] = []
+        for request in harvest.queued:
+            rid, request_id = self.submit(request)
+            placed.append((rid, request_id, "requeued"))
+        for export in harvest.swapped:
+            placed.append(self.adopt_export(export))
+        for request in harvest.lost:
+            rid, request_id = self.submit(request)
+            self.metrics.counter("fault_reprefills", replica=rid).inc()
+            placed.append((rid, request_id, "re_prefill"))
+        return placed
+
+    def adopt_export(self, export) -> Tuple[int, int, str]:
+        """Adopt one swapped-out export on the least-loaded survivor,
+        falling back to a re-prefill submit when every survivor refuses
+        (e.g. all tiered)."""
+        for rid in sorted(self.routable(), key=self.effective_load):
+            try:
+                request_id = self.replicas[rid].adopt_preempted(export)
+            except ValueError:
+                continue
+            self._routed[rid].append(request_id)
+            self.metrics.counter("fault_swap_resumes", replica=rid).inc()
+            return rid, request_id, "swap_resume"
+        export.request.state = RequestState.QUEUED
+        rid, request_id = self.submit(export.request)
+        self.metrics.counter("fault_reprefills", replica=rid).inc()
+        return rid, request_id, "re_prefill"
+
     # ----------------------------------------------------------------- steps
     def step(self) -> ClusterStepReport:
-        """Step every replica once and record its telemetry."""
+        """Step every live replica once and record its telemetry.
+
+        Dead replicas are skipped entirely (no step, no report entry) —
+        their in-flight state was harvested at kill time."""
         report = ClusterStepReport(step_index=self._step_index)
         for rid, engine in enumerate(self.replicas):
+            if rid in self._dead:
+                continue
             t0 = perf_counter()
             engine_report = engine.step()
             seconds = perf_counter() - t0
@@ -261,7 +397,11 @@ class ClusterRouter:
             )
         occupancy = engine.pool.utilization if engine.pool is not None else 0.0
         m.gauge("arena_occupancy", replica=rid).set(occupancy)
-        self._occupancy_sum[rid] += report.n_active
+        # occupancy mean counts routable steps plus draining steps that
+        # still carried work; a drained replica's idle tail is excluded
+        if rid not in self._draining or report.n_active or report.prefilling:
+            self._occupancy_sum[rid] += report.n_active
+            self._occupancy_steps[rid] += 1
         if report.preempted:
             m.counter("preemptions", replica=rid).inc(len(report.preempted))
         if report.resumed:
@@ -303,7 +443,9 @@ class ClusterRouter:
     @property
     def busy(self) -> bool:
         return any(
-            e.n_pending or e.n_active or e.n_preempted for e in self.replicas
+            e.n_pending or e.n_active or e.n_preempted
+            for rid, e in enumerate(self.replicas)
+            if rid not in self._dead
         )
 
     def run_until_drained(
@@ -341,24 +483,36 @@ class ClusterRouter:
     # ------------------------------------------------------------- reporting
     @property
     def completed(self) -> List[Tuple[int, object]]:
-        """Every finished request as ``(replica_id, CompletedRequest)``."""
-        out: List[Tuple[int, object]] = []
+        """Every finished request as ``(replica_id, CompletedRequest)``,
+        including requests that finished on since-replaced replicas."""
+        out: List[Tuple[int, object]] = list(self._archived_completed)
         for rid, engine in enumerate(self.replicas):
             out.extend((rid, done) for done in engine.completed)
         return out
 
-    def mean_batch_occupancy(self, replica_id: int) -> float:
-        """Mean active sequences per step over the replica's lifetime.
+    @property
+    def cancelled(self) -> List[Tuple[int, object]]:
+        """Every aborted request as ``(replica_id, CompletedRequest)``
+        (terminal state ``CANCELLED`` or ``TIMED_OUT``)."""
+        out: List[Tuple[int, object]] = []
+        for rid, engine in enumerate(self.replicas):
+            out.extend((rid, done) for done in engine.cancelled)
+        return out
 
-        Deterministic (counts only): total tokens divided by steps, the
-        quantity the optimistic-vs-conservative benchmark compares.  A
-        replica that has taken zero steps reports 0.0 (not a division
-        error); an unknown replica id is a :class:`ValueError`, never a
-        silent negative-index alias.
+    def mean_batch_occupancy(self, replica_id: int) -> float:
+        """Mean active sequences per *counted* step of the replica.
+
+        Deterministic (counts only): the quantity the optimistic-vs-
+        conservative benchmark compares.  Counted steps exclude a
+        drained replica's idle tail and everything after a kill — a
+        parked replica used to drag the fleet mean toward zero while
+        still being stepped.  Zero counted steps reports 0.0 (not a
+        division error); an unknown replica id is a
+        :class:`ValueError`, never a silent negative-index alias.
         """
         if not 0 <= replica_id < self.n_replicas:
             raise ValueError(f"unknown replica {replica_id}")
-        steps = self.replicas[replica_id].step_index
+        steps = self._occupancy_steps[replica_id]
         if steps == 0:
             return 0.0
         return self._occupancy_sum[replica_id] / steps
@@ -380,8 +534,11 @@ class ClusterRouter:
             per_replica.append(
                 {
                     "replica": rid,
+                    "status": self.replica_status(rid),
                     **tier_fields,
                     "requests_completed": len(engine.completed),
+                    "requests_cancelled": engine.cancelled_total,
+                    "requests_timed_out": engine.timed_out_total,
                     "steps": engine.step_index,
                     "peak_concurrency": engine.peak_concurrency,
                     "mean_batch_occupancy": round(
@@ -410,17 +567,41 @@ class ClusterRouter:
                     ),
                 }
             )
+        live = [r for r in per_replica if r["status"] == "live"]
         summary: Dict[str, object] = {
             "n_replicas": self.n_replicas,
             "policy": self.policy,
             "admission": self.admission,
+            # fleet state, reported distinctly so a parked replica never
+            # silently skews live-fleet means
+            "replicas_live": len(live),
+            "replicas_draining": len(self._draining),
+            "replicas_dead": len(self._dead),
             "requests_completed": sum(
                 r["requests_completed"] for r in per_replica
+            )
+            + len(self._archived_completed),
+            "requests_cancelled": sum(
+                r["requests_cancelled"] + r["requests_timed_out"]
+                for r in per_replica
             ),
             "generated_tokens": sum(
                 r["generated_tokens"] for r in per_replica
+            )
+            + sum(
+                done.stats.generated_tokens
+                for _, done in self._archived_completed
             ),
             "preemptions": sum(r["preemptions"] for r in per_replica),
+            # live replicas only: the mean a capacity planner acts on
+            "mean_batch_occupancy_live": (
+                round(
+                    sum(r["mean_batch_occupancy"] for r in live) / len(live),
+                    4,
+                )
+                if live
+                else 0.0
+            ),
             "per_replica": per_replica,
         }
         if include_timing:

@@ -48,6 +48,29 @@ LONG_BURST_VARIANT_FIELDS = (
 #: (the chunked-prefill latency trajectory lives with the engine bench)
 LONG_BURST_REQUIRED_IN = ("BENCH_engine.json",)
 
+#: per-policy outcome fields of the ``overload_goodput`` section —
+#: recorded once for plain FIFO and once for SLO-aware degrade-then-shed
+OVERLOAD_POLICY_FIELDS = ("completed", "goodput", "shed")
+
+#: artifacts whose records must carry the ``overload_goodput`` section
+#: (the overload-control trajectory lives with the cluster bench)
+OVERLOAD_GOODPUT_REQUIRED_IN = ("BENCH_cluster.json",)
+
+#: integer counters of the ``fault_recovery`` section
+FAULT_RECOVERY_COUNTS = (
+    "replicas",
+    "kills",
+    "revives",
+    "retries",
+    "swap_resumes",
+    "re_prefills",
+    "requeues",
+    "completed",
+)
+
+#: artifacts whose records must carry the ``fault_recovery`` section
+FAULT_RECOVERY_REQUIRED_IN = ("BENCH_cluster.json",)
+
 #: every perf artifact the repo commits at its root; CI and the schema
 #: test validate each one that exists, so a new benchmark registers its
 #: artifact here to join the mechanical perf trajectory
@@ -120,6 +143,26 @@ def validate_bench(record: Mapping, name: str = "bench") -> None:
             )
     else:
         _validate_long_burst(burst, f"{name}.long_prompt_burst")
+    goodput = record.get("overload_goodput")
+    if goodput is None:
+        if name in OVERLOAD_GOODPUT_REQUIRED_IN:
+            _fail(
+                f"{name}.overload_goodput",
+                "missing: the cluster artifact must record the "
+                "SLO-aware-vs-FIFO overload comparison",
+            )
+    else:
+        _validate_overload_goodput(goodput, f"{name}.overload_goodput")
+    recovery = record.get("fault_recovery")
+    if recovery is None:
+        if name in FAULT_RECOVERY_REQUIRED_IN:
+            _fail(
+                f"{name}.fault_recovery",
+                "missing: the cluster artifact must record the "
+                "replica-kill recovery run",
+            )
+    else:
+        _validate_fault_recovery(recovery, f"{name}.fault_recovery")
 
 
 def _validate_alive_fractions(fractions, where: str) -> None:
@@ -171,6 +214,88 @@ def _validate_long_burst(burst, where: str) -> None:
         _fail(
             f"{where}.p95_inter_token_improvement",
             f"must be a number > 0, got {gain!r}",
+        )
+
+
+def _validate_overload_goodput(section, where: str) -> None:
+    """The overload-control section: goodput (requests completed within
+    both the TTFT and inter-token SLOs) under plain FIFO vs SLO-aware
+    degrade-then-shed, with the controller's degradation timeline.  The
+    improvement bound is the acceptance criterion: SLO-aware must not
+    lose to FIFO on goodput."""
+    if not isinstance(section, Mapping):
+        _fail(where, f"must be an object, got {type(section).__name__}")
+    for field in ("slo_p95_inter_token_ms", "slo_ttft_ms"):
+        value = section.get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            _fail(f"{where}.{field}", f"must be a number > 0, got {value!r}")
+    for policy in ("fifo", "slo_aware"):
+        block = section.get(policy)
+        if not isinstance(block, Mapping):
+            _fail(f"{where}.{policy}", "must be an object")
+        for field in OVERLOAD_POLICY_FIELDS:
+            value = block.get(field)
+            if not isinstance(value, int) or value < 0:
+                _fail(
+                    f"{where}.{policy}.{field}",
+                    f"must be an int >= 0, got {value!r}",
+                )
+    gain = section.get("goodput_improvement")
+    if not isinstance(gain, (int, float)) or gain < 1.0:
+        _fail(
+            f"{where}.goodput_improvement",
+            "SLO-aware degrade-then-shed must not lose to FIFO on "
+            f"goodput (need >= 1.0, got {gain!r})",
+        )
+    timeline = section.get("degradation_timeline")
+    if not isinstance(timeline, list) or not timeline:
+        _fail(f"{where}.degradation_timeline", "must be a non-empty list")
+    for j, sample in enumerate(timeline):
+        entry = f"{where}.degradation_timeline[{j}]"
+        if not isinstance(sample, Mapping):
+            _fail(entry, "must be an object")
+        if not isinstance(sample.get("step"), int):
+            _fail(f"{entry}.step", "must be an int")
+        if not isinstance(sample.get("p95_ms"), (int, float)):
+            _fail(f"{entry}.p95_ms", "must be a number")
+        level = sample.get("level")
+        if not isinstance(level, int) or level < 0:
+            _fail(f"{entry}.level", f"must be an int >= 0, got {level!r}")
+        if not isinstance(sample.get("shedding"), bool):
+            _fail(f"{entry}.shedding", "must be a bool")
+
+
+def _validate_fault_recovery(section, where: str) -> None:
+    """The replica-kill section: recovery bookkeeping plus the blocking
+    ``bit_identical`` flag — every request that survived the kills must
+    have produced exactly the bits of a fault-free run."""
+    if not isinstance(section, Mapping):
+        _fail(where, f"must be an object, got {type(section).__name__}")
+    for field in FAULT_RECOVERY_COUNTS:
+        value = section.get(field)
+        if not isinstance(value, int) or value < 0:
+            _fail(f"{where}.{field}", f"must be an int >= 0, got {value!r}")
+    if section["replicas"] < 2:
+        _fail(f"{where}.replicas", "fault runs need >= 2 replicas")
+    if section["kills"] < 2:
+        _fail(
+            f"{where}.kills",
+            f"the recovery run must kill >= 2 replicas, got "
+            f"{section['kills']}",
+        )
+    if section["completed"] < 1:
+        _fail(f"{where}.completed", "the fault run completed nothing")
+    if section.get("bit_identical") is not True:
+        _fail(
+            f"{where}.bit_identical",
+            "recovered outputs must be bit-identical to the fault-free "
+            f"run, got {section.get('bit_identical')!r}",
+        )
+    ttft = section.get("recovery_ttft_p95_ms")
+    if not isinstance(ttft, (int, float)) or ttft < 0:
+        _fail(
+            f"{where}.recovery_ttft_p95_ms",
+            f"must be a number >= 0, got {ttft!r}",
         )
 
 

@@ -405,3 +405,28 @@ def tokens_per_second(
     if seconds <= 0:
         return 0.0
     return result.batch_size / seconds
+
+
+def step_seconds(
+    result, clock_ghz: float = 0.5, spike_seconds: float = 0.0
+) -> float:
+    """Modelled wall-clock seconds of one step result.
+
+    Accepts any of the step-result shapes above (they all expose
+    ``total_cycles``; a :class:`ClusterStepResult` is priced at its
+    straggler via ``max_step_cycles``).  ``spike_seconds`` adds an
+    injected latency penalty on top — how the fault harness
+    (:mod:`repro.cluster.faults`) prices a degraded step: the transient
+    slowdown is additive, so the SLO controller and the goodput bench
+    see fault pressure and overload pressure in the same unit.
+    """
+    if clock_ghz <= 0:
+        raise ValueError(f"clock_ghz must be > 0, got {clock_ghz}")
+    if spike_seconds < 0:
+        raise ValueError(f"spike_seconds must be >= 0, got {spike_seconds}")
+    cycles = (
+        result.max_step_cycles
+        if isinstance(result, ClusterStepResult)
+        else result.total_cycles
+    )
+    return cycles / (clock_ghz * 1e9) + spike_seconds

@@ -24,9 +24,20 @@ serving context:
 
 from repro.serving.engine import (
     EngineStepReport,
+    FailoverHarvest,
+    PreemptedExport,
     SequenceStepView,
     ServingEngine,
     VictimCandidate,
+)
+from repro.serving.frontend import (
+    AsyncStreamingFrontend,
+    ControlSample,
+    OverloadController,
+    RequestStream,
+    SLOConfig,
+    ShedError,
+    TokenEvent,
 )
 from repro.serving.kv_pool import (
     KVCachePool,
@@ -48,9 +59,18 @@ from repro.serving.request import (
 from repro.serving.scheduler import Scheduler
 
 __all__ = [
+    "AsyncStreamingFrontend",
     "CompletedRequest",
+    "ControlSample",
     "EngineStepReport",
+    "FailoverHarvest",
     "GenerationRequest",
+    "OverloadController",
+    "PreemptedExport",
+    "RequestStream",
+    "SLOConfig",
+    "ShedError",
+    "TokenEvent",
     "KVCachePool",
     "PoolExhausted",
     "RequestState",

@@ -262,6 +262,45 @@ class _PreemptedSequence:
     preempted_step: int
 
 
+@dataclass
+class PreemptedExport:
+    """A swapped-out sequence packaged to resume on *another* engine.
+
+    The byte-exact swap format doubles as a failover wire format: the
+    encoded rows, frozen scales, accumulated stats and the (already
+    advanced) decode stream travel together, so the adopting engine
+    continues the sequence bit-identically from where the donor stopped.
+    """
+
+    request: GenerationRequest
+    swapped: SwappedSequence
+    scales: SequenceScales
+    stats: RequestStats
+    step_source: Optional[StepSource]
+    remaining: int
+    prefill_pos: int
+
+
+@dataclass
+class FailoverHarvest:
+    """Everything recoverable from a dead (or draining) engine.
+
+    ``queued`` requests never touched the pool and resubmit anywhere;
+    ``swapped`` sequences carry their byte-exact KV in host memory and
+    can be adopted (:meth:`ServingEngine.adopt_preempted`) without
+    re-prefilling; ``lost`` requests were resident in the dead arena —
+    their KV is gone, so they must re-prefill from scratch (their decode
+    streams replay from ``seed``, keeping outputs bit-identical)."""
+
+    queued: List[GenerationRequest] = field(default_factory=list)
+    swapped: List[PreemptedExport] = field(default_factory=list)
+    lost: List[GenerationRequest] = field(default_factory=list)
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.queued) + len(self.swapped) + len(self.lost)
+
+
 class ServingEngine:
     """Continuous-batching Token-Picker serving over a pooled KV cache."""
 
@@ -335,6 +374,11 @@ class ServingEngine:
         self._scratch = KernelScratch()  # fused-kernel work arrays, reused
         self.counter = AccessCounter()  # engine-wide aggregate
         self.completed: List[CompletedRequest] = []
+        #: aborted requests (CANCELLED / TIMED_OUT terminal records)
+        self.cancelled: List[CompletedRequest] = []
+        self.cancelled_total = 0
+        self.timed_out_total = 0
+        self.adopted_total = 0
         self._active: Dict[int, _ActiveSequence] = {}
         self._preempted: Dict[int, _PreemptedSequence] = {}
         self._submitted_at: Dict[int, int] = {}
@@ -441,8 +485,9 @@ class ServingEngine:
         request.request_id = self._next_request_id
         self._next_request_id += 1
         request.state = RequestState.QUEUED
+        request.submitted_wall = time.perf_counter()
         self._submitted_at[request.request_id] = self._step_index
-        self._submitted_wall[request.request_id] = time.perf_counter()
+        self._submitted_wall[request.request_id] = request.submitted_wall
         self.scheduler.submit(request)
         return request.request_id
 
@@ -460,6 +505,230 @@ class ServingEngine:
             self._submitted_at.pop(request.request_id, None)
             self._submitted_wall.pop(request.request_id, None)
         return withdrawn
+
+    # -------------------------------------------------- cancellation/deadline
+    def _release_sequence(self, seq_id: int, *, pooled: bool) -> None:
+        """Return every byte a sequence holds: arena blocks (``pooled``
+        sequences only — a swapped-out victim's blocks are already free),
+        tier state and the radix prefix reference.  The exact inverse of
+        what admission acquired, so a cancellation storm leaves arena,
+        tier and radix accounting at baseline."""
+        if pooled:
+            self.pool.free(seq_id)
+        if self.tiers is not None:
+            self.tiers.free(seq_id)
+        handle = self._prefix_handles.pop(seq_id, None)
+        if handle is not None:
+            self.prefix_cache.release(handle)
+
+    def _finish_abort(
+        self,
+        request: GenerationRequest,
+        stats: RequestStats,
+        state: RequestState,
+    ) -> CompletedRequest:
+        request.state = state
+        stats.finished_step = self._step_index
+        stats.finished_wall = time.perf_counter()
+        done = CompletedRequest(
+            request_id=request.request_id, stats=stats, state=state
+        )
+        self.cancelled.append(done)
+        if state is RequestState.TIMED_OUT:
+            self.timed_out_total += 1
+        else:
+            self.cancelled_total += 1
+        return done
+
+    def cancel(
+        self, request_id: int, *, timed_out: bool = False
+    ) -> CompletedRequest:
+        """Abort a request mid-flight, freeing its KV immediately.
+
+        Works in every live phase: still queued (removed from the
+        scheduler, nothing was reserved), mid-prefill or decoding (arena
+        blocks, tier state and the radix prefix reference are all
+        released), or preempted (the swapped-out host copy is dropped).
+        Returns the terminal :class:`CompletedRequest` (state
+        ``TIMED_OUT`` when ``timed_out`` else ``CANCELLED``), also
+        appended to :attr:`cancelled`.  Unknown or already-terminal
+        request ids raise :class:`KeyError`.
+        """
+        state = (
+            RequestState.TIMED_OUT if timed_out else RequestState.CANCELLED
+        )
+        for request in self.scheduler.pending:
+            if request.request_id == request_id:
+                # remove by identity: dataclass __eq__ compares the
+                # prompt arrays element-wise, which deque.remove chokes on
+                remaining = [
+                    r for r in self.scheduler.pending if r is not request
+                ]
+                self.scheduler.pending.clear()
+                self.scheduler.pending.extend(remaining)
+                stats = RequestStats(
+                    prompt_tokens=request.prompt_tokens,
+                    submitted_step=self._submitted_at.pop(
+                        request_id, self._step_index
+                    ),
+                    queued_wall=self._submitted_wall.pop(
+                        request_id, request.submitted_wall
+                    ),
+                )
+                return self._finish_abort(request, stats, state)
+        for seq_id, entry in list(self._active.items()):
+            request = entry.request
+            if (
+                request is not None
+                and not entry.external
+                and request.request_id == request_id
+            ):
+                self._release_sequence(seq_id, pooled=True)
+                del self._active[seq_id]
+                return self._finish_abort(request, entry.stats, state)
+        for seq_id, rec in list(self._preempted.items()):
+            request = rec.entry.request
+            if request is not None and request.request_id == request_id:
+                del self._preempted[seq_id]
+                self._release_sequence(seq_id, pooled=False)
+                return self._finish_abort(request, rec.entry.stats, state)
+        raise KeyError(
+            f"unknown or already-terminal request {request_id}"
+        )
+
+    def expire_deadlines(
+        self, now: Optional[float] = None
+    ) -> List[CompletedRequest]:
+        """Time out every live request whose ``deadline_ms`` has passed.
+
+        ``now`` is in the ``time.perf_counter`` domain (injectable for
+        deterministic tests); deadlines are measured from the request's
+        submit stamp.  Called by the frontend between steps — never from
+        inside :meth:`step` — so engine stepping stays deterministic.
+        """
+        now = time.perf_counter() if now is None else now
+        live: List[GenerationRequest] = list(self.scheduler.pending)
+        live += [
+            e.request
+            for e in self._active.values()
+            if e.request is not None and not e.external
+        ]
+        live += [
+            r.entry.request
+            for r in self._preempted.values()
+            if r.entry.request is not None
+        ]
+        expired: List[CompletedRequest] = []
+        for request in live:
+            if request.deadline_ms is None or request.submitted_wall < 0:
+                continue
+            if (now - request.submitted_wall) * 1e3 > request.deadline_ms:
+                expired.append(
+                    self.cancel(request.request_id, timed_out=True)
+                )
+        return expired
+
+    def set_threshold(self, threshold: float) -> float:
+        """Swap the keep-threshold live (the overload-degradation
+        actuator): a higher threshold prunes more tokens per certified
+        bound, shrinking per-step DRAM traffic at the cost of retained
+        attention mass.  Config objects are frozen, so this installs a
+        copy; in-flight sequences simply see the new threshold from the
+        next step on.  Returns the threshold now in force."""
+        if threshold != self.config.threshold:
+            self.config = self.config.with_threshold(threshold)
+        return self.config.threshold
+
+    # --------------------------------------------------------------- failover
+    def export_preempted(self, request_id: int) -> PreemptedExport:
+        """Detach a swapped-out sequence for adoption by another engine.
+
+        The sequence's byte-exact host-memory copy, frozen scales, stats
+        and decode stream leave together; this engine forgets the
+        sequence entirely (tier state and radix reference released).
+        """
+        for seq_id, rec in list(self._preempted.items()):
+            request = rec.entry.request
+            if request is not None and request.request_id == request_id:
+                del self._preempted[seq_id]
+                self._release_sequence(seq_id, pooled=False)
+                entry = rec.entry
+                return PreemptedExport(
+                    request=request,
+                    swapped=rec.swapped,
+                    scales=entry.scales,
+                    stats=entry.stats,
+                    step_source=entry.step_source,
+                    remaining=entry.remaining,
+                    prefill_pos=entry.prefill_pos,
+                )
+        raise KeyError(f"request {request_id} is not swapped out here")
+
+    def adopt_preempted(self, export: PreemptedExport) -> int:
+        """Adopt another engine's swapped-out sequence (failover resume).
+
+        The sequence lands in this engine's preempted set and swaps into
+        the arena when headroom allows, continuing bit-identically from
+        the donor's last decoded token.  A tiered engine refuses: the
+        donor's per-token tier state does not travel, so the caller must
+        fall back to re-prefill.  The request gets a **fresh** request id
+        in this engine's namespace (returned) — per-replica ids restart
+        at 0, so keeping the donor's id could collide with a request this
+        engine already owns; cross-replica identity is the caller's job
+        (the fault injector keys requests by trace origin).
+        """
+        if self._tier_config is not None:
+            raise ValueError(
+                "a tiered engine cannot adopt swapped-out KV (per-token "
+                "tier state does not travel); re-prefill instead"
+            )
+        request = export.request
+        self._ensure_pool(request)
+        seq_id = self._next_seq_id
+        self._next_seq_id += 1
+        request.request_id = self._next_request_id
+        self._next_request_id += 1
+        request.state = RequestState.PREEMPTED
+        entry = _ActiveSequence(
+            seq_id=seq_id,
+            scales=export.scales,
+            stats=export.stats,
+            request=request,
+            step_source=export.step_source,
+            remaining=export.remaining,
+            prefill_pos=export.prefill_pos,
+        )
+        self._preempted[seq_id] = _PreemptedSequence(
+            entry=entry, swapped=export.swapped, preempted_step=self._step_index
+        )
+        self.adopted_total += 1
+        return request.request_id
+
+    def harvest_for_failover(self) -> FailoverHarvest:
+        """Strip every unfinished request off this engine for resubmission.
+
+        The replica-death path: queued requests withdraw untouched,
+        swapped-out sequences export with their byte-exact KV, and
+        arena-resident sequences — whose KV died with the arena — come
+        back as re-prefillable requests (state reset to ``QUEUED``; their
+        seeded decode streams replay from step 0, so a re-run's outputs
+        are bit-identical).  Afterwards the engine holds no requests.
+        """
+        harvest = FailoverHarvest(queued=self.withdraw_pending())
+        for seq_id, rec in list(self._preempted.items()):
+            request = rec.entry.request
+            if request is None:
+                continue
+            harvest.swapped.append(self.export_preempted(request.request_id))
+        for seq_id, entry in list(self._active.items()):
+            request = entry.request
+            if request is None or entry.external:
+                continue
+            self._release_sequence(seq_id, pooled=True)
+            del self._active[seq_id]
+            request.state = RequestState.QUEUED
+            harvest.lost.append(request)
+        return harvest
 
     def _admission_tokens(self, request: GenerationRequest) -> int:
         if self.memory_manager is None:

@@ -36,6 +36,12 @@ class RequestState(str, Enum):
     PREEMPTED`` cycle — a preempted sequence's KV segments (possibly a
     partially-ingested prompt) are swapped out of the arena and the
     request resumes (bit-identically) once headroom returns.
+
+    ``CANCELLED`` and ``TIMED_OUT`` are the two *abort* terminals
+    (client disconnect vs deadline breach): the request's KV — queued,
+    mid-prefill, decoding or swapped out — is released immediately via
+    :meth:`repro.serving.engine.ServingEngine.cancel`, returning arena
+    blocks, tier state and radix refcounts exactly to baseline.
     """
 
     QUEUED = "queued"
@@ -43,6 +49,17 @@ class RequestState(str, Enum):
     RUNNING = "running"
     PREEMPTED = "preempted"
     FINISHED = "finished"
+    CANCELLED = "cancelled"
+    TIMED_OUT = "timed_out"
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the request can make no further progress."""
+        return self in (
+            RequestState.FINISHED,
+            RequestState.CANCELLED,
+            RequestState.TIMED_OUT,
+        )
 
 
 @dataclass
@@ -59,6 +76,11 @@ class GenerationRequest:
             the engine synthesises a query-aligned stream from ``seed``.
         seed: seed for the default synthetic step source.
         request_id: assigned by the engine at submit time.
+        deadline_ms: optional end-to-end deadline (milliseconds from
+            ``submitted_wall``); the frontend's deadline sweep moves the
+            request to ``TIMED_OUT`` and frees its KV when breached.
+        submitted_wall: wall-clock submit stamp (``time.perf_counter``
+            domain; < 0 until the engine stamps it at submit).
     """
 
     prompt_keys: np.ndarray
@@ -69,6 +91,8 @@ class GenerationRequest:
     seed: Optional[int] = None
     request_id: Optional[int] = None
     state: RequestState = RequestState.QUEUED
+    deadline_ms: Optional[float] = None
+    submitted_wall: float = -1.0
 
     def __post_init__(self) -> None:
         self.prompt_keys = np.asarray(self.prompt_keys, dtype=np.float64)
@@ -92,6 +116,10 @@ class GenerationRequest:
             self.queries = np.asarray(self.queries, dtype=np.float64)
             if self.queries.ndim != 3 or self.queries.shape[0] != self.prompt_keys.shape[0]:
                 raise ValueError("queries must be (H, t, d)")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be > 0, got {self.deadline_ms}"
+            )
 
     @property
     def n_heads(self) -> int:
@@ -236,10 +264,17 @@ class RequestStats:
 
 @dataclass(frozen=True)
 class CompletedRequest:
-    """Terminal response for one retired request."""
+    """Terminal response for one retired request.
+
+    ``state`` records *how* the request terminated: ``FINISHED`` for a
+    normally retired sequence, ``CANCELLED``/``TIMED_OUT`` for aborts
+    (whose partial stats are still meaningful — generated tokens up to
+    the abort point, preemptions, traffic).
+    """
 
     request_id: int
     stats: RequestStats
+    state: RequestState = RequestState.FINISHED
 
     @property
     def generated_tokens(self) -> int:

@@ -9,12 +9,14 @@ from repro.workloads.corpus import (
 )
 from repro.workloads.traces import (
     TraceSpec,
+    failover_trace,
     harvest_instances,
     harvest_with_bias,
     harvested_dominance_profile,
     long_context_trace,
     long_prompt_burst_trace,
     shared_prefix_trace,
+    sustained_overload_trace,
 )
 from repro.workloads.scores import (
     HEAD_ARCHETYPES,
@@ -33,6 +35,8 @@ __all__ = [
     "harvested_dominance_profile",
     "DELIMITER_TOKEN",
     "HEAD_ARCHETYPES",
+    "failover_trace",
+    "sustained_overload_trace",
     "InstanceParams",
     "fig3_instances",
     "induction_corpus",

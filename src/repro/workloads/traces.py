@@ -308,3 +308,93 @@ def shared_prefix_trace(
         arrival = 0 if burst_size < 1 else (i // burst_size) * gap_steps
         trace.append((arrival, request))
     return trace
+
+
+def sustained_overload_trace(
+    rng: np.random.Generator,
+    *,
+    n_heads: int,
+    head_dim: int,
+    n_requests: int = 24,
+    arrivals_per_step: int = 2,
+    prompt_tokens: int = 32,
+    max_new_tokens: int = 24,
+    prompt_jitter: int = 8,
+) -> List[tuple]:
+    """Steady arrivals faster than the service rate: the overload workload.
+
+    ``arrivals_per_step`` fresh requests land every step without pause,
+    so a bounded batch falls behind and per-token latency climbs until
+    something gives.  This is the trace the SLO-aware overload
+    controller (:mod:`repro.serving.frontend`) is measured on: degrading
+    the keep threshold buys cheaper steps before any admission is shed,
+    so goodput under this trace separates degrade-then-shed from plain
+    FIFO.  Returns ``(arrival_step, GenerationRequest)`` pairs like the
+    other traces; every request carries an explicit ``seed``.
+    """
+    from repro.serving.request import GenerationRequest
+
+    if n_requests < 1 or arrivals_per_step < 1:
+        raise ValueError("n_requests and arrivals_per_step must be >= 1")
+    if prompt_tokens < 1 or max_new_tokens < 1 or prompt_jitter < 0:
+        raise ValueError(
+            "prompt_tokens/max_new_tokens >= 1 and prompt_jitter >= 0"
+        )
+    trace: List[tuple] = []
+    for i in range(n_requests):
+        prompt = prompt_tokens + int(rng.integers(0, prompt_jitter + 1))
+        request = GenerationRequest(
+            prompt_keys=rng.normal(size=(n_heads, prompt, head_dim)),
+            prompt_values=rng.normal(size=(n_heads, prompt, head_dim)),
+            max_new_tokens=max_new_tokens,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        trace.append((i // arrivals_per_step, request))
+    return trace
+
+
+def failover_trace(
+    rng: np.random.Generator,
+    *,
+    n_heads: int,
+    head_dim: int,
+    n_requests: int = 12,
+    arrivals_per_step: int = 1,
+    prompt_tokens: int = 24,
+    max_new_tokens: int = 32,
+    prompt_jitter: int = 8,
+    new_token_jitter: int = 8,
+) -> List[tuple]:
+    """Long-decode arrivals that replica kills catch mid-flight.
+
+    Decodes are deliberately long relative to the arrival cadence so a
+    :class:`~repro.cluster.faults.FaultInjector` kill lands while many
+    sequences are arena-resident or swapped out — exercising both
+    recovery paths (byte-exact swap-resume on a survivor, re-prefill
+    from the request seed).  Every request carries an explicit ``seed``,
+    which is what makes the post-failover rerun bit-identical to a
+    fault-free run.  Returns ``(arrival_step, GenerationRequest)``
+    pairs.
+    """
+    from repro.serving.request import GenerationRequest
+
+    if n_requests < 1 or arrivals_per_step < 1:
+        raise ValueError("n_requests and arrivals_per_step must be >= 1")
+    if prompt_tokens < 1 or max_new_tokens < 1:
+        raise ValueError("prompt_tokens and max_new_tokens must be >= 1")
+    if prompt_jitter < 0 or new_token_jitter < 0:
+        raise ValueError("jitters must be >= 0")
+    trace: List[tuple] = []
+    for i in range(n_requests):
+        prompt = prompt_tokens + int(rng.integers(0, prompt_jitter + 1))
+        max_new = max_new_tokens + int(
+            rng.integers(0, new_token_jitter + 1)
+        )
+        request = GenerationRequest(
+            prompt_keys=rng.normal(size=(n_heads, prompt, head_dim)),
+            prompt_values=rng.normal(size=(n_heads, prompt, head_dim)),
+            max_new_tokens=max_new,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        trace.append((i // arrivals_per_step, request))
+    return trace

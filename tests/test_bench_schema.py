@@ -190,7 +190,7 @@ class TestLazyDetailSection:
         )
 
     def test_plain_point_fine_for_other_artifacts(self):
-        validate_bench(_mutated(), name="BENCH_cluster.json")
+        validate_bench(_mutated(), name="BENCH_kvstore.json")
 
     def test_lazy_point_passes_for_engine(self):
         validate_bench(
@@ -247,3 +247,100 @@ class TestLazyDetailSection:
             )
             profile = point["alive_fraction_per_round"]
             assert profile[-1] < 0.5, "pruning must decide most pairs"
+
+
+class TestRobustnessSections:
+    """Cluster-artifact records must carry the ``overload_goodput`` and
+    ``fault_recovery`` sections, with their blocking acceptance fields
+    (goodput not losing to FIFO; bit-identical fault recovery)."""
+
+    GOODPUT = {
+        "slo_p95_inter_token_ms": 2.5,
+        "slo_ttft_ms": 400.0,
+        "fifo": {"completed": 48, "goodput": 12, "shed": 0},
+        "slo_aware": {"completed": 48, "goodput": 24, "shed": 0},
+        "goodput_improvement": 2.0,
+        "max_degrade_level": 3,
+        "degradation_timeline": [
+            {"step": 4, "p95_ms": 2.7, "level": 1, "shedding": False},
+        ],
+    }
+    RECOVERY = {
+        "replicas": 3,
+        "kills": 2,
+        "revives": 2,
+        "retries": 12,
+        "swap_resumes": 0,
+        "re_prefills": 3,
+        "requeues": 9,
+        "completed": 18,
+        "bit_identical": True,
+        "recovery_ttft_p95_ms": 290.0,
+    }
+
+    def _cluster_record(self, **overrides):
+        record = _mutated(
+            overload_goodput=json.loads(json.dumps(self.GOODPUT)),
+            fault_recovery=json.loads(json.dumps(self.RECOVERY)),
+        )
+        record.update(overrides)
+        return record
+
+    def test_valid_cluster_record_passes(self):
+        validate_bench(self._cluster_record(), name="BENCH_cluster.json")
+
+    @pytest.mark.parametrize("section", ["overload_goodput", "fault_recovery"])
+    def test_sections_required_for_cluster_artifact(self, section):
+        record = self._cluster_record()
+        del record[section]
+        with pytest.raises(BenchSchemaError, match=section):
+            validate_bench(record, name="BENCH_cluster.json")
+        # ...but stay optional (validated-if-present) elsewhere
+        validate_bench(record, name="BENCH_kvstore.json")
+
+    @pytest.mark.parametrize(
+        "patch, fragment",
+        [
+            ({"slo_p95_inter_token_ms": 0}, "slo_p95_inter_token_ms"),
+            ({"fifo": None}, "fifo"),
+            ({"slo_aware": {"completed": 48, "goodput": -1, "shed": 0}},
+             "goodput"),
+            ({"goodput_improvement": 0.9}, "must not lose to FIFO"),
+            ({"degradation_timeline": []}, "non-empty"),
+            ({"degradation_timeline": [{"step": 4, "p95_ms": 2.7,
+                                        "level": -1, "shedding": False}]},
+             "level"),
+        ],
+    )
+    def test_malformed_goodput_rejected(self, patch, fragment):
+        record = self._cluster_record()
+        record["overload_goodput"].update(patch)
+        with pytest.raises(BenchSchemaError, match=fragment):
+            validate_bench(record, name="BENCH_cluster.json")
+
+    @pytest.mark.parametrize(
+        "patch, fragment",
+        [
+            ({"kills": 1}, "kill >= 2"),
+            ({"replicas": 1}, "replicas"),
+            ({"completed": 0}, "completed"),
+            ({"bit_identical": False}, "bit-identical"),
+            ({"retries": -1}, "retries"),
+            ({"recovery_ttft_p95_ms": None}, "recovery_ttft_p95_ms"),
+        ],
+    )
+    def test_malformed_recovery_rejected(self, patch, fragment):
+        record = self._cluster_record()
+        record["fault_recovery"].update(patch)
+        with pytest.raises(BenchSchemaError, match=fragment):
+            validate_bench(record, name="BENCH_cluster.json")
+
+    def test_committed_cluster_artifact_has_the_sections(self):
+        record = validate_bench_file(REPO_ROOT / "BENCH_cluster.json")
+        goodput = record["overload_goodput"]
+        assert goodput["goodput_improvement"] >= 1.0
+        assert goodput["max_degrade_level"] >= 1
+        recovery = record["fault_recovery"]
+        assert recovery["kills"] >= 2
+        assert recovery["bit_identical"] is True
+        assert recovery["completed"] == recovery["requests"]

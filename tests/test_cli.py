@@ -162,3 +162,61 @@ class TestServeCluster:
             capsys, SERVE_CLUSTER_ARGS[:-1] + ["4"]
         )
         assert baseline != other
+
+
+SERVE_FRONTEND_ARGS = [
+    "serve-frontend", "--batch-size", "2", "--n-requests", "6",
+    "--context-length", "24", "--max-new-tokens", "6", "--seed", "3",
+]
+
+
+class TestServeFrontend:
+    def test_serve_frontend_runs(self, capsys):
+        code = main(SERVE_FRONTEND_ARGS)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Async streaming frontend" in out
+        assert "completed: 6" in out
+        assert "shed: 0" in out
+
+    def test_serve_frontend_slo_profile(self, capsys):
+        """Satellite: --slo-p95-ms activates the overload controller and
+        --profile exports the degrade-level gauge and shed/cancel/timeout
+        counters from the metrics registry."""
+        code = main(
+            SERVE_FRONTEND_ARGS + ["--slo-p95-ms", "1.0", "--profile"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "overload control: SLO p95 1 ms" in out
+        assert "peak degrade level" in out
+        for metric in (
+            "keep_threshold_degrade_level",
+            "overload_shedding",
+            "requests_cancelled",
+            "requests_shed",
+            "requests_timed_out",
+        ):
+            assert metric in out, metric
+
+    def test_serve_frontend_chaos_bit_identical(self, capsys):
+        code = main(SERVE_FRONTEND_ARGS + [
+            "--inject-faults", "--replicas", "3", "--max-new-tokens", "10",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Chaos run" in out
+        assert "kills: 2" in out
+        assert "completed: 6/6" in out
+        assert "bit-identical to fault-free run: True" in out
+
+    def test_serve_frontend_chaos_needs_replicas(self):
+        with pytest.raises(ValueError):
+            main(SERVE_FRONTEND_ARGS + [
+                "--inject-faults", "--replicas", "1",
+            ])
+
+    def test_serve_frontend_deterministic_across_runs(self, capsys):
+        first = _output_without_timing(capsys, SERVE_FRONTEND_ARGS)
+        second = _output_without_timing(capsys, SERVE_FRONTEND_ARGS)
+        assert first == second
