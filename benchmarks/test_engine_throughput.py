@@ -216,10 +216,12 @@ def measure(repeats: int = 3) -> dict:
                 "alive_fraction_per_round": alive_fractions,
             }
         )
-    # the chunked-prefill latency comparison lives in its own module;
-    # its record rides along as the artifact's long_prompt_burst section
-    # (required by the bench schema for BENCH_engine.json)
+    # the chunked-prefill latency comparison and the tracing-cost rungs
+    # live in their own modules; their records ride along as the
+    # artifact's long_prompt_burst / trace_overhead sections (both
+    # required by the bench schema for BENCH_engine.json)
     from test_prefill_latency import measure_long_prompt_burst
+    from test_trace_overhead import measure_trace_overhead
 
     return {
         "config": {
@@ -232,6 +234,7 @@ def measure(repeats: int = 3) -> dict:
         },
         "points": points,
         "long_prompt_burst": measure_long_prompt_burst(),
+        "trace_overhead": measure_trace_overhead(),
     }
 
 

@@ -1,0 +1,156 @@
+"""Bench: what request-scoped tracing costs the serving hot path.
+
+Three rungs, same workload, same seeds:
+
+* **off** — ``tracer=None``: every instrumentation site holds the falsy
+  ``NULL_TRACER`` and the step pays one truthiness check.  This is the
+  production default and must stay at the committed batch-32 throughput
+  floor (the blocking guard below).
+* **sampled** — ``Tracer(sample_steps=8)``: request lifecycle spans are
+  complete but only every 8th engine step span is recorded.
+* **full** — ``Tracer()``: every step span plus its phase breakdown.
+
+``python benchmarks/test_trace_overhead.py`` appends the measurement to
+``BENCH_engine.json``'s ``trace_overhead`` section (normally regenerated
+via ``python benchmarks/test_engine_throughput.py``, which embeds it).
+
+Setting ``TOKENPICKER_BENCH_TINY=1`` shrinks every dimension so CI's
+benchmark-smoke job can check the record shape in seconds.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import TokenPickerConfig
+from repro.obs import NULL_TRACER, Tracer
+from repro.serving import ServingEngine, synthetic_request
+
+_TINY = os.environ.get("TOKENPICKER_BENCH_TINY") == "1"
+BATCH = 4 if _TINY else 32
+N_HEADS, HEAD_DIM = (2, 16) if _TINY else (4, 64)
+PROMPT_TOKENS, MAX_NEW = (24, 3) if _TINY else (256, 16)
+SAMPLE_STEPS = 8
+CFG = TokenPickerConfig(threshold=2e-3)
+
+
+def _fresh_engine(tracer, seed: int = 0) -> ServingEngine:
+    engine = ServingEngine(
+        CFG,
+        max_batch_size=BATCH,
+        capacity_tokens=BATCH * (PROMPT_TOKENS + MAX_NEW + 64),
+        seed=seed,
+        tracer=tracer,
+    )
+    rng = np.random.default_rng(seed)
+    for _ in range(BATCH):
+        prompt = PROMPT_TOKENS + int(rng.integers(-16, 17))
+        engine.submit(
+            synthetic_request(rng, N_HEADS, prompt, HEAD_DIM, MAX_NEW)
+        )
+    return engine
+
+
+def _drain_timed(tracer_factory, seed: int = 0) -> float:
+    engine = _fresh_engine(tracer_factory(), seed)
+    start = time.perf_counter()
+    engine.run_until_drained()
+    return time.perf_counter() - start
+
+
+def _best_rate(tracer_factory, repeats: int = 3) -> float:
+    best = min(_drain_timed(tracer_factory, seed=s) for s in range(repeats))
+    return BATCH * MAX_NEW / best
+
+
+def test_tracing_off_is_null_tracer():
+    """The disabled path installs the falsy singleton end to end."""
+    engine = _fresh_engine(None)
+    assert engine.tracer is NULL_TRACER
+    assert not engine.tracer
+    engine.run_until_drained()  # nothing recorded, nothing to record
+
+
+def test_full_trace_records_sampled_trace_skips():
+    full, sampled = Tracer(), Tracer(sample_steps=SAMPLE_STEPS)
+    _fresh_engine(full).run_until_drained()
+    _fresh_engine(sampled).run_until_drained()
+    count = lambda t: sum(1 for e in t.events if e.name == "engine_step")
+    assert 0 < count(sampled) < count(full)
+    assert full.errors == [] and sampled.errors == []
+
+
+@pytest.mark.skipif(
+    _TINY, reason="timing assertions are meaningless at smoke sizes"
+)
+def test_trace_off_throughput_floor():
+    """Blocking guard: with tracing disabled, batch-32 fused decode must
+    hold the same committed 1,200 tok/s floor as the untraced engine
+    bench — instrumentation that is off is required to be free (the
+    accepted budget is the one NULL_TRACER truthiness check per site).
+    """
+    floor_tokens_per_sec = 1200.0
+    rate = _best_rate(lambda: None)
+    assert rate >= floor_tokens_per_sec, (
+        f"tracing-disabled batch-{BATCH} decode at {rate:.0f} tok/s fell "
+        f"below the committed floor of {floor_tokens_per_sec:.0f} tok/s"
+    )
+
+
+def measure_trace_overhead(repeats: int = 3) -> dict:
+    """The ``trace_overhead`` section of ``BENCH_engine.json``.
+
+    The three rungs are *interleaved* per repeat (off, sampled, full,
+    then again) rather than measured back to back, so load drift on a
+    shared runner lands on every rung instead of skewing one; best-of-
+    ``repeats`` per rung is then comparable."""
+    factories = (
+        ("off", lambda: None),
+        ("sampled", lambda: Tracer(sample_steps=SAMPLE_STEPS)),
+        ("full", Tracer),
+    )
+    _drain_timed(lambda: None)  # warmup: caches, allocator, imports
+    best = {key: float("inf") for key, _ in factories}
+    for seed in range(repeats):
+        for key, factory in factories:
+            best[key] = min(best[key], _drain_timed(factory, seed=seed))
+    tokens = BATCH * MAX_NEW
+    off = tokens / best["off"]
+    sampled = tokens / best["sampled"]
+    full = tokens / best["full"]
+    return {
+        "batch_size": BATCH,
+        "tokens_generated": BATCH * MAX_NEW,
+        "sample_steps": SAMPLE_STEPS,
+        "off_tokens_per_sec": round(off, 1),
+        "sampled_tokens_per_sec": round(sampled, 1),
+        "full_tokens_per_sec": round(full, 1),
+        "sampled_overhead_pct": round(100.0 * (1.0 - sampled / off), 2),
+        "full_overhead_pct": round(100.0 * (1.0 - full / off), 2),
+    }
+
+
+def test_overhead_record_satisfies_schema():
+    from repro.eval.bench_schema import _validate_trace_overhead
+
+    record = measure_trace_overhead(repeats=1)
+    _validate_trace_overhead(record, "trace_overhead")
+
+
+def main() -> None:
+    """Refresh only the ``trace_overhead`` section of the committed
+    engine artifact (the full artifact is regenerated by
+    ``test_engine_throughput.py``'s ``main``)."""
+    out = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    record = json.loads(out.read_text()) if out.exists() else {}
+    record["trace_overhead"] = measure_trace_overhead()
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record["trace_overhead"], indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Tracing & telemetry: one trace file from frontend to kernel.
+
+Demonstrates the `repro.obs` subsystem end to end:
+
+1. a faulted cluster run (seeded replica kill + revive) with a
+   :class:`~repro.obs.Tracer` attached: every request's lifecycle
+   (queued -> prefill chunks -> decode, preemption gaps, terminal state)
+   and every engine step (with its pack/score/prune/unpack phase
+   breakdown and Token-Picker-native attributes — per-round alive
+   counts, keep fraction, tier movement) lands on one timeline;
+2. both export formats are written and schema-checked: Chrome/Perfetto
+   trace-event JSON (drop into https://ui.perfetto.dev) and the
+   lossless JSONL span log;
+3. the span log alone is then re-analyzed: TTFT breakdown, inter-token
+   latency and per-round alive profiles are rebuilt *from the trace*
+   and shown to match the live router's registry bit-exactly —
+   the trace is a sufficient statistic for the run, not a picture;
+4. the same registry renders as Prometheus text exposition, the scrape
+   body a deployment would serve.
+
+Run:  python examples/tracing.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster import ClusterRouter, FaultInjector, fault_schedule
+from repro.core import TokenPickerConfig
+from repro.obs import Tracer, validate_span_log_file, validate_trace_file
+from repro.obs.analyze import analyze_file
+from repro.workloads import failover_trace
+
+N_HEADS, HEAD_DIM = 4, 64
+N_REPLICAS = 3
+N_REQUESTS = 10
+
+
+def main() -> None:
+    tracer = Tracer()  # sample_steps=1: record every engine step
+    router = ClusterRouter(
+        N_REPLICAS,
+        TokenPickerConfig(threshold=2e-3),
+        max_batch_size=4,
+        capacity_tokens=1024,
+        seed=0,
+        tracer=tracer,
+    )
+    injector = FaultInjector(
+        router, fault_schedule(3, N_REPLICAS, n_kills=1, revive_after=4)
+    )
+    injector.run_trace(
+        failover_trace(
+            np.random.default_rng(0),
+            n_heads=N_HEADS,
+            head_dim=HEAD_DIM,
+            n_requests=N_REQUESTS,
+            prompt_tokens=48,
+            max_new_tokens=12,
+        )
+    )
+    print(
+        f"faulted run: {len(injector.outputs)}/{N_REQUESTS} completed, "
+        f"{injector.stats.kills} kill(s), {injector.stats.revives} "
+        f"revive(s), {tracer.open_span_count} spans left open, "
+        f"{len(tracer.errors)} span errors"
+    )
+
+    out = Path(tempfile.mkdtemp(prefix="tokenpicker-trace-"))
+    trace_path = tracer.write_trace(out / "trace.json")
+    span_path = tracer.write_span_log(out / "trace.jsonl")
+    validate_trace_file(trace_path)
+    n_events = validate_span_log_file(span_path)
+    print(f"wrote {trace_path} ({n_events} events) — open in ui.perfetto.dev")
+
+    # --- the trace alone reproduces the live telemetry ----------------
+    analysis = analyze_file(span_path)
+    print("\nrebuilt from the trace file alone (vs live registry):")
+    for rid in range(N_REPLICAS):
+        live = router.metrics.histogram("ttft_seconds", replica=rid)
+        rebuilt = analysis.registry.histogram("ttft_seconds", replica=f"r{rid}")
+        if not live.count:
+            continue
+        match = "exact" if rebuilt.total == live.total else "MISMATCH"
+        print(
+            f"  replica {rid}: TTFT n={rebuilt.count} "
+            f"p95 {1e3 * rebuilt.percentile(95):.2f} ms  ({match})"
+        )
+        assert rebuilt.count == live.count and rebuilt.total == live.total
+
+    for process, totals in sorted(analysis.round_alive.items()):
+        if totals and totals[0]:
+            fracs = "  ".join(
+                f"r{i}: {t / totals[0]:.3f}" for i, t in enumerate(totals)
+            )
+            print(f"  {process} alive-fraction per round: {fracs}")
+
+    # --- one metrics pipeline: same registry, Prometheus exposition ---
+    scrape = router.metrics.render_prometheus()
+    print("\nPrometheus exposition (first lines):")
+    for line in scrape.splitlines()[:6]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -84,82 +84,36 @@ def _prefix_cache(args):
     return RadixKVCache(capacity_tokens=args.prefix_cache_capacity)
 
 
-def _prefill_profile_lines(engine) -> List[str]:
-    """The ``--profile`` chunked-prefill block for one engine."""
-    if not engine.prefill_chunks_total:
-        return []
-    budget = engine.prefill_budget_tokens
-    mean_chunk = engine.prefill_tokens_total / engine.prefill_chunks_total
-    return [
-        "  chunked prefill "
-        f"(budget {budget if budget is not None else 'unbounded'}): "
-        f"{engine.prefill_tokens_total} prompt tokens in "
-        f"{engine.prefill_chunks_total} chunks "
-        f"(mean {mean_chunk:.1f} tokens/chunk)"
-    ]
+def _tracer_from_args(args):
+    """``Tracer | None`` from the ``--trace-out``/``--trace-sample`` flags."""
+    if not getattr(args, "trace_out", None):
+        return None
+    from repro.obs import Tracer
+
+    return Tracer(sample_steps=max(1, getattr(args, "trace_sample", 1)))
 
 
-def _kernel_profile_lines(engine) -> List[str]:
-    """The ``--profile`` per-round alive-fraction block for one engine.
+def _write_trace_artifacts(tracer, args) -> List[str]:
+    """Flush the tracer to disk: Perfetto JSON + lossless JSONL span log.
 
-    Derives both displays from the engine's accumulated ``round_alive``
-    counters: the fraction of (head, token) pairs still undecided
-    entering each chunk round (what the lazy score backend actually pays
-    for), and the chunks-fetched histogram (how many pairs were decided
-    by each refinement depth — the paper's average-chunks-per-token
-    metric in distribution form).
+    ``--trace-out PATH`` names the Perfetto file; the span log lands next
+    to it with a ``.jsonl`` suffix (if PATH itself ends in ``.jsonl`` the
+    roles swap so neither artifact clobbers the other).
     """
-    totals = getattr(engine, "round_alive_totals", None)
-    if totals is None or not totals[0]:
+    if tracer is None:
         return []
-    n_chunks = totals.shape[0] - 1
-    entering = float(totals[0])
-    fracs = "  ".join(
-        f"round {b}: {totals[b] / entering:.3f}" for b in range(n_chunks)
-    )
-    # pairs decided during round b fetched exactly b+1 chunks; survivors
-    # of the last round fetched everything and were kept
-    decided = [int(totals[b] - totals[b + 1]) for b in range(n_chunks)]
-    decided[-1] += int(totals[n_chunks])
-    hist = "  ".join(
-        f"{b + 1}ch: {d / entering:.1%}" for b, d in enumerate(decided)
-    )
-    return [
-        f"  kernel rounds ({engine.config.score_backend} score backend): "
-        f"alive fraction  {fracs}  kept: {totals[n_chunks] / entering:.4f}",
-        f"    chunks fetched: {hist}",
-    ]
+    from pathlib import Path
 
-
-def _tier_profile_lines(engine) -> List[str]:
-    """The ``--profile`` block for a tiered / prefix-cached engine."""
-    lines: List[str] = []
-    if engine.tiers is not None:
-        snap = engine.tiers.snapshot()
-        dram = snap["dram"]
-        tokens = max(
-            sum(c.stats.generated_tokens for c in engine.completed), 1
-        )
-        fast = dram["fast_read_bytes"] + dram["fast_write_bytes"]
-        slow = dram["slow_read_bytes"] + dram["slow_write_bytes"]
-        lines.append(
-            f"  kv tiering ({snap['policy']} policy, "
-            f"{snap['sketch_chunks']}-chunk sketch): "
-            f"{snap['demotions']} demotions, {snap['promotions']} promotions, "
-            f"{snap['rerun_steps']} kernel re-runs"
-        )
-        lines.append(
-            f"    modelled traffic: fast {fast / tokens:,.0f} B/token, "
-            f"slow {slow / tokens:,.0f} B/token"
-        )
-    if engine.prefix_cache is not None:
-        c = engine.prefix_cache.snapshot()
-        lines.append(
-            f"  prefix cache: hit rate {c['hit_rate']:.1%} "
-            f"({c['hit_tokens']}/{c['lookup_tokens']} prompt tokens), "
-            f"{c['resident_tokens']} tokens resident"
-        )
-    return lines
+    out = Path(args.trace_out)
+    span_log = out.with_suffix(".jsonl")
+    if span_log == out:
+        out = out.with_suffix(".json")
+    tracer.write_trace(out)
+    tracer.write_span_log(span_log)
+    line = f"  trace: {out} (Perfetto) + {span_log} (span log)"
+    if tracer.errors:
+        line += f"  [{len(tracer.errors)} span errors]"
+    return [line]
 
 
 def _run_serve_sim(args) -> str:
@@ -189,6 +143,7 @@ def _run_serve_sim(args) -> str:
         threshold=args.threshold, score_backend=args.kernel_backend
     )
     capacity = args.batch_size * (args.context_length + args.max_new_tokens + 16)
+    tracer = _tracer_from_args(args)
     engine = ServingEngine(
         config,
         max_batch_size=args.batch_size,
@@ -197,6 +152,7 @@ def _run_serve_sim(args) -> str:
         prefill_budget_tokens=args.prefill_budget or None,
         kv_tiering=_tier_config(args),
         prefix_cache=_prefix_cache(args),
+        tracer=tracer,
     )
     for _ in range(args.n_requests):
         prompt = max(8, args.context_length + int(rng.integers(-16, 17)))
@@ -277,9 +233,10 @@ def _run_serve_sim(args) -> str:
                             f"{1e3 * seconds / busy_steps:7.3f} ms/step"
                         )
     if getattr(args, "profile", False):
-        lines.extend(_kernel_profile_lines(engine))
-        lines.extend(_prefill_profile_lines(engine))
-        lines.extend(_tier_profile_lines(engine))
+        from repro.obs.profile import render_profile
+
+        lines.extend(render_profile(engine))
+    lines.extend(_write_trace_artifacts(tracer, args))
     return "\n".join(lines)
 
 
@@ -312,6 +269,7 @@ def _run_serve_cluster(args) -> str:
     capacity = args.capacity_tokens or args.batch_size * (
         args.context_length + args.max_new_tokens + 16
     )
+    tracer = _tracer_from_args(args)
     router = ClusterRouter(
         args.replicas,
         config,
@@ -325,6 +283,7 @@ def _run_serve_cluster(args) -> str:
         kv_tiering=_tier_config(args),
         prefix_cache=getattr(args, "prefix_cache", False),
         prefix_cache_capacity=args.prefix_cache_capacity,
+        tracer=tracer,
     )
     trace = bursty_trace(
         np.random.default_rng(args.seed),
@@ -376,12 +335,10 @@ def _run_serve_cluster(args) -> str:
         f"{tokens_per_second(ours.per_replica[0]):,.0f} tokens/s",
     ]
     if getattr(args, "profile", False):
+        from repro.obs.profile import render_profile
+
         for rid, engine in enumerate(router.replicas):
-            extra = (
-                _kernel_profile_lines(engine)
-                + _prefill_profile_lines(engine)
-                + _tier_profile_lines(engine)
-            )
+            extra = render_profile(engine)
             if extra:
                 lines.append(f"  replica {rid}:")
                 lines.extend("  " + line for line in extra)
@@ -404,6 +361,7 @@ def _run_serve_cluster(args) -> str:
                     f"p99 {1e3 * s['p99']:8.3f} ms  "
                     f"(n={s['count']})"
                 )
+    lines.extend(_write_trace_artifacts(tracer, args))
     return "\n".join(lines)
 
 
@@ -436,6 +394,8 @@ def _run_serve_frontend(args) -> str:
         if args.replicas < 2:
             raise ValueError("--inject-faults needs --replicas >= 2")
 
+        tracer = _tracer_from_args(args)
+
         def run(with_faults: bool):
             router = ClusterRouter(
                 args.replicas,
@@ -444,6 +404,9 @@ def _run_serve_frontend(args) -> str:
                 capacity_tokens=args.batch_size
                 * (args.context_length + args.max_new_tokens + 16),
                 seed=args.seed,
+                # only the faulted run is traced: the fault-free rerun is
+                # a bit-identity witness, not part of the story
+                tracer=tracer if with_faults else None,
             )
             schedule = (
                 fault_schedule(args.seed, args.replicas, n_kills=2)
@@ -490,6 +453,7 @@ def _run_serve_frontend(args) -> str:
         ]
         if getattr(args, "profile", False):
             lines.append(faulted.router.metrics.render())
+        lines.extend(_write_trace_artifacts(tracer, args))
         if not identical:
             raise RuntimeError(
                 "faulted outputs diverged from the fault-free run"
@@ -505,6 +469,7 @@ def _run_serve_frontend(args) -> str:
     )
     from repro.workloads import sustained_overload_trace
 
+    tracer = _tracer_from_args(args)
     engine = ServingEngine(
         config,
         max_batch_size=args.batch_size,
@@ -515,6 +480,7 @@ def _run_serve_frontend(args) -> str:
         prefill_budget_tokens=args.prefill_budget or None,
         kv_tiering=_tier_config(args),
         prefix_cache=_prefix_cache(args),
+        tracer=tracer,
     )
     simulator = ServingSimulator(
         model,
@@ -526,7 +492,9 @@ def _run_serve_frontend(args) -> str:
         if args.slo_p95_ms > 0
         else None
     )
-    frontend = AsyncStreamingFrontend(engine, slo=slo, simulator=simulator)
+    frontend = AsyncStreamingFrontend(
+        engine, slo=slo, simulator=simulator, tracer=tracer
+    )
     trace = sustained_overload_trace(
         rng,
         n_heads=n_heads,
@@ -588,6 +556,7 @@ def _run_serve_frontend(args) -> str:
             )
     if getattr(args, "profile", False):
         lines.append(frontend.registry.render())
+    lines.extend(_write_trace_artifacts(tracer, args))
     return "\n".join(lines)
 
 
@@ -658,6 +627,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve-cluster: print per-replica TTFT / token-latency percentiles; "
         "with --kv-tiering/--prefix-cache also print demotion and hit-rate "
         "stats",
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome/Perfetto trace-event JSON of the run to PATH "
+        "(open in https://ui.perfetto.dev or chrome://tracing) plus a "
+        "lossless .jsonl span log next to it; request lifecycles, engine "
+        "step/phase spans, tier and fault marks are all request-scoped",
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --trace-out, emit every Nth engine step span "
+        "(request lifecycle spans are always complete; default 1 = all)",
     )
     serve.add_argument(
         "--kv-tiering",

@@ -220,6 +220,17 @@ class FaultInjector:
         if event.action == "spike":
             self._spikes[(event.step, event.replica)] = event.spike_seconds
             self.stats.spikes += 1
+            if self.router.tracer:
+                self.router.tracer.instant(
+                    "cluster",
+                    "faults",
+                    "latency_spike",
+                    args={
+                        "replica": event.replica,
+                        "step": event.step,
+                        "spike_seconds": event.spike_seconds,
+                    },
+                )
             return
         if event.action == "revive":
             try:
@@ -312,6 +323,13 @@ class FaultInjector:
                 continue
             self.stats.retries += 1
             self.router.metrics.counter("requests_retried").inc()
+            if self.router.tracer:
+                self.router.tracer.instant(
+                    "cluster",
+                    "faults",
+                    "fault_retry",
+                    args={"replica": rid, "kind": item.kind, "step": now},
+                )
             self._keys[(rid, request_id)] = item.key
         self._retry = still_waiting
 

@@ -23,7 +23,6 @@ for rolling restarts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -31,6 +30,7 @@ import numpy as np
 from repro.core.config import TokenPickerConfig
 from repro.cluster.memory import make_memory_manager
 from repro.cluster.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 from repro.serving.engine import (
     EngineStepReport,
     FailoverHarvest,
@@ -84,6 +84,7 @@ class ClusterRouter:
         kv_tiering=None,
         prefix_cache: bool = False,
         prefix_cache_capacity: int = 0,
+        tracer=None,
     ) -> None:
         """``kv_tiering`` (a :class:`repro.kvstore.tiers.TierConfig`)
         enables the two-tier KV store on every replica; ``prefix_cache``
@@ -104,6 +105,11 @@ class ClusterRouter:
         self.policy = policy
         self.admission = admission
         self.metrics = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: engine incarnations per replica slot — a revived replica's
+        #: fresh engine traces under "r<id>+<gen>" so its request tracks
+        #: can never collide with the dead incarnation's closed ones
+        self._trace_gen: Dict[int, int] = {}
         self._seed = seed
         self._replica_kwargs = dict(
             config=config,
@@ -152,6 +158,8 @@ class ClusterRouter:
             prefix_cache = RadixKVCache(
                 capacity_tokens=kw["prefix_cache_capacity"]
             )
+        gen = self._trace_gen.get(rid, 0)
+        self._trace_gen[rid] = gen + 1
         return ServingEngine(
             kw["config"],
             max_batch_size=kw["max_batch_size"],
@@ -166,6 +174,8 @@ class ClusterRouter:
             prefill_budget_tokens=kw["prefill_budget_tokens"],
             kv_tiering=kw["kv_tiering"],
             prefix_cache=prefix_cache,
+            tracer=self.tracer,
+            trace_label=f"r{rid}" if gen == 0 else f"r{rid}+{gen}",
         )
 
     # --------------------------------------------------------------- routing
@@ -296,6 +306,13 @@ class ClusterRouter:
             self._dead.discard(replica_id)
             raise RuntimeError("cannot kill the last routable replica")
         self.metrics.counter("replica_kills", replica=replica_id).inc()
+        if self.tracer:
+            self.tracer.instant(
+                "cluster",
+                "router",
+                "replica_kill",
+                args={"replica": replica_id, "step": self._step_index},
+            )
         return self.replicas[replica_id].harvest_for_failover()
 
     def revive_replica(self, replica_id: int) -> None:
@@ -316,6 +333,13 @@ class ClusterRouter:
         self._occupancy_steps[replica_id] = 0
         self._dead.discard(replica_id)
         self.metrics.counter("replica_revives", replica=replica_id).inc()
+        if self.tracer:
+            self.tracer.instant(
+                "cluster",
+                "router",
+                "replica_revive",
+                args={"replica": replica_id, "step": self._step_index},
+            )
 
     def resubmit_harvest(
         self, harvest: "FailoverHarvest"
@@ -370,9 +394,12 @@ class ClusterRouter:
         for rid, engine in enumerate(self.replicas):
             if rid in self._dead:
                 continue
-            t0 = perf_counter()
             engine_report = engine.step()
-            seconds = perf_counter() - t0
+            # the engine measured its own wall time (EngineStepReport.
+            # wall_seconds) — adopting it here means the step-latency
+            # float the live histograms observe is the exact one the
+            # step span carries, so trace analysis matches bit for bit
+            seconds = engine_report.wall_seconds
             report.per_replica[rid] = engine_report
             report.step_seconds[rid] = seconds
             self._observe(rid, engine, engine_report, seconds)

@@ -8,6 +8,9 @@ trajectory mechanically and CI can reject malformed bench output:
 * a non-empty ``"points"`` list, each point carrying at least one
   ``*tokens_per_sec*`` throughput number and a ``"phase_ms_per_step"``
   object with the four hot-path phases (pack / score / prune / unpack),
+* a ``"trace_overhead"`` section (required for ``BENCH_engine.json``):
+  the instrumentation-cost recording — decode throughput of the same
+  workload with tracing off, step-sampled, and full,
 * optionally a ``"long_prompt_burst"`` section (required for
   ``BENCH_engine.json``): the chunked-prefill latency recording —
   modelled p95 inter-token latency and p95 TTFT on
@@ -70,6 +73,18 @@ FAULT_RECOVERY_COUNTS = (
 
 #: artifacts whose records must carry the ``fault_recovery`` section
 FAULT_RECOVERY_REQUIRED_IN = ("BENCH_cluster.json",)
+
+#: throughput rungs of the ``trace_overhead`` section — the same
+#: workload drained with tracing off, step-sampled, and full
+TRACE_OVERHEAD_RATES = (
+    "off_tokens_per_sec",
+    "sampled_tokens_per_sec",
+    "full_tokens_per_sec",
+)
+
+#: artifacts whose records must carry the ``trace_overhead`` section
+#: (instrumentation cost is part of the engine's perf trajectory)
+TRACE_OVERHEAD_REQUIRED_IN = ("BENCH_engine.json",)
 
 #: every perf artifact the repo commits at its root; CI and the schema
 #: test validate each one that exists, so a new benchmark registers its
@@ -163,6 +178,32 @@ def validate_bench(record: Mapping, name: str = "bench") -> None:
             )
     else:
         _validate_fault_recovery(recovery, f"{name}.fault_recovery")
+    overhead = record.get("trace_overhead")
+    if overhead is None:
+        if name in TRACE_OVERHEAD_REQUIRED_IN:
+            _fail(
+                f"{name}.trace_overhead",
+                "missing: the engine artifact must record throughput "
+                "with tracing off / sampled / full",
+            )
+    else:
+        _validate_trace_overhead(overhead, f"{name}.trace_overhead")
+
+
+def _validate_trace_overhead(overhead, where: str) -> None:
+    """The tracing-cost section: off / sampled / full throughput."""
+    if not isinstance(overhead, Mapping):
+        _fail(where, f"must be an object, got {type(overhead).__name__}")
+    for field in TRACE_OVERHEAD_RATES:
+        value = overhead.get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            _fail(f"{where}.{field}", f"must be a number > 0, got {value!r}")
+    sample_steps = overhead.get("sample_steps")
+    if not isinstance(sample_steps, int) or sample_steps < 2:
+        _fail(
+            f"{where}.sample_steps",
+            f"must be an int >= 2 (the middle rung), got {sample_steps!r}",
+        )
 
 
 def _validate_alive_fractions(fractions, where: str) -> None:

@@ -47,6 +47,7 @@ from repro.kvstore.policy import (
     TokenTierView,
     make_demotion_policy,
 )
+from repro.obs.trace import NULL_TRACER
 from repro.serving.kv_pool import KVCachePool, SwappedSequence
 
 
@@ -169,6 +170,8 @@ class TieredKVStore:
         config: Optional[TierConfig] = None,
         dram: Optional[TieredDRAMModel] = None,
         prompt_guard: int = 0,
+        tracer=None,
+        trace_label: str = "engine",
     ) -> None:
         self.pool = pool
         self.quant = quant
@@ -190,6 +193,10 @@ class TieredKVStore:
                 f"n_chunks ({quant.n_chunks})"
             )
         self.policy = self.config.make_policy()
+        # tier movement marks land on the owning engine's trace track
+        # (falsy NULL_TRACER when the engine is untraced or none given)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.trace_label = trace_label
         self._seqs: Dict[int, _SeqTierState] = {}
         # movement accounting
         self.demotions_total = 0
@@ -387,6 +394,14 @@ class TieredKVStore:
         self.dram.fast_write(moved)
         state.demoted[positions] = False
         self.promotions_total += int(positions.size)
+        if self.tracer:
+            self.tracer.instant(
+                self.trace_label,
+                "tiers",
+                "tier_promote",
+                cat="tier",
+                args={"seq_id": seq_id, "count": int(positions.size)},
+            )
         return int(positions.size)
 
     def tokens_needing_promotion(self, seq_id: int, result) -> np.ndarray:
@@ -510,6 +525,14 @@ class TieredKVStore:
                 by_seq.setdefault(seq_id, []).append(pos)
             for seq_id, positions in by_seq.items():
                 demoted += self.demote(seq_id, positions)
+        if demoted and self.tracer:
+            self.tracer.instant(
+                self.trace_label,
+                "tiers",
+                "tier_demote",
+                cat="tier",
+                args={"step": step, "count": demoted},
+            )
         return demoted
 
     # ------------------------------------------------------------ preemption

@@ -1,0 +1,55 @@
+"""Unified tracing & telemetry: spans, Perfetto export, one metrics
+pipeline (see ``repro.obs.trace`` / ``schema`` / ``profile`` /
+``analyze``).
+
+Only the stdlib-dependent core (:mod:`repro.obs.trace`,
+:mod:`repro.obs.schema`) loads eagerly — the serving engine imports
+:data:`NULL_TRACER` at module import time, and the analysis/profile
+helpers import back into :mod:`repro.cluster.metrics`, so they resolve
+lazily to keep the import graph acyclic.
+"""
+
+from repro.obs.schema import (
+    TraceSchemaError,
+    validate_span_log,
+    validate_span_log_file,
+    validate_trace,
+    validate_trace_file,
+)
+from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
+
+__all__ = [
+    "NULL_TRACER",
+    "TraceAnalysis",
+    "TraceEvent",
+    "TraceSchemaError",
+    "Tracer",
+    "analyze_file",
+    "export_engine_metrics",
+    "load_events",
+    "render_profile",
+    "validate_span_log",
+    "validate_span_log_file",
+    "validate_trace",
+    "validate_trace_file",
+]
+
+# NOTE: the analyze *function* is not re-exported here — the submodule
+# of the same name would shadow it after first import; reach it as
+# ``repro.obs.analyze.analyze``.
+_LAZY = {
+    "TraceAnalysis": "repro.obs.analyze",
+    "analyze_file": "repro.obs.analyze",
+    "load_events": "repro.obs.analyze",
+    "export_engine_metrics": "repro.obs.profile",
+    "render_profile": "repro.obs.profile",
+}
+
+
+def __getattr__(name):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)

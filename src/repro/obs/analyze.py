@@ -1,0 +1,287 @@
+"""Recompute serving telemetry from a trace artifact alone.
+
+The acceptance bar for the tracing layer is that the trace is not a
+pretty picture but a *sufficient statistic*: given only the file
+``--trace-out`` wrote, this module rebuilds the same numbers the live
+:class:`~repro.cluster.router.ClusterRouter` accumulated while the run
+was in flight —
+
+* the **TTFT breakdown** per replica (queue wait → prefill → first
+  token, end-to-end), from each finished request span's boundary and its
+  ``prefill_start`` / ``first_token`` instants;
+* **inter-token latency** (p95 and friends), from the ``wall_seconds`` /
+  ``tokens`` attributes on ``engine_step`` spans — the identical floats
+  the router observed, so at ``--trace-sample 1`` the histograms agree
+  exactly;
+* the kernel's **per-round alive profile** per replica, by summing the
+  ``round_alive`` attribute across step spans (equal to the engine's
+  ``round_alive_totals`` at full sampling);
+* tier movement counters, from ``tier_demote`` / ``tier_promote``
+  instants.
+
+Everything lands in a :class:`~repro.cluster.metrics.MetricsRegistry`
+labelled ``replica=<process>`` with the router's series names, so
+downstream tooling reads live and post-hoc metrics identically.
+
+``python -m repro.obs.analyze TRACE.json`` (or the ``.jsonl`` span log —
+lossless, preferred for exact comparison) prints the summary.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.cluster.metrics import MetricsRegistry
+
+__all__ = ["RequestRecord", "TraceAnalysis", "load_events", "analyze",
+           "analyze_file"]
+
+#: slack when assigning an instant to its enclosing request span: the
+#: Perfetto export rounds through microseconds (error ~1e-11 s); the
+#: JSONL path is exact
+_EPS_S = 1e-6
+
+
+def _replica_of(process: str) -> str:
+    """A revived replica's fresh engine traces as ``r<id>+<gen>``;
+    aggregate incarnations under the slot — the live router's histograms
+    are keyed by replica id across revives, and post-hoc analysis should
+    be too."""
+    return process.split("+", 1)[0]
+
+
+@dataclass
+class RequestRecord:
+    """One request span instance, latencies recomputed from the trace."""
+
+    process: str
+    thread: str
+    state: str
+    adopted: bool = False
+    ttft_seconds: float = -1.0
+    queue_wait_seconds: float = -1.0
+    prefill_seconds: float = -1.0
+    e2e_seconds: float = -1.0
+
+
+@dataclass
+class TraceAnalysis:
+    """Everything :func:`analyze` recovers from one trace."""
+
+    registry: MetricsRegistry
+    requests: List[RequestRecord] = field(default_factory=list)
+    #: per process: elementwise sum of step spans' ``round_alive`` lists
+    round_alive: Dict[str, List[int]] = field(default_factory=dict)
+    step_spans: int = 0
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-ready digest (the ``__main__`` printout)."""
+        out: Dict[str, object] = {
+            "requests_finished": sum(
+                1 for r in self.requests if r.state == "finished"
+            ),
+            "requests_total": len(self.requests),
+            "step_spans": self.step_spans,
+            "replicas": {},
+        }
+        replicas: Dict[str, Dict[str, object]] = out["replicas"]
+        for name in (
+            "ttft_seconds",
+            "queue_wait_seconds",
+            "prefill_seconds",
+            "e2e_seconds",
+            "step_seconds",
+            "token_latency_seconds",
+        ):
+            for _, labels, metric in self.registry.series(name):
+                block = replicas.setdefault(labels["replica"], {})
+                block[name] = metric.summary()
+        for process, totals in self.round_alive.items():
+            block = replicas.setdefault(process, {})
+            if totals and totals[0]:
+                entering = float(totals[0])
+                block["alive_fraction"] = [
+                    round(t / entering, 6) for t in totals
+                ]
+            block["round_alive"] = list(totals)
+        return out
+
+
+def _normalize_perfetto(record: Mapping) -> List[dict]:
+    pids: Dict[int, str] = {}
+    threads: Dict[Tuple[int, int], str] = {}
+    events: List[dict] = []
+    raw = record.get("traceEvents", [])
+    for event in raw:
+        if event.get("ph") == "M":
+            if event.get("name") == "process_name":
+                pids[event["pid"]] = event["args"]["name"]
+            elif event.get("name") == "thread_name":
+                threads[(event["pid"], event["tid"])] = event["args"]["name"]
+    for event in raw:
+        ph = event.get("ph")
+        if ph not in ("X", "i"):
+            continue
+        events.append(
+            {
+                "name": event["name"],
+                "cat": event.get("cat", ""),
+                "ph": ph,
+                "process": pids.get(event["pid"], str(event["pid"])),
+                "thread": threads.get(
+                    (event["pid"], event["tid"]), str(event["tid"])
+                ),
+                "ts_s": float(event["ts"]) / 1e6,
+                "dur_s": float(event.get("dur", 0.0)) / 1e6,
+                "args": event.get("args") or {},
+            }
+        )
+    return events
+
+
+def load_events(path) -> List[dict]:
+    """Load either trace artifact into uniform event dicts (seconds).
+
+    ``*.jsonl`` span logs carry exact float seconds (lossless); the
+    Perfetto JSON round-trips through microseconds, good to ~1e-11 s.
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        events = []
+        with path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                record.setdefault("dur_s", 0.0)
+                record.setdefault("args", {})
+                record["args"] = record["args"] or {}
+                events.append(record)
+        return events
+    return _normalize_perfetto(json.loads(path.read_text()))
+
+
+def analyze(events: List[dict]) -> TraceAnalysis:
+    """Rebuild router-style metrics from normalized trace events."""
+    registry = MetricsRegistry()
+    analysis = TraceAnalysis(registry=registry)
+
+    # request tracks: every "request" span instance, with its instants
+    # assigned by containment (a revived replica reuses the track for
+    # fresh request ids — instances on one track are disjoint in time)
+    tracks: Dict[Tuple[str, str], List[dict]] = {}
+    for event in events:
+        if event["thread"].startswith("req"):
+            tracks.setdefault((event["process"], event["thread"]), []).append(
+                event
+            )
+
+    for (process, thread), track_events in sorted(tracks.items()):
+        spans = sorted(
+            (e for e in track_events
+             if e["ph"] == "X" and e["name"] == "request"),
+            key=lambda e: e["ts_s"],
+        )
+        instants = [e for e in track_events if e["ph"] == "i"]
+        for span in spans:
+            t0 = span["ts_s"]
+            t1 = t0 + span["dur_s"]
+            marks: Dict[str, float] = {}
+            for inst in instants:
+                if t0 - _EPS_S <= inst["ts_s"] <= t1 + _EPS_S:
+                    marks.setdefault(inst["name"], inst["ts_s"])
+            record = RequestRecord(
+                process=process,
+                thread=thread,
+                state=str(span["args"].get("state", "open")),
+                adopted=bool(span["args"].get("adopted", False)),
+                e2e_seconds=span["dur_s"],
+            )
+            if "prefill_start" in marks:
+                record.queue_wait_seconds = marks["prefill_start"] - t0
+            if "first_token" in marks:
+                record.ttft_seconds = marks["first_token"] - t0
+                if "prefill_start" in marks:
+                    record.prefill_seconds = (
+                        marks["first_token"] - marks["prefill_start"]
+                    )
+            analysis.requests.append(record)
+            if record.state != "finished":
+                # the router only observes *retired* requests; exported /
+                # lost / cancelled spans stay out of the latency series
+                continue
+            replica = _replica_of(process)
+            registry.counter("requests_completed", replica=replica).inc()
+            for name, value in (
+                ("ttft_seconds", record.ttft_seconds),
+                ("queue_wait_seconds", record.queue_wait_seconds),
+                ("prefill_seconds", record.prefill_seconds),
+                ("e2e_seconds", record.e2e_seconds),
+            ):
+                if value >= 0:
+                    registry.histogram(name, replica=replica).observe(value)
+
+    for event in events:
+        if event["ph"] != "X" or event["name"] != "engine_step":
+            continue
+        analysis.step_spans += 1
+        replica = _replica_of(event["process"])
+        args = event["args"]
+        seconds = float(args.get("wall_seconds", event["dur_s"]))
+        tokens = int(args.get("tokens", 0))
+        if tokens:
+            registry.counter("tokens_generated", replica=replica).inc(tokens)
+            registry.histogram("step_seconds", replica=replica).observe(
+                seconds
+            )
+            registry.histogram(
+                "token_latency_seconds", replica=replica
+            ).observe(seconds, n=tokens)
+        alive = args.get("round_alive")
+        if alive:
+            totals = analysis.round_alive.setdefault(
+                replica, [0] * len(alive)
+            )
+            if len(totals) < len(alive):
+                totals.extend([0] * (len(alive) - len(totals)))
+            for i, count in enumerate(alive):
+                totals[i] += int(count)
+
+    for event in events:
+        if event["ph"] != "i":
+            continue
+        if event["name"] == "tier_demote":
+            registry.counter(
+                "tier_demotions", replica=_replica_of(event["process"])
+            ).inc(float(event["args"].get("count", 1)))
+        elif event["name"] == "tier_promote":
+            registry.counter(
+                "tier_promotions", replica=_replica_of(event["process"])
+            ).inc(float(event["args"].get("count", 1)))
+
+    return analysis
+
+
+def analyze_file(path) -> TraceAnalysis:
+    """:func:`load_events` + :func:`analyze` for one artifact on disk."""
+    return analyze(load_events(path))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.obs.analyze TRACE.json|SPANS.jsonl")
+        return 2
+    for arg in argv:
+        analysis = analyze_file(arg)
+        print(json.dumps({arg: analysis.summary()}, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

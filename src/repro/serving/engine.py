@@ -60,6 +60,7 @@ from repro.serving.request import (
     StepSource,
     synthetic_step_source,
 )
+from repro.obs.trace import NULL_TRACER
 from repro.serving.scheduler import Scheduler
 
 
@@ -181,6 +182,13 @@ class EngineStepReport:
     prefilling: int = 0
     prefill_tokens: int = 0
     prefill_bits: int = 0
+    #: wall-clock seconds the whole step took, measured inside
+    #: :meth:`ServingEngine.step` — the one step-latency float: the
+    #: cluster router's ``step_seconds`` / ``token_latency_seconds``
+    #: histograms and the step span's ``wall_seconds`` trace attribute
+    #: both carry exactly this value, so post-hoc trace analysis matches
+    #: live telemetry bit for bit
+    wall_seconds: float = 0.0
     #: this step's main kernel call's alive (head, token) pairs entering
     #: each chunk round plus the final kept count — shape
     #: (n_chunks + 1,); None when the step ran no kernel call
@@ -319,6 +327,8 @@ class ServingEngine:
         kv_tiering: "Optional[TierConfig]" = None,
         prefix_cache: "Optional[RadixKVCache]" = None,
         tier_dram: "Optional[TieredDRAMModel]" = None,
+        tracer=None,
+        trace_label: str = "engine",
     ) -> None:
         """``memory_manager`` switches admission from the conservative
         full-lifetime reservation (``None``, the default — decode can
@@ -347,7 +357,14 @@ class ServingEngine:
         prompt prefixes into refcounted cold-tier extents.  ``tier_dram``
         supplies the :class:`repro.hw.dram.TieredDRAMModel` ledger tier
         traffic is charged to (a default model is built when tiering is
-        on)."""
+        on).
+
+        ``tracer`` (a :class:`repro.obs.trace.Tracer`) records request
+        lifecycle spans and engine step spans under the ``trace_label``
+        process track (``"r<id>"`` when owned by a cluster router).
+        ``None`` installs the falsy :data:`repro.obs.trace.NULL_TRACER`,
+        so every instrumentation site reduces to one truthiness check.
+        """
         if safety_factor < 1.0:
             raise ValueError("safety_factor must be >= 1 (headroom only)")
         self.config = config or TokenPickerConfig()
@@ -367,6 +384,8 @@ class ServingEngine:
         self.allow_bypass = allow_bypass
         self._tier_config = kv_tiering
         self._tier_dram = tier_dram
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.trace_label = trace_label
         self.tiers = None  # TieredKVStore, built with the pool
         self.prefix_cache = prefix_cache
         self._prefix_handles: Dict[int, object] = {}
@@ -488,6 +507,22 @@ class ServingEngine:
         request.submitted_wall = time.perf_counter()
         self._submitted_at[request.request_id] = self._step_index
         self._submitted_wall[request.request_id] = request.submitted_wall
+        if self.tracer:
+            track = f"req{request.request_id}"
+            self.tracer.begin(
+                self.trace_label,
+                track,
+                "request",
+                ts=request.submitted_wall,
+                args={
+                    "request_id": request.request_id,
+                    "prompt_tokens": request.prompt_tokens,
+                    "max_new_tokens": request.max_new_tokens,
+                },
+            )
+            self.tracer.begin(
+                self.trace_label, track, "queued", ts=request.submitted_wall
+            )
         self.scheduler.submit(request)
         return request.request_id
 
@@ -504,6 +539,12 @@ class ServingEngine:
         for request in withdrawn:
             self._submitted_at.pop(request.request_id, None)
             self._submitted_wall.pop(request.request_id, None)
+            if self.tracer:
+                self.tracer.close_track(
+                    self.trace_label,
+                    f"req{request.request_id}",
+                    args={"state": "withdrawn"},
+                )
         return withdrawn
 
     # -------------------------------------------------- cancellation/deadline
@@ -530,6 +571,16 @@ class ServingEngine:
         request.state = state
         stats.finished_step = self._step_index
         stats.finished_wall = time.perf_counter()
+        if self.tracer:
+            self.tracer.close_track(
+                self.trace_label,
+                f"req{request.request_id}",
+                ts=stats.finished_wall,
+                args={
+                    "state": state.value,
+                    "generated_tokens": stats.generated_tokens,
+                },
+            )
         done = CompletedRequest(
             request_id=request.request_id, stats=stats, state=state
         )
@@ -653,6 +704,12 @@ class ServingEngine:
                 del self._preempted[seq_id]
                 self._release_sequence(seq_id, pooled=False)
                 entry = rec.entry
+                if self.tracer:
+                    self.tracer.close_track(
+                        self.trace_label,
+                        f"req{request_id}",
+                        args={"state": "exported"},
+                    )
                 return PreemptedExport(
                     request=request,
                     swapped=rec.swapped,
@@ -702,6 +759,51 @@ class ServingEngine:
             entry=entry, swapped=export.swapped, preempted_step=self._step_index
         )
         self.adopted_total += 1
+        if self.tracer:
+            # the adopted request's lifecycle continues on this engine's
+            # track, anchored at the donor's stamps so TTFT/queue-wait
+            # recomputed from the trace match the carried RequestStats
+            track = f"req{request.request_id}"
+            now = time.perf_counter()
+            stats = export.stats
+            self.tracer.begin(
+                self.trace_label,
+                track,
+                "request",
+                ts=stats.queued_wall,
+                args={
+                    "request_id": request.request_id,
+                    "prompt_tokens": request.prompt_tokens,
+                    "max_new_tokens": request.max_new_tokens,
+                    "adopted": True,
+                },
+            )
+            if stats.prefill_start_wall >= 0:
+                self.tracer.instant(
+                    self.trace_label,
+                    track,
+                    "prefill_start",
+                    ts=stats.prefill_start_wall,
+                )
+            if stats.first_token_wall >= 0:
+                self.tracer.instant(
+                    self.trace_label,
+                    track,
+                    "first_token",
+                    ts=stats.first_token_wall,
+                )
+            phase_ts = (
+                stats.prefill_start_wall
+                if entry.prefilling and stats.prefill_start_wall >= 0
+                else now
+            )
+            self.tracer.begin(
+                self.trace_label,
+                track,
+                "prefill" if entry.prefilling else "decode",
+                ts=phase_ts,
+            )
+            self.tracer.begin(self.trace_label, track, "preempted", ts=now)
         return request.request_id
 
     def harvest_for_failover(self) -> FailoverHarvest:
@@ -727,6 +829,12 @@ class ServingEngine:
             self._release_sequence(seq_id, pooled=True)
             del self._active[seq_id]
             request.state = RequestState.QUEUED
+            if self.tracer:
+                self.tracer.close_track(
+                    self.trace_label,
+                    f"req{request.request_id}",
+                    args={"state": "lost"},
+                )
             harvest.lost.append(request)
         return harvest
 
@@ -777,6 +885,8 @@ class ServingEngine:
                     config=self._tier_config,
                     dram=self._tier_dram,
                     prompt_guard=self.config.prompt_guard,
+                    tracer=self.tracer,
+                    trace_label=self.trace_label,
                 )
         elif (
             self.pool.n_heads != request.n_heads
@@ -875,6 +985,18 @@ class ServingEngine:
         start = entry.prefill_pos
         if start == 0 and entry.stats.prefill_start_wall < 0:
             entry.stats.prefill_start_wall = time.perf_counter()
+            if self.tracer:
+                # queued -> prefill at the exact stamp the queue-wait /
+                # prefill split is measured from
+                track = f"req{request.request_id}"
+                ts = entry.stats.prefill_start_wall
+                self.tracer.end(self.trace_label, track, "queued", ts=ts)
+                self.tracer.begin(
+                    self.trace_label, track, "prefill", ts=ts, cat="request"
+                )
+                self.tracer.instant(
+                    self.trace_label, track, "prefill_start", ts=ts
+                )
         k_slots, v_slots = self.pool.append_slots(entry.seq_id, n)
         _encode_kv_into(
             request.prompt_keys[:, start:start + n],
@@ -896,8 +1018,22 @@ class ServingEngine:
         self.prefill_tokens_total += n
         report.prefill_tokens += n
         report.prefill_bits += n * self._prefill_row_bits
+        if self.tracer:
+            self.tracer.instant(
+                self.trace_label,
+                f"req{request.request_id}",
+                "prefill_chunk",
+                args={"tokens": n, "pos": entry.prefill_pos},
+            )
         if not entry.prefilling:
             request.state = RequestState.RUNNING
+            if self.tracer:
+                track = f"req{request.request_id}"
+                ts = time.perf_counter()
+                self.tracer.end(self.trace_label, track, "prefill", ts=ts)
+                self.tracer.begin(
+                    self.trace_label, track, "decode", ts=ts, cat="request"
+                )
 
     def _run_prefill(self, report: EngineStepReport) -> None:
         """Spend this step's leftover token budget on prompt chunks.
@@ -973,6 +1109,14 @@ class ServingEngine:
         entry.stats.preemptions += 1
         if entry.request is not None:
             entry.request.state = RequestState.PREEMPTED
+            if self.tracer:
+                self.tracer.begin(
+                    self.trace_label,
+                    f"req{entry.request.request_id}",
+                    "preempted",
+                    cat="request",
+                    args={"step": self._step_index},
+                )
         self._preempted[seq_id] = _PreemptedSequence(
             entry=entry, swapped=swapped, preempted_step=self._step_index
         )
@@ -1010,6 +1154,13 @@ class ServingEngine:
                     else RequestState.RUNNING
                 )
                 report.resumed.append(entry.request.request_id)
+                if self.tracer:
+                    self.tracer.end(
+                        self.trace_label,
+                        f"req{entry.request.request_id}",
+                        "preempted",
+                        args={"resumed_step": self._step_index},
+                    )
             self.resumes_total += 1
 
     def _victim_candidates(self) -> List[VictimCandidate]:
@@ -1096,6 +1247,7 @@ class ServingEngine:
         (active decodes each claim one budget token, the leftover feeds
         prefill — decode is never throttled); a sequence joins the fused
         decode batch the step its last prompt chunk lands."""
+        t_step0 = time.perf_counter()
         now = self._step_index
         report = EngineStepReport(step_index=now)
         if self._preempted:
@@ -1123,6 +1275,7 @@ class ServingEngine:
         self.peak_concurrency = max(self.peak_concurrency, len(pooled))
         if not pooled:
             self._step_index += 1
+            self._trace_step(report, t_step0)
             return report
 
         # ---- pack: draw every sequence's new token, count clips against
@@ -1222,6 +1375,13 @@ class ServingEngine:
             entry.stats.generated_tokens += 1
             if entry.stats.generated_tokens == 1:
                 entry.stats.first_token_wall = time.perf_counter()
+                if self.tracer and entry.request is not None:
+                    self.tracer.instant(
+                        self.trace_label,
+                        f"req{entry.request.request_id}",
+                        "first_token",
+                        ts=entry.stats.first_token_wall,
+                    )
             entry.remaining -= 1
             if entry.remaining <= 0:
                 entry.stats.finished_step = now
@@ -1234,6 +1394,18 @@ class ServingEngine:
                     self.prefix_cache.release(handle)
                 if entry.request is not None:
                     entry.request.state = RequestState.FINISHED
+                if self.tracer:
+                    self.tracer.close_track(
+                        self.trace_label,
+                        f"req{entry.request.request_id}",
+                        ts=entry.stats.finished_wall,
+                        args={
+                            "state": "finished",
+                            "generated_tokens": entry.stats.generated_tokens,
+                            "preemptions": entry.stats.preemptions,
+                            "retained_mass": entry.stats.mean_retained_mass,
+                        },
+                    )
                 done = CompletedRequest(
                     request_id=entry.request.request_id, stats=entry.stats
                 )
@@ -1249,7 +1421,62 @@ class ServingEngine:
             - t_mark
         )
         self._step_index += 1
+        self._trace_step(report, t_step0)
         return report
+
+    def _trace_step(self, report: EngineStepReport, t0: float) -> None:
+        """Stamp the step's wall time and (when sampled) emit its span.
+
+        ``wall_seconds`` is always measured — the cluster router reads it
+        in place of its own timer, so the step-latency float the live
+        histograms observe and the one the trace carries are the *same*
+        value.  The span itself is emitted only when tracing is on, the
+        step is sampled, and the step did any work.
+        """
+        report.wall_seconds = time.perf_counter() - t0
+        tracer = self.tracer
+        if not tracer or not tracer.want_step(report.step_index):
+            return
+        if not (report.per_sequence or report.prefill_tokens or report.admitted):
+            return
+        args: Dict[str, object] = {
+            "step": report.step_index,
+            "wall_seconds": report.wall_seconds,
+            "tokens": report.tokens_generated,
+            "admitted": len(report.admitted),
+            "preempted": len(report.preempted),
+            "resumed": len(report.resumed),
+            "retired": len(report.retired),
+            "prefilling": report.prefilling,
+            "prefill_tokens": report.prefill_tokens,
+            "ragged_utilization": report.ragged_utilization,
+            "keep_fraction": self.counter.keep_fraction,
+        }
+        if report.round_alive is not None:
+            args["round_alive"] = [int(x) for x in report.round_alive]
+        if self.tiers is not None:
+            args["tier_demotions"] = report.tier_demotions
+            args["tier_promotions"] = report.tier_promotions
+            args["tier_reruns"] = report.tier_reruns
+        if report.per_sequence:
+            fast = sum(
+                v.fast_bits for v in report.per_sequence.values()
+                if v.fast_bits >= 0
+            )
+            slow = sum(
+                v.slow_bits for v in report.per_sequence.values()
+                if v.slow_bits >= 0
+            )
+            if fast or slow:
+                args["fast_bits"] = fast
+                args["slow_bits"] = slow
+        tracer.step_span(
+            self.trace_label,
+            ts=t0,
+            dur=report.wall_seconds,
+            args=args,
+            phase_seconds=report.phase_seconds or None,
+        )
 
     def _tier_post_kernel(
         self,

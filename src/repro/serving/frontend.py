@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 from repro.serving.engine import EngineStepReport, ServingEngine
 from repro.serving.request import (
     CompletedRequest,
@@ -411,6 +412,7 @@ class AsyncStreamingFrontend:
         simulator=None,
         registry: Optional[MetricsRegistry] = None,
         clock: Optional[Callable[[], float]] = None,
+        tracer=None,
     ) -> None:
         self.backend = (
             _ClusterBackend(target)
@@ -418,6 +420,10 @@ class AsyncStreamingFrontend:
             else _EngineBackend(target)
         )
         self.registry = registry if registry is not None else MetricsRegistry()
+        # admission-control marks ("shed", overload windows) trace under
+        # the "frontend" process; request/step spans come from the target
+        # engine or router, which carries its own tracer reference
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.simulator = simulator
         self.clock = clock
         self.controller = (
@@ -479,6 +485,17 @@ class AsyncStreamingFrontend:
             raise RuntimeError("frontend is closed")
         if self.controller is not None and not self.controller.admit():
             self.registry.counter("requests_shed").inc()
+            if self.tracer:
+                self.tracer.instant(
+                    "frontend",
+                    "control",
+                    "shed",
+                    args={
+                        "level": self.controller.level,
+                        "retry_after_steps":
+                            self.controller.slo.retry_after_steps,
+                    },
+                )
             raise ShedError(self.controller.slo.retry_after_steps)
         if deadline_ms is not None:
             request.deadline_ms = deadline_ms
@@ -552,9 +569,22 @@ class AsyncStreamingFrontend:
                 key = self.backend.stream_key(replica, done.request_id)
                 self._finish(key, done)
         if self.controller is not None:
-            self.controller.observe_step(
+            sample = self.controller.observe_step(
                 self.steps_run, seconds, tokens=tokens
             )
+            if sample is not None and self.tracer:
+                self.tracer.instant(
+                    "frontend",
+                    "control",
+                    "overload_window",
+                    args={
+                        "step": sample.step,
+                        "p95_ms": sample.p95_ms,
+                        "level": sample.level,
+                        "shedding": sample.shedding,
+                        "threshold": self.controller.threshold,
+                    },
+                )
             self.backend.set_threshold(self.controller.threshold)
 
     async def _run(self) -> None:

@@ -131,6 +131,17 @@ class Scheduler:
     def note_retired(self, n: int) -> None:
         self.retired_total += n
 
+    def counters(self) -> Dict[str, int]:
+        """Lifetime admission counters, in one dict — what
+        :func:`repro.obs.profile.export_engine_metrics` projects onto the
+        metrics registry."""
+        return {
+            "pending": self.n_pending,
+            "admitted": self.admitted_total,
+            "retired": self.retired_total,
+            "bypassed": self.bypassed_total,
+        }
+
     # --------------------------------------------------------------- packing
     @staticmethod
     def pack_order(lengths: Dict[int, int]) -> List[int]:

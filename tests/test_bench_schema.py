@@ -41,6 +41,19 @@ LAZY_POINT = {
 }
 
 
+#: a valid ``trace_overhead`` section (required in the engine artifact)
+TRACE_OVERHEAD = {
+    "batch_size": 32,
+    "tokens_generated": 512,
+    "sample_steps": 8,
+    "off_tokens_per_sec": 2000.0,
+    "sampled_tokens_per_sec": 1980.0,
+    "full_tokens_per_sec": 1950.0,
+    "sampled_overhead_pct": 1.0,
+    "full_overhead_pct": 2.5,
+}
+
+
 def _mutated(**overrides):
     record = json.loads(json.dumps(VALID))
     record.update(overrides)
@@ -146,10 +159,17 @@ class TestLongPromptBurstSection:
     def test_required_for_engine_artifact(self):
         with pytest.raises(BenchSchemaError, match="long_prompt_burst"):
             validate_bench(
-                _mutated(points=[_lazy_point()]), name="BENCH_engine.json"
+                _mutated(
+                    points=[_lazy_point()], trace_overhead=TRACE_OVERHEAD
+                ),
+                name="BENCH_engine.json",
             )
         validate_bench(
-            _mutated(points=[_lazy_point()], long_prompt_burst=self.SECTION),
+            _mutated(
+                points=[_lazy_point()],
+                long_prompt_burst=self.SECTION,
+                trace_overhead=TRACE_OVERHEAD,
+            ),
             name="BENCH_engine.json",
         )
 
@@ -187,6 +207,7 @@ class TestLazyDetailSection:
         return _mutated(
             points=[point],
             long_prompt_burst=TestLongPromptBurstSection.SECTION,
+            trace_overhead=TRACE_OVERHEAD,
         )
 
     def test_plain_point_fine_for_other_artifacts(self):
@@ -247,6 +268,48 @@ class TestLazyDetailSection:
             )
             profile = point["alive_fraction_per_round"]
             assert profile[-1] < 0.5, "pruning must decide most pairs"
+
+
+class TestTraceOverheadSection:
+    """Engine-artifact records must carry the ``trace_overhead``
+    section: throughput with tracing off / sampled / full."""
+
+    def test_required_for_engine_artifact(self):
+        record = _mutated(
+            points=[_lazy_point()],
+            long_prompt_burst=TestLongPromptBurstSection.SECTION,
+        )
+        with pytest.raises(BenchSchemaError, match="trace_overhead"):
+            validate_bench(record, name="BENCH_engine.json")
+        # ...but stays optional (validated-if-present) elsewhere
+        validate_bench(record, name="BENCH_kvstore.json")
+
+    @pytest.mark.parametrize(
+        "patch, fragment",
+        [
+            ({"off_tokens_per_sec": None}, "off_tokens_per_sec"),
+            ({"sampled_tokens_per_sec": 0}, "sampled_tokens_per_sec"),
+            ({"full_tokens_per_sec": -1.0}, "full_tokens_per_sec"),
+            ({"sample_steps": 1}, "sample_steps"),
+            ({"sample_steps": None}, "sample_steps"),
+        ],
+    )
+    def test_malformed_section_rejected(self, patch, fragment):
+        section = json.loads(json.dumps(TRACE_OVERHEAD))
+        section.update(patch)
+        with pytest.raises(BenchSchemaError, match=fragment):
+            validate_bench(_mutated(trace_overhead=section))
+
+    def test_committed_engine_artifact_has_the_section(self):
+        record = validate_bench_file(REPO_ROOT / "BENCH_engine.json")
+        overhead = record["trace_overhead"]
+        assert overhead["sample_steps"] >= 2
+        for field in (
+            "off_tokens_per_sec",
+            "sampled_tokens_per_sec",
+            "full_tokens_per_sec",
+        ):
+            assert overhead[field] > 0
 
 
 class TestRobustnessSections:

@@ -1,0 +1,226 @@
+"""Post-hoc trace analysis must reproduce the live telemetry.
+
+The trace is required to be a *sufficient statistic* for the serving
+run: :mod:`repro.obs.analyze` rebuilds, from the artifact alone, the
+same TTFT breakdown, inter-token latency and per-round alive profiles
+the live :class:`ClusterRouter` / :class:`ServingEngine` accumulated.
+The JSONL span log carries exact floats, so live and post-hoc numbers
+agree bit-exactly; the Perfetto JSON round-trips through microseconds
+and agrees to 1e-6 s.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterRouter,
+    FaultInjector,
+    bursty_trace,
+    fault_schedule,
+)
+from repro.core import TokenPickerConfig
+from repro.obs import Tracer
+from repro.obs.analyze import analyze, analyze_file, load_events
+from repro.serving import ServingEngine, synthetic_request
+from repro.workloads import failover_trace
+
+N_HEADS, HEAD_DIM = 2, 8
+
+#: the histogram series the router observes per retired request / step
+LATENCY_SERIES = (
+    "ttft_seconds",
+    "queue_wait_seconds",
+    "prefill_seconds",
+    "e2e_seconds",
+    "step_seconds",
+    "token_latency_seconds",
+)
+
+
+def _traced_router(tracer, n_replicas=2, seed=13, **kw):
+    kw.setdefault("max_batch_size", 2)
+    kw.setdefault("capacity_tokens", 512)
+    return ClusterRouter(n_replicas, seed=seed, tracer=tracer, **kw)
+
+
+def _run_cluster(tracer, seed=13, n_requests=10):
+    router = _traced_router(tracer, seed=seed)
+    router.run_trace(
+        bursty_trace(
+            np.random.default_rng(seed),
+            n_requests,
+            n_heads=N_HEADS,
+            head_dim=HEAD_DIM,
+            prompt_tokens=24,
+            max_new_tokens=6,
+            burst_size=4,
+            gap_steps=2,
+        )
+    )
+    return router
+
+
+def _assert_histograms_match(router, analysis, n_replicas, tol):
+    for rid in range(n_replicas):
+        for name in LATENCY_SERIES:
+            live = router.metrics.histogram(name, replica=rid)
+            rebuilt = analysis.registry.histogram(name, replica=f"r{rid}")
+            assert rebuilt.count == live.count, (name, rid)
+            if tol == 0:
+                assert rebuilt.total == live.total, (name, rid)
+            else:
+                assert rebuilt.total == pytest.approx(
+                    live.total, abs=tol
+                ), (name, rid)
+        live_tokens = router.metrics.counter(
+            "tokens_generated", replica=rid
+        ).value
+        rebuilt_tokens = analysis.registry.counter(
+            "tokens_generated", replica=f"r{rid}"
+        ).value
+        assert rebuilt_tokens == live_tokens
+        assert (
+            analysis.registry.counter(
+                "requests_completed", replica=f"r{rid}"
+            ).value
+            == router.metrics.counter("requests_completed", replica=rid).value
+        )
+
+
+class TestClusterAnalyze:
+    def test_jsonl_matches_live_exactly(self, tmp_path):
+        tracer = Tracer()
+        router = _run_cluster(tracer)
+        path = tracer.write_span_log(tmp_path / "spans.jsonl")
+        analysis = analyze_file(path)
+        _assert_histograms_match(router, analysis, 2, tol=0)
+
+    def test_perfetto_matches_live_within_microsecond(self, tmp_path):
+        tracer = Tracer()
+        router = _run_cluster(tracer)
+        path = tracer.write_trace(tmp_path / "trace.json")
+        analysis = analyze_file(path)
+        # one µs-rounded stamp per observation, a handful of observations
+        _assert_histograms_match(router, analysis, 2, tol=1e-4)
+
+    def test_faulted_run_matches_live(self, tmp_path):
+        tracer = Tracer()
+        router = _traced_router(tracer, n_replicas=3, capacity_tokens=256)
+        injector = FaultInjector(
+            router, fault_schedule(7, 3, n_kills=2, revive_after=4)
+        )
+        injector.run_trace(
+            failover_trace(
+                np.random.default_rng(7),
+                n_heads=N_HEADS,
+                head_dim=HEAD_DIM,
+                n_requests=8,
+                arrivals_per_step=1,
+                prompt_tokens=10,
+                max_new_tokens=8,
+            )
+        )
+        assert injector.stats.kills >= 1
+        path = tracer.write_span_log(tmp_path / "spans.jsonl")
+        analysis = analyze_file(path)
+        _assert_histograms_match(router, analysis, 3, tol=0)
+
+    def test_summary_shape(self, tmp_path):
+        tracer = Tracer()
+        _run_cluster(tracer)
+        summary = analyze_file(
+            tracer.write_span_log(tmp_path / "s.jsonl")
+        ).summary()
+        assert summary["requests_finished"] == 10
+        assert set(summary["replicas"]) == {"r0", "r1"}
+        for block in summary["replicas"].values():
+            assert "ttft_seconds" in block
+
+
+class TestEngineAnalyze:
+    def _drained(self, tracer, n=6, seed=4):
+        engine = ServingEngine(
+            TokenPickerConfig(threshold=2e-3),
+            max_batch_size=3,
+            capacity_tokens=512,
+            seed=seed,
+            tracer=tracer,
+        )
+        rng = np.random.default_rng(seed)
+        for _ in range(n):
+            engine.submit(synthetic_request(rng, N_HEADS, 16, HEAD_DIM, 6))
+        engine.run_until_drained()
+        return engine
+
+    def test_round_alive_profile_matches_engine(self):
+        tracer = Tracer()
+        engine = self._drained(tracer)
+        analysis = analyze(
+            [dict(r, args=r.get("args") or {}, dur_s=r.get("dur_s", 0.0))
+             for r in tracer.to_span_records()]
+        )
+        assert analysis.round_alive["engine"] == [
+            int(v) for v in engine.round_alive_totals
+        ]
+
+    def test_ttft_matches_request_stats(self, tmp_path):
+        tracer = Tracer()
+        engine = self._drained(tracer)
+        analysis = analyze_file(
+            tracer.write_span_log(tmp_path / "spans.jsonl")
+        )
+        live = sorted(
+            c.stats.ttft_seconds for c in engine.completed
+            if c.stats.ttft_seconds >= 0
+        )
+        rebuilt = sorted(
+            r.ttft_seconds
+            for r in analysis.requests
+            if r.state == "finished" and r.ttft_seconds >= 0
+        )
+        assert rebuilt == live
+
+    def test_sampled_trace_undercounts_steps_only(self, tmp_path):
+        full, sampled = Tracer(), Tracer(sample_steps=3)
+        self._drained(full)
+        self._drained(sampled)
+        a_full = analyze_file(full.write_span_log(tmp_path / "f.jsonl"))
+        a_samp = analyze_file(sampled.write_span_log(tmp_path / "s.jsonl"))
+        assert 0 < a_samp.step_spans < a_full.step_spans
+        # request lifecycles are always complete
+        assert len(a_samp.requests) == len(a_full.requests)
+
+    def test_tier_instants_become_counters(self, tmp_path):
+        from repro.kvstore import TierConfig
+
+        tracer = Tracer()
+        engine = ServingEngine(
+            TokenPickerConfig(threshold=2e-3),
+            max_batch_size=3,
+            capacity_tokens=512,
+            seed=4,
+            kv_tiering=TierConfig(policy="mass", hot_budget_tokens=16),
+            tracer=tracer,
+        )
+        rng = np.random.default_rng(4)
+        for _ in range(6):
+            engine.submit(synthetic_request(rng, N_HEADS, 16, HEAD_DIM, 6))
+        engine.run_until_drained()
+        snap = engine.tiers.snapshot()
+        analysis = analyze_file(
+            tracer.write_span_log(tmp_path / "spans.jsonl")
+        )
+        if snap["demotions"]:
+            assert (
+                analysis.registry.counter(
+                    "tier_demotions", replica="engine"
+                ).value
+                == snap["demotions"]
+            )
+        if snap["promotions"]:
+            assert (
+                analysis.registry.counter(
+                    "tier_promotions", replica="engine"
+                ).value
+                == snap["promotions"]
+            )
