@@ -218,10 +218,13 @@ def measure(repeats: int = 3) -> dict:
         )
     # the chunked-prefill latency comparison and the tracing-cost rungs
     # live in their own modules; their records ride along as the
-    # artifact's long_prompt_burst / trace_overhead sections (both
-    # required by the bench schema for BENCH_engine.json)
+    # artifact's long_prompt_burst / trace_overhead / trace_streaming
+    # sections (all required by the bench schema for BENCH_engine.json)
     from test_prefill_latency import measure_long_prompt_burst
-    from test_trace_overhead import measure_trace_overhead
+    from test_trace_overhead import (
+        measure_trace_overhead,
+        measure_trace_streaming,
+    )
 
     return {
         "config": {
@@ -235,6 +238,7 @@ def measure(repeats: int = 3) -> dict:
         "points": points,
         "long_prompt_burst": measure_long_prompt_burst(),
         "trace_overhead": measure_trace_overhead(),
+        "trace_streaming": measure_trace_streaming(),
     }
 
 

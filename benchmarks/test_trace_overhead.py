@@ -10,9 +10,17 @@ Three rungs, same workload, same seeds:
   complete but only every 8th engine step span is recorded.
 * **full** — ``Tracer()``: every step span plus its phase breakdown.
 
-``python benchmarks/test_trace_overhead.py`` appends the measurement to
-``BENCH_engine.json``'s ``trace_overhead`` section (normally regenerated
-via ``python benchmarks/test_engine_throughput.py``, which embeds it).
+A fourth rung prices the **streaming sink**: the same fully traced
+workload with :class:`repro.obs.sinks.JsonlStreamingSink` flushing each
+span to disk the moment it closes — the tracer's resident state is the
+open spans alone, measured here via ``peak_open_spans`` against the
+events streamed (the ``trace_streaming`` section's memory-bound
+evidence).
+
+``python benchmarks/test_trace_overhead.py`` appends the measurements to
+``BENCH_engine.json``'s ``trace_overhead`` and ``trace_streaming``
+sections (normally regenerated via
+``python benchmarks/test_engine_throughput.py``, which embeds them).
 
 Setting ``TOKENPICKER_BENCH_TINY=1`` shrinks every dimension so CI's
 benchmark-smoke job can check the record shape in seconds.
@@ -20,6 +28,7 @@ benchmark-smoke job can check the record shape in seconds.
 
 import json
 import os
+import tempfile
 import time
 from pathlib import Path
 
@@ -27,7 +36,7 @@ import numpy as np
 import pytest
 
 from repro.core import TokenPickerConfig
-from repro.obs import NULL_TRACER, Tracer
+from repro.obs import NULL_TRACER, JsonlStreamingSink, Tracer
 from repro.serving import ServingEngine, synthetic_request
 
 _TINY = os.environ.get("TOKENPICKER_BENCH_TINY") == "1"
@@ -84,6 +93,21 @@ def test_full_trace_records_sampled_trace_skips():
     assert full.errors == [] and sampled.errors == []
 
 
+def test_sampling_skips_payload_build_entirely():
+    """Sampling must reject a step *before* the per-round alive/tier
+    attribute payload is assembled — the rejected steps' cost is one
+    modulo check, not a discarded dict build."""
+    off = _fresh_engine(None)
+    off.run_until_drained()
+    assert off.trace_payloads_built == 0
+
+    full = _fresh_engine(Tracer())
+    full.run_until_drained()
+    sampled = _fresh_engine(Tracer(sample_steps=SAMPLE_STEPS))
+    sampled.run_until_drained()
+    assert 0 < sampled.trace_payloads_built < full.trace_payloads_built
+
+
 @pytest.mark.skipif(
     _TINY, reason="timing assertions are meaningless at smoke sizes"
 )
@@ -134,6 +158,53 @@ def measure_trace_overhead(repeats: int = 3) -> dict:
     }
 
 
+def measure_trace_streaming(repeats: int = 3) -> dict:
+    """The ``trace_streaming`` section of ``BENCH_engine.json``.
+
+    Full tracing through the in-memory buffered sink vs the streaming
+    JSONL sink (one temp file per drain, deleted after), interleaved per
+    repeat like :func:`measure_trace_overhead`.  The streamed run also
+    records ``peak_open_spans`` — the tracer's maximum resident state —
+    against ``events_streamed``, the O(open spans) memory evidence."""
+    tmpdir = Path(tempfile.mkdtemp(prefix="trace_streaming_"))
+    peak_open = 0
+    events_streamed = 0
+
+    def timed_streamed(seed: int) -> float:
+        nonlocal peak_open, events_streamed
+        sink = JsonlStreamingSink(tmpdir / f"run{seed}.jsonl")
+        tracer = Tracer(sink=sink)
+        elapsed = _drain_timed(lambda: tracer, seed=seed)
+        tracer.close()
+        peak_open = max(peak_open, tracer.peak_open_spans)
+        events_streamed = max(events_streamed, sink.events_written)
+        (tmpdir / f"run{seed}.jsonl").unlink()
+        return elapsed
+
+    _drain_timed(lambda: None)  # warmup
+    best_buffered = best_streamed = float("inf")
+    try:
+        for seed in range(repeats):
+            best_buffered = min(best_buffered, _drain_timed(Tracer, seed=seed))
+            best_streamed = min(best_streamed, timed_streamed(seed))
+    finally:
+        for leftover in tmpdir.glob("*"):
+            leftover.unlink()
+        tmpdir.rmdir()
+    tokens = BATCH * MAX_NEW
+    buffered = tokens / best_buffered
+    streamed = tokens / best_streamed
+    return {
+        "batch_size": BATCH,
+        "tokens_generated": tokens,
+        "buffered_tokens_per_sec": round(buffered, 1),
+        "streamed_tokens_per_sec": round(streamed, 1),
+        "streaming_overhead_pct": round(100.0 * (1.0 - streamed / buffered), 2),
+        "peak_open_spans": peak_open,
+        "events_streamed": events_streamed,
+    }
+
+
 def test_overhead_record_satisfies_schema():
     from repro.eval.bench_schema import _validate_trace_overhead
 
@@ -141,15 +212,32 @@ def test_overhead_record_satisfies_schema():
     _validate_trace_overhead(record, "trace_overhead")
 
 
+def test_streaming_record_satisfies_schema():
+    """Shape check plus the memory claim itself: the tracer's peak open
+    spans must be a sliver of the events it streamed to disk."""
+    from repro.eval.bench_schema import _validate_trace_streaming
+
+    record = measure_trace_streaming(repeats=1)
+    _validate_trace_streaming(record, "trace_streaming")
+    # O(open spans): bounded by the request tracks + step/phase nesting,
+    # never by trace length
+    assert record["peak_open_spans"] <= 3 * BATCH + 8
+    assert record["events_streamed"] > 4 * record["peak_open_spans"]
+
+
 def main() -> None:
-    """Refresh only the ``trace_overhead`` section of the committed
-    engine artifact (the full artifact is regenerated by
-    ``test_engine_throughput.py``'s ``main``)."""
+    """Refresh the ``trace_overhead`` and ``trace_streaming`` sections
+    of the committed engine artifact (the full artifact is regenerated
+    by ``test_engine_throughput.py``'s ``main``)."""
     out = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
     record = json.loads(out.read_text()) if out.exists() else {}
     record["trace_overhead"] = measure_trace_overhead()
+    record["trace_streaming"] = measure_trace_streaming()
     out.write_text(json.dumps(record, indent=2) + "\n")
-    print(json.dumps(record["trace_overhead"], indent=2))
+    print(json.dumps(
+        {k: record[k] for k in ("trace_overhead", "trace_streaming")},
+        indent=2,
+    ))
 
 
 if __name__ == "__main__":

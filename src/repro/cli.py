@@ -84,33 +84,72 @@ def _prefix_cache(args):
     return RadixKVCache(capacity_tokens=args.prefix_cache_capacity)
 
 
+def _trace_paths(args):
+    """``(perfetto_path, span_log_path)`` from ``--trace-out PATH``.
+
+    PATH names the Perfetto file; the span log lands next to it with a
+    ``.jsonl`` suffix.  If PATH itself ends in ``.jsonl`` (or
+    ``.jsonl.gz`` — the gzip-compressed span log) the roles swap so
+    neither artifact clobbers the other.
+    """
+    from pathlib import Path
+
+    out = Path(args.trace_out)
+    if out.name.endswith(".jsonl.gz"):
+        return out.with_name(out.name[: -len(".jsonl.gz")] + ".json"), out
+    span_log = out.with_suffix(".jsonl")
+    if span_log == out:
+        out = out.with_suffix(".json")
+    return out, span_log
+
+
 def _tracer_from_args(args):
-    """``Tracer | None`` from the ``--trace-out``/``--trace-sample`` flags."""
+    """``Tracer | None`` from the ``--trace-out``/``--trace-sample``/
+    ``--trace-stream`` flags."""
     if not getattr(args, "trace_out", None):
         return None
     from repro.obs import Tracer
 
-    return Tracer(sample_steps=max(1, getattr(args, "trace_sample", 1)))
+    sink = None
+    if getattr(args, "trace_stream", False):
+        from repro.obs import JsonlStreamingSink
+
+        _, span_log = _trace_paths(args)
+        sink = JsonlStreamingSink(span_log)
+    return Tracer(
+        sample_steps=max(1, getattr(args, "trace_sample", 1)), sink=sink
+    )
 
 
 def _write_trace_artifacts(tracer, args) -> List[str]:
     """Flush the tracer to disk: Perfetto JSON + lossless JSONL span log.
 
-    ``--trace-out PATH`` names the Perfetto file; the span log lands next
-    to it with a ``.jsonl`` suffix (if PATH itself ends in ``.jsonl`` the
-    roles swap so neither artifact clobbers the other).
+    Buffered (default): both artifacts are written from memory here.
+    Streamed (``--trace-stream``): the span log is already on disk —
+    close the sink, then project the streamed records into the Perfetto
+    view post-hoc.
     """
     if tracer is None:
         return []
+    import json
     from pathlib import Path
 
-    out = Path(args.trace_out)
-    span_log = out.with_suffix(".jsonl")
-    if span_log == out:
-        out = out.with_suffix(".json")
-    tracer.write_trace(out)
-    tracer.write_span_log(span_log)
-    line = f"  trace: {out} (Perfetto) + {span_log} (span log)"
+    out, span_log = _trace_paths(args)
+    if getattr(args, "trace_stream", False):
+        from repro.obs import load_events, span_records_to_perfetto
+
+        tracer.close()
+        Path(out).write_text(
+            json.dumps(span_records_to_perfetto(load_events(span_log)))
+        )
+        line = (
+            f"  trace: {span_log} (streamed span log, peak "
+            f"{tracer.peak_open_spans} open) -> {out} (Perfetto)"
+        )
+    else:
+        tracer.write_trace(out)
+        tracer.write_span_log(span_log)
+        line = f"  trace: {out} (Perfetto) + {span_log} (span log)"
     if tracer.errors:
         line += f"  [{len(tracer.errors)} span errors]"
     return [line]
@@ -144,6 +183,9 @@ def _run_serve_sim(args) -> str:
     )
     capacity = args.batch_size * (args.context_length + args.max_new_tokens + 16)
     tracer = _tracer_from_args(args)
+    sim = ServingSimulator(
+        model, context_length=args.context_length, config=config
+    )
     engine = ServingEngine(
         config,
         max_batch_size=args.batch_size,
@@ -153,6 +195,8 @@ def _run_serve_sim(args) -> str:
         kv_tiering=_tier_config(args),
         prefix_cache=_prefix_cache(args),
         tracer=tracer,
+        # traced runs carry the modelled dual-clock track alongside wall
+        cycle_sim=sim if tracer else None,
     )
     for _ in range(args.n_requests):
         prompt = max(8, args.context_length + int(rng.integers(-16, 17)))
@@ -165,9 +209,6 @@ def _run_serve_sim(args) -> str:
 
     # the fullest step is the steady-state batch the hardware model prices
     full = max(reports, key=lambda r: r.batch_size)
-    sim = ServingSimulator(
-        model, context_length=args.context_length, config=config
-    )
     ours = sim.step_from_engine(full, engine_heads=n_heads)
     base = sim.step_from_engine(full, "baseline", engine_heads=n_heads)
     point = measured_batch_point(
@@ -270,6 +311,9 @@ def _run_serve_cluster(args) -> str:
         args.context_length + args.max_new_tokens + 16
     )
     tracer = _tracer_from_args(args)
+    sim = ServingSimulator(
+        model, context_length=args.context_length, config=config
+    )
     router = ClusterRouter(
         args.replicas,
         config,
@@ -284,6 +328,7 @@ def _run_serve_cluster(args) -> str:
         prefix_cache=getattr(args, "prefix_cache", False),
         prefix_cache_capacity=args.prefix_cache_capacity,
         tracer=tracer,
+        cycle_sim=sim if tracer else None,
     )
     trace = bursty_trace(
         np.random.default_rng(args.seed),
@@ -299,9 +344,6 @@ def _run_serve_cluster(args) -> str:
     summary = router.summary()
 
     # fullest cluster step -> the modelled fleet of accelerators
-    sim = ServingSimulator(
-        model, context_length=args.context_length, config=config
-    )
     busy_reports = busiest_step_reports(reports)
     ours = sim.step_from_cluster(busy_reports, engine_heads=n_heads)
     base = sim.step_from_cluster(busy_reports, "baseline", engine_heads=n_heads)
@@ -389,14 +431,19 @@ def _run_serve_frontend(args) -> str:
         # deterministic chaos run: seeded replica kills/revives/spikes on
         # a cluster, with a fault-free rerun as the bit-identity witness
         from repro.cluster import ClusterRouter, FaultInjector, fault_schedule
+        from repro.hw.serving import ServingSimulator
         from repro.workloads import failover_trace
 
         if args.replicas < 2:
             raise ValueError("--inject-faults needs --replicas >= 2")
 
         tracer = _tracer_from_args(args)
+        sim = ServingSimulator(
+            model, context_length=args.context_length, config=config
+        )
 
         def run(with_faults: bool):
+            traced = with_faults and tracer is not None
             router = ClusterRouter(
                 args.replicas,
                 config,
@@ -407,6 +454,7 @@ def _run_serve_frontend(args) -> str:
                 # only the faulted run is traced: the fault-free rerun is
                 # a bit-identity witness, not part of the story
                 tracer=tracer if with_faults else None,
+                cycle_sim=sim if traced else None,
             )
             schedule = (
                 fault_schedule(args.seed, args.replicas, n_kills=2)
@@ -636,6 +684,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(open in https://ui.perfetto.dev or chrome://tracing) plus a "
         "lossless .jsonl span log next to it; request lifecycles, engine "
         "step/phase spans, tier and fault marks are all request-scoped",
+    )
+    serve.add_argument(
+        "--trace-stream",
+        action="store_true",
+        help="with --trace-out, stream each span to the .jsonl span log "
+        "the moment it closes instead of buffering in memory (tracer "
+        "holds only open spans; a killed run leaves a readable log that "
+        "repro.obs.analyze recovers, flagging the open spans as "
+        "unterminated); name PATH with a .jsonl.gz suffix to gzip the "
+        "log; the Perfetto JSON is projected from the streamed log "
+        "after the run",
     )
     serve.add_argument(
         "--trace-sample",

@@ -22,6 +22,7 @@ for rolling restarts.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -85,6 +86,8 @@ class ClusterRouter:
         prefix_cache: bool = False,
         prefix_cache_capacity: int = 0,
         tracer=None,
+        cycle_sim=None,
+        cycle_clock_ghz: float = 0.5,
     ) -> None:
         """``kv_tiering`` (a :class:`repro.kvstore.tiers.TierConfig`)
         enables the two-tier KV store on every replica; ``prefix_cache``
@@ -95,7 +98,14 @@ class ClusterRouter:
         (0: unbounded).  ``prefill_budget_tokens`` enables chunked
         prefill on every replica: each engine step spends at most that
         many tokens of work, decode first and the leftover on prompt
-        chunks (``None``: monolithic prefill)."""
+        chunks (``None``: monolithic prefill).
+
+        ``cycle_sim`` (a :class:`repro.hw.serving.ServingSimulator`)
+        enables the dual-clock trace: every replica prices its sampled
+        step spans on the modelled hardware, and the router adds a
+        cluster-level ``modelled_step`` span (the straggler's cycles —
+        the synchronous-tick latency) on the ``cluster``/``cycles``
+        track."""
         if n_replicas < 1:
             raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
         if policy not in ROUTER_POLICIES:
@@ -111,6 +121,8 @@ class ClusterRouter:
         #: can never collide with the dead incarnation's closed ones
         self._trace_gen: Dict[int, int] = {}
         self._seed = seed
+        self.cycle_sim = cycle_sim
+        self.cycle_clock_ghz = cycle_clock_ghz
         self._replica_kwargs = dict(
             config=config,
             max_batch_size=max_batch_size,
@@ -176,6 +188,8 @@ class ClusterRouter:
             prefix_cache=prefix_cache,
             tracer=self.tracer,
             trace_label=f"r{rid}" if gen == 0 else f"r{rid}+{gen}",
+            cycle_sim=self.cycle_sim,
+            cycle_clock_ghz=self.cycle_clock_ghz,
         )
 
     # --------------------------------------------------------------- routing
@@ -391,6 +405,7 @@ class ClusterRouter:
         Dead replicas are skipped entirely (no step, no report entry) —
         their in-flight state was harvested at kill time."""
         report = ClusterStepReport(step_index=self._step_index)
+        t_step0 = time.perf_counter() if self.tracer else 0.0
         for rid, engine in enumerate(self.replicas):
             if rid in self._dead:
                 continue
@@ -403,8 +418,41 @@ class ClusterRouter:
             report.per_replica[rid] = engine_report
             report.step_seconds[rid] = seconds
             self._observe(rid, engine, engine_report, seconds)
+        self._trace_cluster_cycles(report, t_step0)
         self._step_index += 1
         return report
+
+    def _trace_cluster_cycles(
+        self, report: ClusterStepReport, t0: float
+    ) -> None:
+        """The fleet-level rung of the dual-clock timeline: one
+        ``modelled_step`` span per sampled cluster step on the
+        ``cluster``/``cycles`` track, priced at the straggler replica
+        (the synchronous-tick latency) with the concurrent fleet total
+        alongside.  Per-replica cycle tracks come from the engines
+        themselves."""
+        if self.cycle_sim is None or not self.tracer:
+            return
+        if not self.tracer.want_step(self._step_index):
+            return
+        busy = [
+            r
+            for r in report.per_replica.values()
+            if r.per_sequence or r.prefill_bits
+        ]
+        if not busy:
+            return
+        from repro.hw.serving import modelled_span_payload
+
+        result = self.cycle_sim.step_from_cluster(busy)
+        self.tracer.cycle_span(
+            "cluster",
+            ts=t0,
+            dur=time.perf_counter() - t0,
+            payload=modelled_span_payload(
+                result, clock_ghz=self.cycle_clock_ghz
+            ),
+        )
 
     def _observe(
         self,

@@ -11,6 +11,10 @@ trajectory mechanically and CI can reject malformed bench output:
 * a ``"trace_overhead"`` section (required for ``BENCH_engine.json``):
   the instrumentation-cost recording — decode throughput of the same
   workload with tracing off, step-sampled, and full,
+* a ``"trace_streaming"`` section (required for ``BENCH_engine.json``):
+  the streaming-sink recording — fully traced throughput with the
+  buffered vs the streaming JSONL sink, plus the tracer's peak open
+  spans vs events streamed (the memory-bound evidence),
 * optionally a ``"long_prompt_burst"`` section (required for
   ``BENCH_engine.json``): the chunked-prefill latency recording —
   modelled p95 inter-token latency and p95 TTFT on
@@ -85,6 +89,17 @@ TRACE_OVERHEAD_RATES = (
 #: artifacts whose records must carry the ``trace_overhead`` section
 #: (instrumentation cost is part of the engine's perf trajectory)
 TRACE_OVERHEAD_REQUIRED_IN = ("BENCH_engine.json",)
+
+#: throughput rungs of the ``trace_streaming`` section — the same fully
+#: traced workload with the in-memory buffered sink vs the streaming
+#: JSONL sink (spans flushed to disk the moment they close)
+TRACE_STREAMING_RATES = (
+    "buffered_tokens_per_sec",
+    "streamed_tokens_per_sec",
+)
+
+#: artifacts whose records must carry the ``trace_streaming`` section
+TRACE_STREAMING_REQUIRED_IN = ("BENCH_engine.json",)
 
 #: every perf artifact the repo commits at its root; CI and the schema
 #: test validate each one that exists, so a new benchmark registers its
@@ -188,6 +203,44 @@ def validate_bench(record: Mapping, name: str = "bench") -> None:
             )
     else:
         _validate_trace_overhead(overhead, f"{name}.trace_overhead")
+    streaming = record.get("trace_streaming")
+    if streaming is None:
+        if name in TRACE_STREAMING_REQUIRED_IN:
+            _fail(
+                f"{name}.trace_streaming",
+                "missing: the engine artifact must record streamed-vs-"
+                "buffered traced throughput and the tracer's peak open "
+                "spans",
+            )
+    else:
+        _validate_trace_streaming(streaming, f"{name}.trace_streaming")
+
+
+def _validate_trace_streaming(section, where: str) -> None:
+    """The streaming-sink section: buffered vs streamed traced
+    throughput, plus the memory-bound evidence — the tracer's peak
+    simultaneous open spans must be far below the events it streamed
+    (O(open spans), not O(trace))."""
+    if not isinstance(section, Mapping):
+        _fail(where, f"must be an object, got {type(section).__name__}")
+    for field in TRACE_STREAMING_RATES:
+        value = section.get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            _fail(f"{where}.{field}", f"must be a number > 0, got {value!r}")
+    peak = section.get("peak_open_spans")
+    if not isinstance(peak, int) or peak < 1:
+        _fail(
+            f"{where}.peak_open_spans",
+            f"must be an int >= 1, got {peak!r}",
+        )
+    streamed = section.get("events_streamed")
+    if not isinstance(streamed, int) or streamed <= peak:
+        _fail(
+            f"{where}.events_streamed",
+            "must be an int > peak_open_spans (the streamed log must "
+            f"dwarf the tracer's resident state), got {streamed!r} "
+            f"with peak {peak}",
+        )
 
 
 def _validate_trace_overhead(overhead, where: str) -> None:

@@ -407,6 +407,60 @@ def tokens_per_second(
     return result.batch_size / seconds
 
 
+def modelled_span_payload(result, clock_ghz: float = 0.5) -> Dict[str, object]:
+    """The dual-clock trace payload of one step result.
+
+    Everything :meth:`repro.obs.trace.Tracer.cycle_span` needs to
+    project the *modelled* hardware step onto the wall timeline: the
+    top-level exact quantities (total cycles, modelled seconds, the
+    fast/slow DRAM byte split when tiered) plus a ``"phases"`` list
+    (weights → attention → prefill) whose cycle counts the tracer turns
+    into proportionally-sized child spans.  Accepts any of the step
+    result shapes above; a :class:`ClusterStepResult` is summarised at
+    its straggler (the synchronous-tick latency a router observes), with
+    the concurrent fleet total kept in ``cluster_total_cycles``.
+    """
+    if isinstance(result, ClusterStepResult):
+        straggler = max(result.per_replica, key=lambda r: r.total_cycles)
+        payload = modelled_span_payload(straggler, clock_ghz=clock_ghz)
+        payload["variant"] = result.variant
+        payload["n_replicas"] = result.n_replicas
+        payload["batch_size"] = result.batch_size
+        payload["cluster_total_cycles"] = sum(
+            r.total_cycles for r in result.per_replica
+        )
+        return payload
+    payload: Dict[str, object] = {
+        "clock_ghz": clock_ghz,
+        "batch_size": result.batch_size,
+        "total_cycles": result.total_cycles,
+        "modelled_seconds": step_seconds(result, clock_ghz=clock_ghz),
+    }
+    attention_args: Dict[str, object] = {}
+    if isinstance(result, TieredStepResult):
+        payload["variant"] = "tiered"
+        payload["fast_bytes"] = result.fast_bytes
+        payload["slow_bytes"] = result.slow_bytes
+        attention_args = {
+            "fast_cycles": result.fast_attention_cycles,
+            "slow_cycles": result.slow_attention_cycles,
+            "fast_bytes": result.fast_bytes,
+            "slow_bytes": result.slow_bytes,
+        }
+    else:
+        payload["variant"] = result.variant
+    payload["phases"] = [
+        {"name": "weights", "cycles": result.weight_cycles},
+        {
+            "name": "attention",
+            "cycles": result.attention_cycles,
+            "args": attention_args,
+        },
+        {"name": "prefill", "cycles": result.prefill_cycles},
+    ]
+    return payload
+
+
 def step_seconds(
     result, clock_ghz: float = 0.5, spike_seconds: float = 0.0
 ) -> float:

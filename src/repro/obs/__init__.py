@@ -1,12 +1,14 @@
-"""Unified tracing & telemetry: spans, Perfetto export, one metrics
-pipeline (see ``repro.obs.trace`` / ``schema`` / ``profile`` /
-``analyze``).
+"""Unified tracing & telemetry: spans, streaming sinks, Perfetto
+export, dual-clock cycle tracks, one metrics pipeline (see
+``repro.obs.trace`` / ``sinks`` / ``schema`` / ``profile`` /
+``analyze`` / ``diff``).
 
 Only the stdlib-dependent core (:mod:`repro.obs.trace`,
-:mod:`repro.obs.schema`) loads eagerly — the serving engine imports
-:data:`NULL_TRACER` at module import time, and the analysis/profile
-helpers import back into :mod:`repro.cluster.metrics`, so they resolve
-lazily to keep the import graph acyclic.
+:mod:`repro.obs.sinks`, :mod:`repro.obs.schema`) loads eagerly — the
+serving engine imports :data:`NULL_TRACER` at module import time, and
+the analysis/profile/diff helpers import back into
+:mod:`repro.cluster.metrics`, so they resolve lazily to keep the import
+graph acyclic.
 """
 
 from repro.obs.schema import (
@@ -16,18 +18,40 @@ from repro.obs.schema import (
     validate_trace,
     validate_trace_file,
 )
-from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
+from repro.obs.sinks import (
+    BufferedSink,
+    JsonlStreamingSink,
+    SpanSink,
+    TeeSink,
+    open_span_log,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    TraceEvent,
+    Tracer,
+    span_records_to_perfetto,
+)
 
 __all__ = [
+    "BufferedSink",
+    "DiffThresholds",
+    "JsonlStreamingSink",
     "NULL_TRACER",
+    "SpanSink",
+    "TeeSink",
     "TraceAnalysis",
     "TraceEvent",
     "TraceSchemaError",
     "Tracer",
     "analyze_file",
+    "diff_summaries",
     "export_engine_metrics",
     "load_events",
+    "load_summary",
+    "open_span_log",
     "render_profile",
+    "span_records_to_perfetto",
+    "trace_summary",
     "validate_span_log",
     "validate_span_log_file",
     "validate_trace",
@@ -41,6 +65,10 @@ _LAZY = {
     "TraceAnalysis": "repro.obs.analyze",
     "analyze_file": "repro.obs.analyze",
     "load_events": "repro.obs.analyze",
+    "DiffThresholds": "repro.obs.diff",
+    "diff_summaries": "repro.obs.diff",
+    "load_summary": "repro.obs.diff",
+    "trace_summary": "repro.obs.diff",
     "export_engine_metrics": "repro.obs.profile",
     "render_profile": "repro.obs.profile",
 }

@@ -23,19 +23,29 @@ Everything lands in a :class:`~repro.cluster.metrics.MetricsRegistry`
 labelled ``replica=<process>`` with the router's series names, so
 downstream tooling reads live and post-hoc metrics identically.
 
-``python -m repro.obs.analyze TRACE.json`` (or the ``.jsonl`` span log —
-lossless, preferred for exact comparison) prints the summary.
+``python -m repro.obs.analyze TRACE.json`` (or the ``.jsonl`` /
+``.jsonl.gz`` span log — lossless, preferred for exact comparison)
+prints the summary.
+
+The reader is **crash-tolerant** for streamed span logs
+(:class:`repro.obs.sinks.JsonlStreamingSink`): a truncated final line —
+what a killed process leaves mid-write — is dropped instead of raising,
+and every streaming ``ph: "B"`` open-record without a matching closed
+span is reported as *unterminated*: exactly the spans that were open
+when the run died.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.cluster.metrics import MetricsRegistry
+from repro.obs.sinks import open_span_log
 
 __all__ = ["RequestRecord", "TraceAnalysis", "load_events", "analyze",
            "analyze_file"]
@@ -77,6 +87,12 @@ class TraceAnalysis:
     #: per process: elementwise sum of step spans' ``round_alive`` lists
     round_alive: Dict[str, List[int]] = field(default_factory=dict)
     step_spans: int = 0
+    #: spans a streaming sink opened (``ph: "B"``) that never closed —
+    #: non-empty exactly when the trace comes from a crashed run
+    unterminated: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: per process: modelled-cycle totals summed over ``modelled_step``
+    #: spans (the dual-clock track); empty without a cycle model
+    modelled: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def summary(self) -> Dict[str, object]:
         """JSON-ready digest (the ``__main__`` printout)."""
@@ -86,9 +102,12 @@ class TraceAnalysis:
             ),
             "requests_total": len(self.requests),
             "step_spans": self.step_spans,
+            "unterminated_spans": [list(t) for t in self.unterminated],
             "replicas": {},
         }
         replicas: Dict[str, Dict[str, object]] = out["replicas"]
+        for process, totals in self.modelled.items():
+            replicas.setdefault(process, {})["modelled"] = dict(totals)
         for name in (
             "ttft_seconds",
             "queue_wait_seconds",
@@ -146,22 +165,38 @@ def _normalize_perfetto(record: Mapping) -> List[dict]:
 def load_events(path) -> List[dict]:
     """Load either trace artifact into uniform event dicts (seconds).
 
-    ``*.jsonl`` span logs carry exact float seconds (lossless); the
-    Perfetto JSON round-trips through microseconds, good to ~1e-11 s.
+    ``*.jsonl`` / ``*.jsonl.gz`` span logs carry exact float seconds
+    (lossless); the Perfetto JSON round-trips through microseconds, good
+    to ~1e-11 s.
+
+    Span logs tolerate a **truncated tail**: a process killed mid-write
+    (the streamed-sink crash case) leaves at most one partial final
+    line, which is dropped.  A malformed line *followed by* further
+    events is real corruption and still raises.
     """
     path = Path(path)
-    if path.suffix == ".jsonl":
+    if path.suffix == ".jsonl" or path.suffixes[-2:] == [".jsonl", ".gz"]:
+        with open_span_log(path, "rt") as fh:
+            lines = fh.readlines()
+        last_payload = -1
+        for i, line in enumerate(lines):
+            if line.strip():
+                last_payload = i
         events = []
-        with path.open() as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
                 record = json.loads(line)
-                record.setdefault("dur_s", 0.0)
-                record.setdefault("args", {})
-                record["args"] = record["args"] or {}
-                events.append(record)
+            except json.JSONDecodeError:
+                if i == last_payload:
+                    break  # the crash-truncated tail line
+                raise
+            record.setdefault("dur_s", 0.0)
+            record.setdefault("args", {})
+            record["args"] = record["args"] or {}
+            events.append(record)
         return events
     return _normalize_perfetto(json.loads(path.read_text()))
 
@@ -251,6 +286,75 @@ def analyze(events: List[dict]) -> TraceAnalysis:
                 totals.extend([0] * (len(alive) - len(totals)))
             for i, count in enumerate(alive):
                 totals[i] += int(count)
+
+    # the dual-clock track: modelled_step spans carry the exact modelled
+    # quantities in their args (the span geometry is just the projection)
+    for event in events:
+        if event["ph"] != "X" or event["thread"] != "cycles":
+            continue
+        replica = _replica_of(event["process"])
+        args = event["args"]
+        if event["name"] == "modelled_step":
+            totals = analysis.modelled.setdefault(
+                replica,
+                {
+                    "steps": 0,
+                    "total_cycles": 0,
+                    "modelled_seconds": 0.0,
+                    "fast_bytes": 0,
+                    "slow_bytes": 0,
+                    "weights_cycles": 0,
+                    "attention_cycles": 0,
+                    "prefill_cycles": 0,
+                },
+            )
+            totals["steps"] += 1
+            totals["total_cycles"] += int(args.get("total_cycles", 0))
+            totals["modelled_seconds"] += float(
+                args.get("modelled_seconds", 0.0)
+            )
+            totals["fast_bytes"] += int(args.get("fast_bytes", 0))
+            totals["slow_bytes"] += int(args.get("slow_bytes", 0))
+            registry.histogram(
+                "modelled_step_seconds", replica=replica
+            ).observe(float(args.get("modelled_seconds", 0.0)))
+        elif event["name"] in ("weights", "attention", "prefill"):
+            totals = analysis.modelled.get(replica)
+            if totals is not None:
+                totals[f"{event['name']}_cycles"] += int(
+                    args.get("cycles", 0)
+                )
+
+    # streaming open-records: every "B" cancels against the closed span
+    # written from the same begin stamp; survivors were open at the crash
+    opens: Counter = Counter()
+    for event in events:
+        if event["ph"] == "B":
+            opens[
+                (
+                    event["process"],
+                    event["thread"],
+                    event["name"],
+                    event["ts_s"],
+                )
+            ] += 1
+    if opens:
+        for event in events:
+            if event["ph"] != "X":
+                continue
+            key = (
+                event["process"],
+                event["thread"],
+                event["name"],
+                event["ts_s"],
+            )
+            if opens.get(key):
+                opens[key] -= 1
+        analysis.unterminated = sorted(
+            (process, thread, name)
+            for (process, thread, name, _), count in opens.items()
+            for _ in range(count)
+        )
 
     for event in events:
         if event["ph"] != "i":

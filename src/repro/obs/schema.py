@@ -11,8 +11,17 @@ the two trace outputs:
   timestamps, and — the structural property Perfetto itself will not
   check — spans on each track must **nest**: no "X" event may extend
   past the end of an enclosing span on its track;
-* the **JSONL span log** (``*.jsonl``): one event object per line with
-  exact float-second ``ts_s``/``dur_s`` fields.
+* the **JSONL span log** (``*.jsonl``, or ``*.jsonl.gz`` gzip-
+  compressed): one event object per line with exact float-second
+  ``ts_s``/``dur_s`` fields.  Streamed logs
+  (:class:`repro.obs.sinks.JsonlStreamingSink`) additionally interleave
+  lightweight ``ph: "B"`` open-records — valid span-log lines that never
+  appear in the Perfetto export.
+
+Spans named ``modelled_step`` (the dual-clock cycle track) must carry
+their exact modelled quantities — numeric ``total_cycles`` and
+``modelled_seconds`` args — since the span geometry is only the wall
+projection.
 
 ``python -m repro.obs.schema trace.json [spans.jsonl ...]`` validates
 each named artifact (extension picks the validator) and exits non-zero
@@ -25,6 +34,8 @@ import json
 import sys
 from pathlib import Path
 from typing import Dict, List, Mapping, Tuple
+
+from repro.obs.sinks import open_span_log
 
 __all__ = [
     "TraceSchemaError",
@@ -74,6 +85,26 @@ def _check_event(event, where: str) -> None:
             _fail(f"{where}.dur", f"must be a number >= 0, got {dur!r}")
     if "args" in event and not isinstance(event["args"], Mapping):
         _fail(f"{where}.args", "must be an object when present")
+    if ph == "X" and event["name"] == "modelled_step":
+        _check_modelled_args(event.get("args"), where)
+
+
+def _check_modelled_args(args, where: str) -> None:
+    """Dual-clock spans must carry their exact modelled quantities."""
+    if not isinstance(args, Mapping):
+        _fail(
+            f"{where}.args",
+            "modelled_step spans must carry args (the exact cycle "
+            "quantities; the span geometry is only the wall projection)",
+        )
+    for field in ("total_cycles", "modelled_seconds"):
+        value = args.get(field)
+        if not isinstance(value, (int, float)) or value < 0:
+            _fail(
+                f"{where}.args.{field}",
+                f"must be a number >= 0 on a modelled_step span, got "
+                f"{value!r}",
+            )
 
 
 def _check_nesting(spans: Dict[Tuple[int, int], list], name: str) -> None:
@@ -152,8 +183,8 @@ def validate_span_log(lines, name: str = "spans") -> int:
         if not isinstance(record, Mapping):
             _fail(where, "must be an object")
         ph = record.get("ph")
-        if ph not in ("X", "i"):
-            _fail(f"{where}.ph", f"must be 'X' or 'i', got {ph!r}")
+        if ph not in ("X", "i", "B"):
+            _fail(f"{where}.ph", f"must be 'X', 'i' or 'B', got {ph!r}")
         for field in ("name", "cat", "process", "thread"):
             if not isinstance(record.get(field), str) or not record[field]:
                 _fail(f"{where}.{field}", "must be a non-empty string")
@@ -164,6 +195,8 @@ def validate_span_log(lines, name: str = "spans") -> int:
             dur = record.get("dur_s")
             if not isinstance(dur, (int, float)) or dur < 0:
                 _fail(f"{where}.dur_s", f"must be a number >= 0, got {dur!r}")
+            if record["name"] == "modelled_step":
+                _check_modelled_args(record.get("args"), where)
         if "args" in record and not isinstance(record["args"], Mapping):
             _fail(f"{where}.args", "must be an object when present")
         count += 1
@@ -184,21 +217,29 @@ def validate_trace_file(path) -> dict:
 
 
 def validate_span_log_file(path) -> int:
-    """Validate one on-disk JSONL span log; returns the event count."""
+    """Validate one on-disk JSONL span log (gzip-transparent); returns
+    the event count."""
     path = Path(path)
-    with path.open() as fh:
+    with open_span_log(path, "rt") as fh:
         return validate_span_log(fh, name=path.name)
+
+
+def _is_span_log(path: Path) -> bool:
+    return path.suffix == ".jsonl" or path.suffixes[-2:] == [".jsonl", ".gz"]
 
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if not argv:
-        print("usage: python -m repro.obs.schema TRACE.json [SPANS.jsonl ...]")
+        print(
+            "usage: python -m repro.obs.schema "
+            "TRACE.json [SPANS.jsonl[.gz] ...]"
+        )
         return 2
     for arg in argv:
         path = Path(arg)
         try:
-            if path.suffix == ".jsonl":
+            if _is_span_log(path):
                 count = validate_span_log_file(path)
                 print(f"{path}: ok ({count} events)")
             else:

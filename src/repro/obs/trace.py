@@ -31,6 +31,13 @@ after a drained run — the invariants the trace-integrity tests pin.
 When tracing is off, every instrumentation site holds the
 :data:`NULL_TRACER` singleton, whose ``__bool__`` is ``False`` — the hot
 loop pays one truthiness check and nothing else.
+
+Where closed spans *go* is pluggable (:mod:`repro.obs.sinks`): the
+default :class:`~repro.obs.sinks.BufferedSink` keeps the in-memory event
+list the exporters read; a :class:`~repro.obs.sinks.JsonlStreamingSink`
+writes each event to the span log the moment it closes, so a long run's
+resident tracer state is bounded by the *open* span count
+(:attr:`Tracer.peak_open_spans` records the high-water mark).
 """
 
 from __future__ import annotations
@@ -41,7 +48,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["TraceEvent", "Tracer", "NULL_TRACER"]
+from repro.obs.sinks import BufferedSink, SpanSink, span_record
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NULL_TRACER",
+    "span_records_to_perfetto",
+]
 
 #: layout order of an engine step's phase child spans (score sub-phases
 #: nest inside "score")
@@ -98,6 +112,12 @@ class _NullTracer:
     def step_span(self, *a, **kw) -> None:
         pass
 
+    def cycle_span(self, *a, **kw) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
 
 NULL_TRACER = _NullTracer()
 
@@ -112,18 +132,41 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, *, sample_steps: int = 1) -> None:
+    def __init__(
+        self, *, sample_steps: int = 1, sink: Optional[SpanSink] = None
+    ) -> None:
         if sample_steps < 1:
             raise ValueError(f"sample_steps must be >= 1, got {sample_steps}")
         self.sample_steps = sample_steps
-        self.events: List[TraceEvent] = []
+        #: where closed spans go; the default buffers in memory and the
+        #: exporters below read it back through :attr:`events`
+        self.sink: SpanSink = sink if sink is not None else BufferedSink()
         #: still-open spans per (process, thread): [name, cat, ts, args]
         self._open: Dict[Tuple[str, str], List[list]] = {}
+        #: high-water mark of simultaneously open spans — with a
+        #: streaming sink this bounds the tracer's resident state
+        self.peak_open_spans = 0
         #: begin/end imbalance reports (must stay empty on a sound run)
         self.errors: List[str] = []
 
     def __bool__(self) -> bool:
         return True
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The in-memory event list (buffered sinks only)."""
+        events = self.sink.buffered_events()
+        if events is None:
+            raise AttributeError(
+                "this tracer streams spans to disk and keeps no in-memory "
+                "event list; read the span log back with "
+                "repro.obs.analyze.load_events instead"
+            )
+        return events
+
+    def close(self) -> None:
+        """Flush and close the sink (a no-op for buffered sinks)."""
+        self.sink.close()
 
     # ------------------------------------------------------------- recording
     def want_step(self, step_index: int) -> bool:
@@ -156,6 +199,10 @@ class Tracer:
         self._open.setdefault((process, thread), []).append(
             [name, cat, ts, dict(args) if args else {}]
         )
+        open_count = self.open_span_count
+        if open_count > self.peak_open_spans:
+            self.peak_open_spans = open_count
+        self.sink.on_begin(process, thread, name, cat, ts)
 
     def end(
         self,
@@ -235,7 +282,7 @@ class Tracer:
         args: Optional[Dict[str, object]] = None,
     ) -> None:
         ts = time.perf_counter() if ts is None else ts
-        self.events.append(
+        self.sink.emit(
             TraceEvent(
                 name=name,
                 cat=cat,
@@ -259,7 +306,7 @@ class Tracer:
         args: Optional[Dict[str, object]] = None,
     ) -> None:
         """Record a pre-measured span (no open/close bookkeeping)."""
-        self.events.append(
+        self.sink.emit(
             TraceEvent(
                 name=name,
                 cat=cat,
@@ -279,6 +326,7 @@ class Tracer:
         dur: float,
         args: Dict[str, object],
         phase_seconds: Optional[Dict[str, float]] = None,
+        cycle: Optional[Dict[str, object]] = None,
     ) -> None:
         """One engine step: an ``engine_step`` span on the ``steps``
         track plus its phase breakdown laid out sequentially on the
@@ -287,11 +335,18 @@ class Tracer:
         *measured* durations placed end to end from the step's start —
         their sum can differ from the step's wall time by the unmeasured
         gaps between phases, so they live on their own track rather than
-        pretending to tile the step span exactly."""
+        pretending to tile the step span exactly.
+
+        ``cycle`` (a :func:`repro.hw.serving.modelled_span_payload`
+        dict) additionally projects the step's *modelled* hardware cost
+        onto the sibling ``cycles`` track via :meth:`cycle_span` — the
+        dual-clock timeline."""
         self.complete(
             process, "steps", "engine_step", ts=ts, dur=dur, cat="step",
             args=args,
         )
+        if cycle is not None:
+            self.cycle_span(process, ts=ts, dur=dur, payload=cycle)
         if not phase_seconds:
             return
         cursor = ts
@@ -321,9 +376,61 @@ class Tracer:
                     sub_cursor += sub_seconds
             cursor += seconds
 
+    def cycle_span(
+        self,
+        process: str,
+        ts: float,
+        dur: float,
+        payload: Dict[str, object],
+    ) -> None:
+        """Project one step's *modelled-cycle* cost onto the timeline.
+
+        The second clock of the dual-clock view: a ``modelled_step``
+        span on the ``cycles`` track shares the engine step's **wall
+        anchor** (``ts``/``dur``), while its args carry the exact
+        modelled quantities (``total_cycles``, ``modelled_seconds``,
+        fast/slow DRAM bytes, ...).  Phase children (weights →
+        attention → prefill) nest inside it with durations
+        *proportional* to their cycle shares — modelled time can exceed
+        the wall gap between steps, so projecting onto the wall window
+        keeps every track nest-valid and visually comparable
+        span-for-span, and nothing is lost: the true cycle counts ride
+        in each child's args.
+
+        ``payload`` is the dict :func:`repro.hw.serving.
+        modelled_span_payload` builds from a step result; its
+        ``"phases"`` list is consumed here, everything else lands on the
+        parent span's args verbatim.
+        """
+        args = {k: v for k, v in payload.items() if k != "phases"}
+        self.complete(
+            process, "cycles", "modelled_step", ts=ts, dur=dur,
+            cat="cycles", args=args,
+        )
+        phases = payload.get("phases") or ()
+        total = sum(int(p.get("cycles", 0)) for p in phases)
+        if total <= 0:
+            return
+        cursor = ts
+        end = ts + dur
+        for phase in phases:
+            cycles = int(phase.get("cycles", 0))
+            if cycles <= 0:
+                continue
+            # proportional projection, clamped so float error can never
+            # push a child past its parent's end
+            seconds = min(dur * (cycles / total), max(end - cursor, 0.0))
+            child_args = {"cycles": cycles}
+            child_args.update(phase.get("args") or {})
+            self.complete(
+                process, "cycles", str(phase["name"]),
+                ts=cursor, dur=seconds, cat="cycles", args=child_args,
+            )
+            cursor += seconds
+
     def _emit(self, process: str, thread: str, span: list, ts_end: float) -> None:
         name, cat, ts0, args = span
-        self.events.append(
+        self.sink.emit(
             TraceEvent(
                 name=name,
                 cat=cat,
@@ -344,73 +451,11 @@ class Tracer:
         labels map to integer pids/tids with ``process_name`` /
         ``thread_name`` metadata events so the viewer shows the labels.
         """
-        pids: Dict[str, int] = {}
-        tids: Dict[Tuple[str, str], int] = {}
-        meta: List[dict] = []
-        out: List[dict] = []
-        for ev in self.events:
-            pid = pids.get(ev.process)
-            if pid is None:
-                pid = pids[ev.process] = len(pids)
-                meta.append(
-                    {
-                        "name": "process_name",
-                        "ph": "M",
-                        "pid": pid,
-                        "tid": 0,
-                        "args": {"name": ev.process},
-                    }
-                )
-            track = (ev.process, ev.thread)
-            tid = tids.get(track)
-            if tid is None:
-                tid = tids[track] = (
-                    sum(1 for t in tids if t[0] == ev.process) + 1
-                )
-                meta.append(
-                    {
-                        "name": "thread_name",
-                        "ph": "M",
-                        "pid": pid,
-                        "tid": tid,
-                        "args": {"name": ev.thread},
-                    }
-                )
-            record: Dict[str, object] = {
-                "name": ev.name,
-                "cat": ev.cat,
-                "ph": ev.ph,
-                "pid": pid,
-                "tid": tid,
-                "ts": ev.ts_s * 1e6,
-            }
-            if ev.ph == "X":
-                record["dur"] = ev.dur_s * 1e6
-            elif ev.ph == "i":
-                record["s"] = "t"  # thread-scoped instant
-            if ev.args:
-                record["args"] = ev.args
-            out.append(record)
-        return {"traceEvents": meta + out, "displayTimeUnit": "ms"}
+        return span_records_to_perfetto(self.to_span_records())
 
     def to_span_records(self) -> List[Dict[str, object]]:
         """JSONL-ready records with exact float seconds (lossless)."""
-        out: List[Dict[str, object]] = []
-        for ev in self.events:
-            record: Dict[str, object] = {
-                "name": ev.name,
-                "cat": ev.cat,
-                "ph": ev.ph,
-                "process": ev.process,
-                "thread": ev.thread,
-                "ts_s": ev.ts_s,
-            }
-            if ev.ph == "X":
-                record["dur_s"] = ev.dur_s
-            if ev.args:
-                record["args"] = ev.args
-            out.append(record)
-        return out
+        return [span_record(ev) for ev in self.events]
 
     def write_trace(self, path) -> Path:
         """Write the Perfetto trace-event JSON; returns the path."""
@@ -419,9 +464,75 @@ class Tracer:
         return path
 
     def write_span_log(self, path) -> Path:
-        """Write the JSONL span log (one event per line); returns the path."""
+        """Write the JSONL span log (one event per line, gzip when the
+        path ends ``.gz``); returns the path."""
+        from repro.obs.sinks import open_span_log
+
         path = Path(path)
-        with path.open("w") as fh:
+        with open_span_log(path, "wt") as fh:
             for record in self.to_span_records():
                 fh.write(json.dumps(record) + "\n")
         return path
+
+
+def span_records_to_perfetto(records) -> Dict[str, object]:
+    """Convert JSONL-style span records to Chrome/Perfetto trace JSON.
+
+    Accepts exactly what :meth:`Tracer.to_span_records` returns *or*
+    what :func:`repro.obs.analyze.load_events` reads back from a span
+    log, so a streamed run (which never buffered events in memory) can
+    still produce the Perfetto artifact post-hoc.  Streaming ``"B"``
+    open-records are bookkeeping, not spans — they are skipped.
+    """
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[str, str], int] = {}
+    meta: List[dict] = []
+    out: List[dict] = []
+    for ev in records:
+        ph = ev["ph"]
+        if ph not in ("X", "i"):
+            continue
+        process, thread = ev["process"], ev["thread"]
+        pid = pids.get(process)
+        if pid is None:
+            pid = pids[process] = len(pids)
+            meta.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": process},
+                }
+            )
+        track = (process, thread)
+        tid = tids.get(track)
+        if tid is None:
+            tid = tids[track] = (
+                sum(1 for t in tids if t[0] == process) + 1
+            )
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": thread},
+                }
+            )
+        record: Dict[str, object] = {
+            "name": ev["name"],
+            "cat": ev["cat"],
+            "ph": ph,
+            "pid": pid,
+            "tid": tid,
+            "ts": ev["ts_s"] * 1e6,
+        }
+        if ph == "X":
+            record["dur"] = ev.get("dur_s", 0.0) * 1e6
+        elif ph == "i":
+            record["s"] = "t"  # thread-scoped instant
+        if ev.get("args"):
+            record["args"] = ev["args"]
+        out.append(record)
+    return {"traceEvents": meta + out, "displayTimeUnit": "ms"}

@@ -329,6 +329,8 @@ class ServingEngine:
         tier_dram: "Optional[TieredDRAMModel]" = None,
         tracer=None,
         trace_label: str = "engine",
+        cycle_sim=None,
+        cycle_clock_ghz: float = 0.5,
     ) -> None:
         """``memory_manager`` switches admission from the conservative
         full-lifetime reservation (``None``, the default — decode can
@@ -364,6 +366,15 @@ class ServingEngine:
         process track (``"r<id>"`` when owned by a cluster router).
         ``None`` installs the falsy :data:`repro.obs.trace.NULL_TRACER`,
         so every instrumentation site reduces to one truthiness check.
+
+        ``cycle_sim`` (a :class:`repro.hw.serving.ServingSimulator`)
+        turns each sampled step span into a *dual-clock* record: the
+        step's measured per-sequence traffic is priced on the modelled
+        hardware (``step_from_tiered`` when KV tiering is on, else
+        ``step_from_engine``) and projected onto the trace's ``cycles``
+        track sharing the step's wall anchor.  Only consulted when a
+        step span is actually emitted, so it costs nothing on unsampled
+        steps or with tracing off.
         """
         if safety_factor < 1.0:
             raise ValueError("safety_factor must be >= 1 (headroom only)")
@@ -386,6 +397,12 @@ class ServingEngine:
         self._tier_dram = tier_dram
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.trace_label = trace_label
+        self.cycle_sim = cycle_sim
+        self.cycle_clock_ghz = cycle_clock_ghz
+        #: sampled-in step spans whose attribute payload was actually
+        #: built — the trace-overhead bench asserts sampling skips the
+        #: payload work entirely, not just the emit
+        self.trace_payloads_built = 0
         self.tiers = None  # TieredKVStore, built with the pool
         self.prefix_cache = prefix_cache
         self._prefix_handles: Dict[int, object] = {}
@@ -1439,6 +1456,7 @@ class ServingEngine:
             return
         if not (report.per_sequence or report.prefill_tokens or report.admitted):
             return
+        self.trace_payloads_built += 1
         args: Dict[str, object] = {
             "step": report.step_index,
             "wall_seconds": report.wall_seconds,
@@ -1470,12 +1488,31 @@ class ServingEngine:
             if fast or slow:
                 args["fast_bits"] = fast
                 args["slow_bits"] = slow
+        cycle = None
+        if self.cycle_sim is not None and (
+            report.per_sequence or report.prefill_bits
+        ):
+            from repro.hw.serving import modelled_span_payload
+
+            engine_heads = self.pool.n_heads if self.pool is not None else None
+            if self.tiers is not None:
+                result = self.cycle_sim.step_from_tiered(
+                    report, engine_heads=engine_heads
+                )
+            else:
+                result = self.cycle_sim.step_from_engine(
+                    report, engine_heads=engine_heads
+                )
+            cycle = modelled_span_payload(
+                result, clock_ghz=self.cycle_clock_ghz
+            )
         tracer.step_span(
             self.trace_label,
             ts=t0,
             dur=report.wall_seconds,
             args=args,
             phase_seconds=report.phase_seconds or None,
+            cycle=cycle,
         )
 
     def _tier_post_kernel(

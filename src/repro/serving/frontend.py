@@ -425,6 +425,15 @@ class AsyncStreamingFrontend:
         # engine or router, which carries its own tracer reference
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.simulator = simulator
+        # the frontend already owns a hardware model for SLO pricing —
+        # when the target traces but has no cycle model of its own,
+        # reuse it so step spans carry the dual-clock ``cycles`` track
+        if (
+            simulator is not None
+            and getattr(target, "tracer", None)
+            and getattr(target, "cycle_sim", None) is None
+        ):
+            target.cycle_sim = simulator
         self.clock = clock
         self.controller = (
             OverloadController(

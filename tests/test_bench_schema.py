@@ -53,6 +53,17 @@ TRACE_OVERHEAD = {
     "full_overhead_pct": 2.5,
 }
 
+#: a valid ``trace_streaming`` section (required in the engine artifact)
+TRACE_STREAMING = {
+    "batch_size": 32,
+    "tokens_generated": 512,
+    "buffered_tokens_per_sec": 1950.0,
+    "streamed_tokens_per_sec": 1900.0,
+    "streaming_overhead_pct": 2.6,
+    "peak_open_spans": 64,
+    "events_streamed": 480,
+}
+
 
 def _mutated(**overrides):
     record = json.loads(json.dumps(VALID))
@@ -160,7 +171,9 @@ class TestLongPromptBurstSection:
         with pytest.raises(BenchSchemaError, match="long_prompt_burst"):
             validate_bench(
                 _mutated(
-                    points=[_lazy_point()], trace_overhead=TRACE_OVERHEAD
+                    points=[_lazy_point()],
+                    trace_overhead=TRACE_OVERHEAD,
+                    trace_streaming=TRACE_STREAMING,
                 ),
                 name="BENCH_engine.json",
             )
@@ -169,6 +182,7 @@ class TestLongPromptBurstSection:
                 points=[_lazy_point()],
                 long_prompt_burst=self.SECTION,
                 trace_overhead=TRACE_OVERHEAD,
+                trace_streaming=TRACE_STREAMING,
             ),
             name="BENCH_engine.json",
         )
@@ -208,6 +222,7 @@ class TestLazyDetailSection:
             points=[point],
             long_prompt_burst=TestLongPromptBurstSection.SECTION,
             trace_overhead=TRACE_OVERHEAD,
+            trace_streaming=TRACE_STREAMING,
         )
 
     def test_plain_point_fine_for_other_artifacts(self):
@@ -278,6 +293,7 @@ class TestTraceOverheadSection:
         record = _mutated(
             points=[_lazy_point()],
             long_prompt_burst=TestLongPromptBurstSection.SECTION,
+            trace_streaming=TRACE_STREAMING,
         )
         with pytest.raises(BenchSchemaError, match="trace_overhead"):
             validate_bench(record, name="BENCH_engine.json")
@@ -310,6 +326,48 @@ class TestTraceOverheadSection:
             "full_tokens_per_sec",
         ):
             assert overhead[field] > 0
+
+
+class TestTraceStreamingSection:
+    """Engine-artifact records must carry the ``trace_streaming``
+    section: buffered vs streamed traced throughput, plus the
+    O(open spans) memory evidence (peak open spans << events streamed)."""
+
+    def test_required_for_engine_artifact(self):
+        record = _mutated(
+            points=[_lazy_point()],
+            long_prompt_burst=TestLongPromptBurstSection.SECTION,
+            trace_overhead=TRACE_OVERHEAD,
+        )
+        with pytest.raises(BenchSchemaError, match="trace_streaming"):
+            validate_bench(record, name="BENCH_engine.json")
+        # ...but stays optional (validated-if-present) elsewhere
+        validate_bench(record, name="BENCH_kvstore.json")
+
+    @pytest.mark.parametrize(
+        "patch, fragment",
+        [
+            ({"buffered_tokens_per_sec": None}, "buffered_tokens_per_sec"),
+            ({"streamed_tokens_per_sec": 0}, "streamed_tokens_per_sec"),
+            ({"peak_open_spans": 0}, "peak_open_spans"),
+            ({"peak_open_spans": 2.5}, "peak_open_spans"),
+            ({"events_streamed": None}, "events_streamed"),
+            # the memory claim: streamed events must dwarf the peak
+            ({"events_streamed": 64}, "events_streamed"),
+        ],
+    )
+    def test_malformed_section_rejected(self, patch, fragment):
+        section = json.loads(json.dumps(TRACE_STREAMING))
+        section.update(patch)
+        with pytest.raises(BenchSchemaError, match=fragment):
+            validate_bench(_mutated(trace_streaming=section))
+
+    def test_committed_engine_artifact_has_the_section(self):
+        record = validate_bench_file(REPO_ROOT / "BENCH_engine.json")
+        streaming = record["trace_streaming"]
+        assert streaming["buffered_tokens_per_sec"] > 0
+        assert streaming["streamed_tokens_per_sec"] > 0
+        assert streaming["events_streamed"] > streaming["peak_open_spans"]
 
 
 class TestRobustnessSections:
