@@ -234,6 +234,7 @@ def measure(repeats: int = 3) -> dict:
         measure_fault_recovery,
         measure_overload_goodput,
     )
+    from test_shard_scaling import measure_shard_scaling
 
     record = {
         "config": {
@@ -263,6 +264,7 @@ def measure(repeats: int = 3) -> dict:
         },
         "overload_goodput": measure_overload_goodput(),
         "fault_recovery": measure_fault_recovery(),
+        "shard_scaling": measure_shard_scaling(),
     }
     validate_bench(record, name="BENCH_cluster.json")
     return record

@@ -329,6 +329,7 @@ def _run_serve_cluster(args) -> str:
         prefix_cache_capacity=args.prefix_cache_capacity,
         tracer=tracer,
         cycle_sim=sim if tracer else None,
+        shards=args.shards,
     )
     trace = bursty_trace(
         np.random.default_rng(args.seed),
@@ -364,6 +365,15 @@ def _run_serve_cluster(args) -> str:
             f"mean occupancy {rep['mean_batch_occupancy']:.2f}  "
             f"preemptions {rep['preemptions']}  "
             f"keep fraction {rep['keep_fraction']:.3f}"
+        )
+    if args.shards > 1:
+        shipped = sum(e.allgather_bits_total for e in router.replicas)
+        full = sum(e.allgather_baseline_bits_total for e in router.replicas)
+        lines.append(
+            f"  shards per replica: {args.shards}  all-gather traffic: "
+            f"{shipped / 8:,.0f} B shipped vs {full / 8:,.0f} B unpruned "
+            f"({shipped / full:.3f}x)" if full else
+            f"  shards per replica: {args.shards}"
         )
     lines += [
         f"  fullest cluster step ({ours.n_replicas} busy replicas, "
@@ -455,6 +465,7 @@ def _run_serve_frontend(args) -> str:
                 # a bit-identity witness, not part of the story
                 tracer=tracer if with_faults else None,
                 cycle_sim=sim if traced else None,
+                shards=getattr(args, "shards", 1),
             )
             schedule = (
                 fault_schedule(args.seed, args.replicas, n_kills=2)
@@ -529,6 +540,7 @@ def _run_serve_frontend(args) -> str:
         kv_tiering=_tier_config(args),
         prefix_cache=_prefix_cache(args),
         tracer=tracer,
+        shards=getattr(args, "shards", 1),
     )
     simulator = ServingSimulator(
         model,
@@ -740,6 +752,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     cluster = parser.add_argument_group("serve-cluster options")
     cluster.add_argument(
         "--replicas", type=int, default=2, help="serving-engine replicas"
+    )
+    cluster.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="head-shard each replica across this many modelled "
+        "tensor-parallel workers (kept-token all-gather priced by the "
+        "interconnect model)",
     )
     cluster.add_argument(
         "--policy",

@@ -18,6 +18,12 @@ instead of a constant:
   histogram registry with streaming percentiles, recording TTFT,
   per-token latency, queue depth, preemptions and arena occupancy per
   replica (``tokenpicker serve-cluster --profile`` prints it).
+* :mod:`~repro.cluster.shard` — head-sharded model parallelism inside a
+  replica: :class:`~repro.cluster.shard.ShardedKVPool` slices the KV
+  arena head-wise across K modelled workers and
+  :class:`~repro.cluster.shard.ShardGroup` runs the ragged kernel per
+  slice with a bit-identical deterministic combine, pricing the kept
+  -token all-gather through ``hw/serving.py``'s interconnect model.
 """
 
 from repro.cluster.faults import (
@@ -44,6 +50,12 @@ from repro.cluster.router import (
     bursty_trace,
     busiest_step_reports,
 )
+from repro.cluster.shard import (
+    ShardedKVPool,
+    ShardGroup,
+    ShardStepView,
+    partition_heads,
+)
 
 __all__ = [
     "ROUTER_POLICIES",
@@ -59,7 +71,11 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "OptimisticMemory",
+    "ShardGroup",
+    "ShardStepView",
+    "ShardedKVPool",
     "bursty_trace",
     "busiest_step_reports",
     "make_memory_manager",
+    "partition_heads",
 ]

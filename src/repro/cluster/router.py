@@ -88,6 +88,8 @@ class ClusterRouter:
         tracer=None,
         cycle_sim=None,
         cycle_clock_ghz: float = 0.5,
+        shards: int = 1,
+        degrade_capacity_boost: float = 0.5,
     ) -> None:
         """``kv_tiering`` (a :class:`repro.kvstore.tiers.TierConfig`)
         enables the two-tier KV store on every replica; ``prefix_cache``
@@ -105,7 +107,17 @@ class ClusterRouter:
         step spans on the modelled hardware, and the router adds a
         cluster-level ``modelled_step`` span (the straggler's cycles —
         the synchronous-tick latency) on the ``cluster``/``cycles``
-        track."""
+        track.
+
+        ``shards`` > 1 runs every replica head-sharded across that many
+        modelled tensor-parallel workers (see
+        :mod:`repro.cluster.shard`) — the router composes shard-groups x
+        replicas.  ``degrade_capacity_boost`` scales how strongly a
+        replica's SLO degrade level (reported by the frontend's overload
+        controller via :meth:`note_degrade_level`) raises its advertised
+        effective capacity: a degraded replica prunes more aggressively
+        and streams fewer bytes per token, so dispatch divides its
+        marginal cost by ``1 + boost * level``."""
         if n_replicas < 1:
             raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
         if policy not in ROUTER_POLICIES:
@@ -123,6 +135,14 @@ class ClusterRouter:
         self._seed = seed
         self.cycle_sim = cycle_sim
         self.cycle_clock_ghz = cycle_clock_ghz
+        if degrade_capacity_boost < 0:
+            raise ValueError(
+                f"degrade_capacity_boost must be >= 0, got "
+                f"{degrade_capacity_boost}"
+            )
+        self.degrade_capacity_boost = degrade_capacity_boost
+        #: last SLO degrade level the frontend reported per replica
+        self._degrade_level: Dict[int, int] = {}
         self._replica_kwargs = dict(
             config=config,
             max_batch_size=max_batch_size,
@@ -134,6 +154,7 @@ class ClusterRouter:
             kv_tiering=kv_tiering,
             prefix_cache=prefix_cache,
             prefix_cache_capacity=prefix_cache_capacity,
+            shards=shards,
         )
         # each replica gets an independent seed stream; request-level RNGs
         # derive from (replica seed, request id) inside the engine
@@ -190,6 +211,7 @@ class ClusterRouter:
             trace_label=f"r{rid}" if gen == 0 else f"r{rid}+{gen}",
             cycle_sim=self.cycle_sim,
             cycle_clock_ghz=self.cycle_clock_ghz,
+            shards=kw["shards"],
         )
 
     # --------------------------------------------------------------- routing
@@ -219,6 +241,37 @@ class ClusterRouter:
             return "draining"
         return "live"
 
+    def note_degrade_level(
+        self, level: int, replica_id: Optional[int] = None
+    ) -> None:
+        """Feed the overload controller's degrade level into placement.
+
+        The frontend's SLO controller reports its current degrade level
+        each control tick (:class:`repro.serving.frontend` calls this for
+        the whole fleet); a test or an external controller can pin one
+        replica's level via ``replica_id``.  A degraded replica runs a
+        looser prune threshold — fewer bytes per decoded token — so
+        dispatch treats it as proportionally higher-capacity
+        (:meth:`capacity_factor`) instead of keeping the pre-degrade
+        placement that under-uses exactly the replicas the controller
+        just made cheaper.
+        """
+        if level < 0:
+            raise ValueError(f"degrade level must be >= 0, got {level}")
+        if replica_id is None:
+            for rid in range(self.n_replicas):
+                if rid not in self._dead:
+                    self._degrade_level[rid] = level
+        else:
+            if not 0 <= replica_id < self.n_replicas:
+                raise ValueError(f"unknown replica {replica_id}")
+            self._degrade_level[replica_id] = level
+
+    def capacity_factor(self, replica_id: int) -> float:
+        """Effective-capacity multiplier from the replica's degrade level."""
+        level = self._degrade_level.get(replica_id, 0)
+        return 1.0 + self.degrade_capacity_boost * level
+
     def effective_load(self, replica_id: int) -> float:
         """Outstanding arena tokens, discounted by live pruning behaviour.
 
@@ -226,10 +279,17 @@ class ClusterRouter:
         falls as the replica's Token-Picker traffic proves most of its
         KV rows are never fetched; the product estimates the DRAM-traffic
         cost of the replica's backlog, which is what actually bounds its
-        decode-step latency (Fig. 2's argument).
+        decode-step latency (Fig. 2's argument).  A degraded replica's
+        advertised capacity rises with its degrade level
+        (:meth:`capacity_factor`), so the same backlog reads as lighter
+        load there.
         """
         engine = self.replicas[replica_id]
-        return engine.outstanding_tokens * engine.counter.keep_fraction
+        return (
+            engine.outstanding_tokens
+            * engine.counter.keep_fraction
+            / self.capacity_factor(replica_id)
+        )
 
     def select_replica(self, request: GenerationRequest) -> int:
         """Route one request under the configured policy."""
@@ -244,7 +304,8 @@ class ClusterRouter:
                 self._rr_next += 1
                 if rid in routable:
                     return rid
-        # least-loaded: marginal effective cost of placing the request
+        # least-loaded: marginal effective cost of placing the request,
+        # discounted by the replica's degrade-boosted capacity
         return min(
             routable,
             key=lambda rid: (
@@ -252,7 +313,8 @@ class ClusterRouter:
                     self.replicas[rid].outstanding_tokens
                     + request.total_tokens
                 )
-                * self.replicas[rid].counter.keep_fraction,
+                * self.replicas[rid].counter.keep_fraction
+                / self.capacity_factor(rid),
                 rid,
             ),
         )

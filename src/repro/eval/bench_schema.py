@@ -78,6 +78,18 @@ FAULT_RECOVERY_COUNTS = (
 #: artifacts whose records must carry the ``fault_recovery`` section
 FAULT_RECOVERY_REQUIRED_IN = ("BENCH_cluster.json",)
 
+#: per-shard-count fields of the ``shard_scaling`` section — modelled
+#: throughput and all-gather traffic at each tensor-parallel width
+SHARD_SCALING_RUN_FIELDS = (
+    "modelled_tokens_per_sec",
+    "allgather_bytes_per_token",
+    "baseline_allgather_bytes_per_token",
+)
+
+#: artifacts whose records must carry the ``shard_scaling`` section
+#: (the head-sharded trajectory lives with the cluster bench)
+SHARD_SCALING_REQUIRED_IN = ("BENCH_cluster.json",)
+
 #: throughput rungs of the ``trace_overhead`` section — the same
 #: workload drained with tracing off, step-sampled, and full
 TRACE_OVERHEAD_RATES = (
@@ -193,6 +205,16 @@ def validate_bench(record: Mapping, name: str = "bench") -> None:
             )
     else:
         _validate_fault_recovery(recovery, f"{name}.fault_recovery")
+    scaling = record.get("shard_scaling")
+    if scaling is None:
+        if name in SHARD_SCALING_REQUIRED_IN:
+            _fail(
+                f"{name}.shard_scaling",
+                "missing: the cluster artifact must record the "
+                "head-sharded scaling sweep",
+            )
+    else:
+        _validate_shard_scaling(scaling, f"{name}.shard_scaling")
     overhead = record.get("trace_overhead")
     if overhead is None:
         if name in TRACE_OVERHEAD_REQUIRED_IN:
@@ -357,6 +379,65 @@ def _validate_overload_goodput(section, where: str) -> None:
             _fail(f"{entry}.level", f"must be an int >= 0, got {level!r}")
         if not isinstance(sample.get("shedding"), bool):
             _fail(f"{entry}.shedding", "must be a bool")
+
+
+def _validate_shard_scaling(section, where: str) -> None:
+    """The head-sharded scaling section: one run per tensor-parallel
+    width (``shards`` 1 must be present as the unsharded anchor, with
+    zero all-gather traffic), each carrying modelled throughput and the
+    pruned vs no-pruning all-gather bytes per decoded token.  The
+    blocking check is the paper's cluster-scale claim: pruning must ship
+    strictly fewer interconnect bytes than the no-pruning baseline on
+    every multi-shard run."""
+    if not isinstance(section, Mapping):
+        _fail(where, f"must be an object, got {type(section).__name__}")
+    runs = section.get("runs")
+    if not isinstance(runs, list) or len(runs) < 2:
+        _fail(f"{where}.runs", f"must be a list of >= 2 runs, got {runs!r}")
+    seen_shards = []
+    for j, run in enumerate(runs):
+        entry = f"{where}.runs[{j}]"
+        if not isinstance(run, Mapping):
+            _fail(entry, "must be an object")
+        shards = run.get("shards")
+        if not isinstance(shards, int) or shards < 1:
+            _fail(f"{entry}.shards", f"must be an int >= 1, got {shards!r}")
+        seen_shards.append(shards)
+        for field in SHARD_SCALING_RUN_FIELDS:
+            value = run.get(field)
+            if not isinstance(value, (int, float)) or value < 0:
+                _fail(
+                    f"{entry}.{field}",
+                    f"must be a number >= 0, got {value!r}",
+                )
+        if run["modelled_tokens_per_sec"] <= 0:
+            _fail(
+                f"{entry}.modelled_tokens_per_sec",
+                "must be > 0",
+            )
+        if shards == 1:
+            if run["allgather_bytes_per_token"] != 0:
+                _fail(
+                    f"{entry}.allgather_bytes_per_token",
+                    "a single worker has nothing to gather, got "
+                    f"{run['allgather_bytes_per_token']!r}",
+                )
+        else:
+            pruned = run["allgather_bytes_per_token"]
+            full = run["baseline_allgather_bytes_per_token"]
+            if not pruned < full:
+                _fail(
+                    f"{entry}.allgather_bytes_per_token",
+                    "pruning must shrink the all-gather (need pruned < "
+                    f"baseline, got {pruned!r} vs {full!r})",
+                )
+    if 1 not in seen_shards:
+        _fail(
+            f"{where}.runs",
+            f"must include the shards=1 anchor, got widths {seen_shards}",
+        )
+    if len(set(seen_shards)) != len(seen_shards):
+        _fail(f"{where}.runs", f"duplicate shard widths: {seen_shards}")
 
 
 def _validate_fault_recovery(section, where: str) -> None:

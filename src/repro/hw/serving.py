@@ -39,6 +39,33 @@ if TYPE_CHECKING:  # avoid a runtime hw -> serving dependency
 
 
 @dataclass(frozen=True)
+class InterconnectParams:
+    """The modelled shard-to-shard link (tensor-parallel all-gather).
+
+    A head-sharded step ends with each worker shipping its kept (head,
+    token) partial outputs to every peer; the transfer is bandwidth +
+    fixed-latency, the textbook alpha-beta model.  Defaults approximate
+    one NVLink-class link lane at the accelerator's 0.5 GHz modelled
+    clock (~32 GB/s effective) with a sub-microsecond launch/sync
+    overhead.
+    """
+
+    #: payload bytes the link moves per accelerator cycle
+    link_bytes_per_cycle: float = 64.0
+    #: fixed per-collective launch + synchronisation overhead
+    latency_cycles: int = 500
+
+    def transfer_cycles(self, n_bytes: int) -> int:
+        """Cycles to move ``n_bytes`` through the link (0 for no bytes)."""
+        if n_bytes <= 0:
+            return 0
+        return int(np.ceil(n_bytes / self.link_bytes_per_cycle)) + self.latency_cycles
+
+
+DEFAULT_INTERCONNECT = InterconnectParams()
+
+
+@dataclass(frozen=True)
 class ServingStepResult:
     """Cycle breakdown of one batched decode step for one design.
 
@@ -222,13 +249,100 @@ class ServingSimulator:
         engine_heads: Optional[int] = None,
     ) -> ServingStepResult:
         """Latency of one *engine* step from its per-sequence accounting,
-        including the prompt-chunk ingest the step performed."""
+        including the prompt-chunk ingest the step performed.  A report
+        from a head-sharded engine (non-empty ``shard_views``) dispatches
+        to :meth:`step_from_sharded` so cluster- and frontend-level
+        callers get the straggler + all-gather pricing for free."""
+        if getattr(report, "shard_views", None):
+            return self.step_from_sharded(
+                report, variant=variant, engine_heads=engine_heads
+            )
         stats = [view.stats for view in report.per_sequence.values()]
         return self.step_from_traffic(
             stats,
             variant=variant,
             engine_heads=engine_heads,
             prefill_bits=report.prefill_bits,
+        )
+
+    def step_from_sharded(
+        self,
+        report: "EngineStepReport",
+        variant: str = "topick",
+        engine_heads: Optional[int] = None,
+        interconnect: Optional[InterconnectParams] = None,
+    ) -> "ShardedStepResult":
+        """Decode-step latency of one head-sharded engine step.
+
+        Each shard worker streams only its own head slice's KV traffic
+        (the view's per-sequence fetched bits, each charged its own DRAM
+        latency tail), all workers run concurrently, so the attention
+        phase is bounded by the **slowest shard**.  The step then pays
+        one modelled all-gather moving every shard's kept (head, token)
+        partial-output vectors through ``interconnect`` — bytes
+        proportional to *kept* pairs, so Eq. 5 pruning shrinks the wire
+        traffic exactly as it shrinks DRAM traffic (the ``baseline``
+        variant ships every pair and fetches the full table).  Weight
+        streaming is unchanged (the modelled non-attention stack stays
+        replicated); prompt ingest is sliced across the workers, so the
+        prefill write stream is priced at the widest slice's share.  A
+        single-worker group has nothing to gather: zero all-gather bytes
+        and cycles.
+        """
+        views = list(getattr(report, "shard_views", []) or [])
+        if not views:
+            raise ValueError("report carries no shard views")
+        interconnect = (
+            interconnect if interconnect is not None else DEFAULT_INTERCONNECT
+        )
+        scale = self._head_scale(engine_heads) * self.model.n_layers
+        shard_cycles = []
+        for view in views:
+            bits = np.asarray(
+                view.seq_baseline_bits
+                if variant == "baseline"
+                else view.seq_bits,
+                dtype=np.float64,
+            )
+            if bits.size == 0:
+                shard_cycles.append(0)
+                continue
+            n_bytes = np.ceil(bits * scale / 8).astype(np.int64)
+            shard_cycles.append(
+                int(
+                    streaming_cycles_batch(
+                        n_bytes,
+                        self.hw.n_channels,
+                        self.hw.channel_bytes_per_cycle,
+                        self.hw.dram_latency_cycles,
+                    ).sum()
+                )
+            )
+        allgather_bytes = 0
+        allgather_cycles = 0
+        if len(views) > 1:
+            allgather_bits = sum(
+                v.baseline_allgather_bits
+                if variant == "baseline"
+                else v.allgather_bits
+                for v in views
+            )
+            allgather_bytes = int(np.ceil(allgather_bits * scale / 8))
+            allgather_cycles = interconnect.transfer_cycles(allgather_bytes)
+        widest = max(v.n_heads for v in views)
+        total_heads = sum(v.n_heads for v in views)
+        prefill_share = int(
+            np.ceil(report.prefill_bits * widest / total_heads)
+        )
+        return ShardedStepResult(
+            variant=variant,
+            batch_size=len(report.per_sequence),
+            n_shards=len(views),
+            weight_cycles=self.weight_streaming_cycles(),
+            shard_attention_cycles=tuple(shard_cycles),
+            allgather_cycles=allgather_cycles,
+            allgather_bytes=allgather_bytes,
+            prefill_cycles=self._prefill_cycles(prefill_share, scale),
         )
 
     def step_from_tiered(
@@ -363,6 +477,44 @@ class TieredStepResult:
 
 
 @dataclass(frozen=True)
+class ShardedStepResult:
+    """Cycle view of one head-sharded decode step.
+
+    ``attention_cycles`` is the **straggler** shard (workers stream their
+    head slices concurrently); the all-gather combining the kept-token
+    partial outputs is a separate phase so traces and diffs can gate
+    interconnect regressions independently of DRAM traffic.
+    """
+
+    variant: str
+    batch_size: int
+    n_shards: int
+    weight_cycles: int
+    #: per-worker attention-stream cycles, shard-index order
+    shard_attention_cycles: tuple
+    allgather_cycles: int
+    allgather_bytes: int
+    prefill_cycles: int = 0
+
+    @property
+    def attention_cycles(self) -> int:
+        return max(self.shard_attention_cycles) if self.shard_attention_cycles else 0
+
+    @property
+    def total_cycles(self) -> int:
+        return (
+            self.weight_cycles
+            + self.attention_cycles
+            + self.allgather_cycles
+            + self.prefill_cycles
+        )
+
+    @property
+    def attention_fraction(self) -> float:
+        return self.attention_cycles / self.total_cycles if self.total_cycles else 0.0
+
+
+@dataclass(frozen=True)
 class ClusterStepResult:
     """Cycle-level view of one cluster step across busy replicas.
 
@@ -447,6 +599,14 @@ def modelled_span_payload(result, clock_ghz: float = 0.5) -> Dict[str, object]:
             "fast_bytes": result.fast_bytes,
             "slow_bytes": result.slow_bytes,
         }
+    elif isinstance(result, ShardedStepResult):
+        payload["variant"] = result.variant
+        payload["n_shards"] = result.n_shards
+        payload["allgather_bytes"] = result.allgather_bytes
+        attention_args = {
+            "n_shards": result.n_shards,
+            "shard_cycles": list(result.shard_attention_cycles),
+        }
     else:
         payload["variant"] = result.variant
     payload["phases"] = [
@@ -458,6 +618,21 @@ def modelled_span_payload(result, clock_ghz: float = 0.5) -> Dict[str, object]:
         },
         {"name": "prefill", "cycles": result.prefill_cycles},
     ]
+    if isinstance(result, ShardedStepResult):
+        # the all-gather lands between attention and prefill on the
+        # modelled timeline: exact bytes/cycles in the span args so
+        # obs.diff can gate interconnect regressions
+        payload["phases"].insert(
+            2,
+            {
+                "name": "allgather",
+                "cycles": result.allgather_cycles,
+                "args": {
+                    "bytes": result.allgather_bytes,
+                    "n_shards": result.n_shards,
+                },
+            },
+        )
     return payload
 
 

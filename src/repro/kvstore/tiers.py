@@ -346,11 +346,14 @@ class TieredKVStore:
                 self.pool.k_heads,
                 self.pool.n_heads,
                 self.pool.head_dim,
-                self.pool.k_arena.dtype,
+                self.pool.k_dtype,
             )
             fresh_rows = self._arena_rows(seq_id, fresh)
-            state.cold_k[fresh] = self.pool.k_arena[fresh_rows]
-            state.cold_v[fresh] = self.pool.v_arena[fresh_rows]
+            # row accessors instead of raw arena indexing: a head-sharded
+            # composite pool gathers full-width rows across its slices
+            k_fresh, v_fresh = self.pool.read_rows(fresh_rows)
+            state.cold_k[fresh] = k_fresh
+            state.cold_v[fresh] = v_fresh
             state.cold_have[fresh] = True
             # encoded rows are immutable once written (frozen scales,
             # append-only arena), so this copy never goes stale
@@ -366,15 +369,17 @@ class TieredKVStore:
 
     def _scrub_rows(self, rows: np.ndarray) -> None:
         n_chunks = self.quant.n_chunks
+        k_rows, v_rows = self.pool.read_rows(rows)
         if self.sketch_chunks < n_chunks:
-            k_rows = self.pool.k_arena[rows].reshape(
+            k_rows = k_rows.reshape(
                 rows.size, self._n_heads, n_chunks, self.pool.head_dim
             )
             k_rows[:, :, self.sketch_chunks:, :] = 0.0
-            self.pool.k_arena[rows] = k_rows.reshape(
+            k_rows = k_rows.reshape(
                 rows.size, self.pool.k_heads, self.pool.head_dim
             )
-        self.pool.v_arena[rows] = 0.0
+        v_rows[:] = 0.0
+        self.pool.write_rows(rows, k_rows, v_rows)
 
     def promote(self, seq_id: int, positions) -> int:
         """Restore tokens' exact encoded bytes into the arena."""
@@ -387,8 +392,9 @@ class TieredKVStore:
             raise RuntimeError("demoted token has no cold copy")
         if not state.swapped_out:
             rows = self._arena_rows(seq_id, positions)
-            self.pool.k_arena[rows] = state.cold_k[positions]
-            self.pool.v_arena[rows] = state.cold_v[positions]
+            self.pool.write_rows(
+                rows, state.cold_k[positions], state.cold_v[positions]
+            )
         moved = self._bytes(positions.size * self.row_bits)
         self.dram.slow_read(moved)
         self.dram.fast_write(moved)

@@ -305,6 +305,7 @@ def analyze(events: List[dict]) -> TraceAnalysis:
                     "slow_bytes": 0,
                     "weights_cycles": 0,
                     "attention_cycles": 0,
+                    "allgather_cycles": 0,
                     "prefill_cycles": 0,
                 },
             )
@@ -318,7 +319,7 @@ def analyze(events: List[dict]) -> TraceAnalysis:
             registry.histogram(
                 "modelled_step_seconds", replica=replica
             ).observe(float(args.get("modelled_seconds", 0.0)))
-        elif event["name"] in ("weights", "attention", "prefill"):
+        elif event["name"] in ("weights", "attention", "allgather", "prefill"):
             totals = analysis.modelled.get(replica)
             if totals is not None:
                 totals[f"{event['name']}_cycles"] += int(

@@ -58,6 +58,7 @@ _CYCLE_FIELDS = (
     "total_cycles",
     "weights_cycles",
     "attention_cycles",
+    "allgather_cycles",
     "prefill_cycles",
 )
 

@@ -193,6 +193,11 @@ class EngineStepReport:
     #: each chunk round plus the final kept count — shape
     #: (n_chunks + 1,); None when the step ran no kernel call
     round_alive: Optional[np.ndarray] = None
+    #: per-shard interconnect telemetry (List[repro.cluster.shard.
+    #: ShardStepView]) when the engine runs head-sharded; empty on an
+    #: unsharded engine.  ``step_from_engine`` dispatches to the sharded
+    #: hardware model whenever this is non-empty.
+    shard_views: List = field(default_factory=list)
 
     @property
     def batch_size(self) -> int:
@@ -331,6 +336,7 @@ class ServingEngine:
         trace_label: str = "engine",
         cycle_sim=None,
         cycle_clock_ghz: float = 0.5,
+        shards: int = 1,
     ) -> None:
         """``memory_manager`` switches admission from the conservative
         full-lifetime reservation (``None``, the default — decode can
@@ -375,9 +381,19 @@ class ServingEngine:
         track sharing the step's wall anchor.  Only consulted when a
         step span is actually emitted, so it costs nothing on unsampled
         steps or with tracing off.
+
+        ``shards`` > 1 runs the engine head-sharded: the KV arena is a
+        :class:`repro.cluster.shard.ShardedKVPool` sliced head-wise
+        across K modelled workers, each step's kernel runs once per
+        slice via :class:`repro.cluster.shard.ShardGroup`, and the
+        kept-token all-gather combining the partial outputs is priced by
+        the hardware model's interconnect term.  Decode outputs stay
+        bit-identical to ``shards=1``.
         """
         if safety_factor < 1.0:
             raise ValueError("safety_factor must be >= 1 (headroom only)")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.config = config or TokenPickerConfig()
         if self.config.schedule != "breadth":
             raise ValueError(
@@ -408,6 +424,13 @@ class ServingEngine:
         self._prefix_handles: Dict[int, object] = {}
         self.pool: Optional[KVCachePool] = None  # built on first pooled admit
         self._scratch = KernelScratch()  # fused-kernel work arrays, reused
+        self._shards = shards
+        self._shard_group = None  # ShardGroup, built with the sharded pool
+        #: engine-layer all-gather bits shipped (pruned) vs the
+        #: no-pruning footprint of the same steps — the interconnect
+        #: savings Token-Picker's Eq. 5 bounds buy at cluster scale
+        self.allgather_bits_total = 0
+        self.allgather_baseline_bits_total = 0
         self.counter = AccessCounter()  # engine-wide aggregate
         self.completed: List[CompletedRequest] = []
         #: aborted requests (CANCELLED / TIMED_OUT terminal records)
@@ -879,20 +902,43 @@ class ServingEngine:
                 + max(request.head_dim - 1, 1).bit_length()
                 <= 52
             )
-            self.pool = KVCachePool(
-                n_heads=request.n_heads,
-                head_dim=request.head_dim,
-                capacity_tokens=self._capacity_tokens,
-                block_size=self._block_size,
-                # K channel holds the chunk-digit decomposition (what the
-                # accelerator's DRAM layout streams): C digits per head
-                k_heads=request.n_heads * self.config.quant.n_chunks,
-                k_dtype=(
-                    np.float32
-                    if exact64 and digit_bound < 2 ** 24
-                    else np.float64
-                ),
+            k_dtype = (
+                np.float32
+                if exact64 and digit_bound < 2 ** 24
+                else np.float64
             )
+            if self._shards > 1:
+                # lazy import: cluster sits above serving in the layer
+                # stack (the engine only reaches up when sharding is on)
+                from repro.cluster.shard import ShardedKVPool, ShardGroup
+
+                if request.n_heads < self._shards:
+                    raise ValueError(
+                        f"cannot shard {request.n_heads} heads across "
+                        f"{self._shards} workers"
+                    )
+                self.pool = ShardedKVPool(
+                    n_heads=request.n_heads,
+                    head_dim=request.head_dim,
+                    capacity_tokens=self._capacity_tokens,
+                    block_size=self._block_size,
+                    k_heads=request.n_heads * self.config.quant.n_chunks,
+                    k_dtype=k_dtype,
+                    n_shards=self._shards,
+                )
+                self._shard_group = ShardGroup(self.pool, quant)
+            else:
+                self.pool = KVCachePool(
+                    n_heads=request.n_heads,
+                    head_dim=request.head_dim,
+                    capacity_tokens=self._capacity_tokens,
+                    block_size=self._block_size,
+                    # K channel holds the chunk-digit decomposition (what
+                    # the accelerator's DRAM layout streams): C digits
+                    # per head
+                    k_heads=request.n_heads * self.config.quant.n_chunks,
+                    k_dtype=k_dtype,
+                )
             if self._tier_config is not None:
                 from repro.kvstore.tiers import TieredKVStore
 
@@ -1014,7 +1060,19 @@ class ServingEngine:
                 self.tracer.instant(
                     self.trace_label, track, "prefill_start", ts=ts
                 )
-        k_slots, v_slots = self.pool.append_slots(entry.seq_id, n)
+        if getattr(self.pool, "supports_inplace_slots", True):
+            k_slots, v_slots = self.pool.append_slots(entry.seq_id, n)
+        else:
+            # sharded pool: no single writable arena view spans the K
+            # slices — encode into full-width staging rows and let the
+            # pool scatter each slice's columns (a float32 staging array
+            # casts exactly like a float32 arena view, so the stored
+            # bytes match the in-place path bit for bit)
+            k_slots = np.empty(
+                (n, self.pool.k_heads, self.pool.head_dim),
+                dtype=self.pool.k_dtype,
+            )
+            v_slots = np.empty((n, self.pool.n_heads, self.pool.head_dim))
         _encode_kv_into(
             request.prompt_keys[:, start:start + n],
             request.prompt_values[:, start:start + n],
@@ -1023,6 +1081,8 @@ class ServingEngine:
             k_slots,
             v_slots,
         )
+        if not getattr(self.pool, "supports_inplace_slots", True):
+            self.pool.append_encoded(entry.seq_id, k_slots, v_slots)
         if self.tiers is not None:
             self.tiers.note_append(entry.seq_id, n, self._step_index)
             handle = self._prefix_handles.get(entry.seq_id)
@@ -1258,6 +1318,40 @@ class ServingEngine:
         return [e for e in pooled if e.seq_id in self._active]
 
     # ----------------------------------------------------------- fused decode
+    def _run_kernel(
+        self,
+        qs: np.ndarray,
+        q_scales: np.ndarray,
+        k_scales: np.ndarray,
+        segments: np.ndarray,
+        phase_times: Dict[str, float],
+    ) -> "RaggedPickerResult":
+        """The step's attention kernel: one fused arena call, or — on a
+        head-sharded engine — K slice calls combined in deterministic
+        shard order (bit-identical either way; see ShardGroup)."""
+        if self._shard_group is not None:
+            return self._shard_group.run(
+                qs,
+                q_scales,
+                k_scales,
+                segments,
+                self.config,
+                phase_times=phase_times,
+            )
+        return token_picker_attention_ragged(
+            qs,
+            None,
+            None,
+            self.config,
+            q_scales=q_scales,
+            k_scales=k_scales,
+            k_plane_arena=self.pool.k_arena,
+            v_arena=self.pool.v_arena,
+            segments=segments,
+            scratch=self._scratch,
+            phase_times=phase_times,
+        )
+
     def step(self) -> EngineStepReport:
         """One fused decode step: resume, admit, prefill, batch-attend,
         retire.  Prompt ingestion is budgeted with decode priority
@@ -1338,20 +1432,11 @@ class ServingEngine:
         segments = self.pool.segments_of(seq_ids)
         report.phase_seconds["pack"] = time.perf_counter() - t_mark
 
-        # ---- one fused kernel call straight on the arena: the segment
-        # table is the only per-step metadata, no packing copies
-        ragged = token_picker_attention_ragged(
-            qs,
-            None,
-            None,
-            self.config,
-            q_scales=q_scales,
-            k_scales=k_scales,
-            k_plane_arena=self.pool.k_arena,
-            v_arena=self.pool.v_arena,
-            segments=segments,
-            scratch=self._scratch,
-            phase_times=report.phase_seconds,
+        # ---- one fused kernel call straight on the arena (or one per
+        # head shard): the segment table is the only per-step metadata,
+        # no packing copies
+        ragged = self._run_kernel(
+            qs, q_scales, k_scales, segments, report.phase_seconds
         )
         report.ragged_utilization = Scheduler.ragged_utilization(
             segments[:, 1].tolist()
@@ -1364,6 +1449,16 @@ class ServingEngine:
         if self.tiers is not None:
             tier_bits = self._tier_post_kernel(
                 pooled, qs, q_scales, k_scales, segments, ragged, report
+            )
+        if self._shard_group is not None:
+            # derive interconnect telemetry from the step's *final*
+            # results (post tier-repair) so reruns are not double-counted
+            report.shard_views = self._shard_group.step_views(ragged.results)
+            self.allgather_bits_total += sum(
+                v.allgather_bits for v in report.shard_views
+            )
+            self.allgather_baseline_bits_total += sum(
+                v.baseline_allgather_bits for v in report.shard_views
             )
 
         t_mark = time.perf_counter()
@@ -1476,6 +1571,11 @@ class ServingEngine:
             args["tier_demotions"] = report.tier_demotions
             args["tier_promotions"] = report.tier_promotions
             args["tier_reruns"] = report.tier_reruns
+        if report.shard_views:
+            args["n_shards"] = len(report.shard_views)
+            args["allgather_bits"] = sum(
+                v.allgather_bits for v in report.shard_views
+            )
         if report.per_sequence:
             fast = sum(
                 v.fast_bits for v in report.per_sequence.values()
@@ -1495,7 +1595,15 @@ class ServingEngine:
             from repro.hw.serving import modelled_span_payload
 
             engine_heads = self.pool.n_heads if self.pool is not None else None
-            if self.tiers is not None:
+            if report.shard_views:
+                # sharded pricing wins over tiered: the shard views
+                # already reflect post-tier-repair fetch decisions, and
+                # the straggler + all-gather terms are the step's
+                # dominant modelled costs
+                result = self.cycle_sim.step_from_sharded(
+                    report, engine_heads=engine_heads
+                )
+            elif self.tiers is not None:
                 result = self.cycle_sim.step_from_tiered(
                     report, engine_heads=engine_heads
                 )
@@ -1555,18 +1663,12 @@ class ServingEngine:
             if not rerun:
                 break
             idx = np.asarray(rerun, dtype=np.int64)
-            redo = token_picker_attention_ragged(
+            redo = self._run_kernel(
                 qs[idx],
-                None,
-                None,
-                self.config,
-                q_scales=q_scales[idx],
-                k_scales=k_scales[idx],
-                k_plane_arena=self.pool.k_arena,
-                v_arena=self.pool.v_arena,
-                segments=segments[idx],
-                scratch=self._scratch,
-                phase_times=report.phase_seconds,
+                q_scales[idx],
+                k_scales[idx],
+                segments[idx],
+                report.phase_seconds,
             )
             for j, i in enumerate(rerun):
                 ragged.results[i] = redo.results[j]

@@ -319,6 +319,9 @@ class _EngineBackend:
     def set_threshold(self, threshold: float) -> None:
         self.engine.set_threshold(threshold)
 
+    def note_degrade_level(self, level: int) -> None:
+        pass  # one engine: no placement to bias
+
     def step(self) -> List[Tuple[object, EngineStepReport]]:
         return [(None, self.engine.step())]
 
@@ -367,6 +370,11 @@ class _ClusterBackend:
     def set_threshold(self, threshold: float) -> None:
         for _, engine in self._live_engines():
             engine.set_threshold(threshold)
+
+    def note_degrade_level(self, level: int) -> None:
+        # degraded replicas prune harder, so the router should treat
+        # them as higher-capacity when placing new requests
+        self.router.note_degrade_level(level)
 
     def step(self) -> List[Tuple[object, EngineStepReport]]:
         report = self.router.step()
@@ -595,6 +603,7 @@ class AsyncStreamingFrontend:
                     },
                 )
             self.backend.set_threshold(self.controller.threshold)
+            self.backend.note_degrade_level(self.controller.level)
 
     async def _run(self) -> None:
         while True:

@@ -96,6 +96,9 @@ class SwappedSequence:
     k_rows: np.ndarray  # (t, k_heads, d) token-major encoded K digits
     v_rows: np.ndarray  # (t, n_heads, d) token-major deq-V rows
     scales: Optional[SequenceScales]
+    # on a head-sliced pool the rows carry that slice's head columns
+    # only; swapping back in through the same (or an identically sliced)
+    # pool reproduces the slice byte-for-byte.
 
     @property
     def length(self) -> int:
@@ -123,7 +126,27 @@ class KVCachePool:
     ``(H, t, d)`` transposed views, and :meth:`segments_of` hands the
     fused kernel the raw segment table so it can compute on arena views
     directly.  Freed runs return to a coalescing first-fit hole list.
+
+    **Head slicing** (model parallelism): ``head_range=(h0, h1)`` makes
+    the pool own only that contiguous slice of the model's heads — the
+    arenas are allocated at slice width, and the K plane carries the
+    matching ``[h0*C, h1*C)`` pseudo-head columns (``C = k_heads //
+    n_heads`` chunk planes per head).  The *input* surface stays
+    full-width: :meth:`append`/:meth:`append_rows`/:meth:`append_encoded`
+    accept full ``(k_heads, ...)``/``(n_heads, ...)`` tensors and slice
+    internally, so a shard group can feed every slice pool the same
+    encoded rows.  :meth:`view`, :attr:`k_arena`/:attr:`v_arena` and
+    :meth:`swap_out` return **slice-local** planes — a slice's swap
+    segments are byte-exact for that slice and swap back in through the
+    same pool unchanged.  ``head_range=None`` (the default) is the
+    classic full-width pool, bit-for-bit.
     """
+
+    #: in-place prefill contract: ``append_slots`` hands out writable
+    #: arena views the caller encodes into directly.  Composite pools
+    #: (e.g. the sharded fan-out pool) publish ``False`` so the engine
+    #: stages encoded rows and calls :meth:`append_encoded` instead.
+    supports_inplace_slots = True
 
     def __init__(
         self,
@@ -133,13 +156,18 @@ class KVCachePool:
         block_size: int = 16,
         k_heads: Optional[int] = None,
         k_dtype=np.float64,
+        head_range: Optional[Tuple[int, int]] = None,
     ) -> None:
         """``k_heads`` lets the K channel carry a different leading axis
         than V — e.g. the engine stores chunk-plane-decomposed keys as
         ``n_heads * n_chunks`` pseudo-heads while V keeps ``n_heads``.
         ``k_dtype`` sets the K-channel storage width: the engine stores
         *unshifted* chunk digits, which fit float32 exactly for practical
-        formats — halving the fused kernel's arena traffic."""
+        formats — halving the fused kernel's arena traffic.
+        ``head_range=(h0, h1)`` restricts storage to a head slice (see
+        class docstring); it requires ``k_heads`` divisible by
+        ``n_heads`` so the K pseudo-head columns split on head borders.
+        """
         if n_heads < 1 or head_dim < 1:
             raise ValueError("n_heads and head_dim must be >= 1")
         if block_size < 1:
@@ -154,14 +182,39 @@ class KVCachePool:
         self.k_heads = k_heads if k_heads is not None else n_heads
         if self.k_heads < 1:
             raise ValueError("k_heads must be >= 1")
+        if head_range is None:
+            self.head_range: Tuple[int, int] = (0, n_heads)
+            self._h_lo, self._h_hi = 0, n_heads
+            self._k_lo, self._k_hi = 0, self.k_heads
+        else:
+            h_lo, h_hi = int(head_range[0]), int(head_range[1])
+            if not 0 <= h_lo < h_hi <= n_heads:
+                raise ValueError(
+                    f"head_range must satisfy 0 <= lo < hi <= {n_heads}, "
+                    f"got {head_range}"
+                )
+            if self.k_heads % n_heads:
+                raise ValueError(
+                    f"head_range needs k_heads ({self.k_heads}) divisible "
+                    f"by n_heads ({n_heads})"
+                )
+            k_mult = self.k_heads // n_heads
+            self.head_range = (h_lo, h_hi)
+            self._h_lo, self._h_hi = h_lo, h_hi
+            self._k_lo, self._k_hi = h_lo * k_mult, h_hi * k_mult
+        self.local_n_heads = self._h_hi - self._h_lo
+        self.local_k_heads = self._k_hi - self._k_lo
         self.block_size = block_size
         self.n_blocks = capacity_tokens // block_size
-        # token-major arena planes: row t is one token's (heads, d) slab
+        # token-major arena planes: row t is one token's (heads, d) slab,
+        # at slice width (== full width for an unsliced pool)
         self._k = np.zeros(
-            (self.n_blocks * block_size, self.k_heads, head_dim),
+            (self.n_blocks * block_size, self.local_k_heads, head_dim),
             dtype=k_dtype,
         )
-        self._v = np.zeros((self.n_blocks * block_size, n_heads, head_dim))
+        self._v = np.zeros(
+            (self.n_blocks * block_size, self.local_n_heads, head_dim)
+        )
         # hole list in block units, sorted by offset, coalesced.  A
         # zero-capacity pool (capacity_tokens == 0) is legal — an
         # always-full placeholder some capacity dashboards construct —
@@ -393,13 +446,39 @@ class KVCachePool:
 
     @property
     def k_arena(self) -> np.ndarray:
-        """Token-major ``(T_cap, k_heads, d)`` K-channel plane storage."""
+        """Token-major ``(T_cap, local_k_heads, d)`` K-plane storage
+        (slice-local; full ``k_heads`` width on an unsliced pool)."""
         return self._k
 
     @property
     def v_arena(self) -> np.ndarray:
-        """Token-major ``(T_cap, n_heads, d)`` V storage."""
+        """Token-major ``(T_cap, local_n_heads, d)`` V storage
+        (slice-local; full ``n_heads`` width on an unsliced pool)."""
         return self._v
+
+    @property
+    def k_dtype(self) -> np.dtype:
+        """Storage dtype of the K-channel plane."""
+        return self._k.dtype
+
+    @property
+    def is_sliced(self) -> bool:
+        """Whether this pool owns only a head slice of the model."""
+        return (self._h_lo, self._h_hi) != (0, self.n_heads)
+
+    def read_rows(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Copy arbitrary arena rows out: ``(k_rows, v_rows)`` at the
+        pool's stored (slice-local) width.  The tier store uses this
+        instead of poking the raw arenas so composite pools can gather
+        across slices transparently."""
+        return self._k[rows].copy(), self._v[rows].copy()
+
+    def write_rows(
+        self, rows: np.ndarray, k_rows: np.ndarray, v_rows: np.ndarray
+    ) -> None:
+        """Scatter rows back into the arena (inverse of :meth:`read_rows`)."""
+        self._k[rows] = k_rows
+        self._v[rows] = v_rows
 
     def append(self, seq_id: int, keys: np.ndarray, values: np.ndarray) -> None:
         """Append ``n`` tokens — (H, n, d) — growing the run as needed.
@@ -424,8 +503,8 @@ class KVCachePool:
         new_len = entry.length + n
         self._grow(entry, self.blocks_needed(new_len))
         pos = entry.offset_blocks * self.block_size + entry.length
-        self._k[pos:pos + n] = keys.transpose(1, 0, 2)
-        self._v[pos:pos + n] = values.transpose(1, 0, 2)
+        self._k[pos:pos + n] = keys[self._k_lo:self._k_hi].transpose(1, 0, 2)
+        self._v[pos:pos + n] = values[self._h_lo:self._h_hi].transpose(1, 0, 2)
         entry.length = new_len
 
     def append_slots(
@@ -453,6 +532,30 @@ class KVCachePool:
         pos = entry.offset_blocks * self.block_size + entry.length
         entry.length = new_len
         return self._k[pos:pos + n], self._v[pos:pos + n]
+
+    def append_encoded(
+        self, seq_id: int, k_rows: np.ndarray, v_rows: np.ndarray
+    ) -> None:
+        """Append already-encoded token-major rows (full-width input).
+
+        ``k_rows``: (n, k_heads, d); ``v_rows``: (n, n_heads, d) — the
+        staged-prefill counterpart of :meth:`append_slots` for pools that
+        cannot hand out in-place views (head-sliced and composite pools
+        slice/fan out the staged rows internally).
+        """
+        if k_rows.ndim != 3 or k_rows.shape[1:] != (self.k_heads, self.head_dim):
+            raise ValueError(
+                f"k_rows must be (n, {self.k_heads}, {self.head_dim}), "
+                f"got {k_rows.shape}"
+            )
+        if v_rows.shape != (k_rows.shape[0], self.n_heads, self.head_dim):
+            raise ValueError(
+                f"v_rows must be ({k_rows.shape[0]}, {self.n_heads}, "
+                f"{self.head_dim}), got {v_rows.shape}"
+            )
+        k_slots, v_slots = self.append_slots(seq_id, k_rows.shape[0])
+        k_slots[:] = k_rows[:, self._k_lo:self._k_hi]
+        v_slots[:] = v_rows[:, self._h_lo:self._h_hi]
 
     def append_rows(
         self,
@@ -484,8 +587,8 @@ class KVCachePool:
             [e.offset_blocks * self.block_size + e.length for e in entries],
             dtype=np.int64,
         )
-        self._k[rows] = k_rows
-        self._v[rows] = v_rows
+        self._k[rows] = k_rows[:, self._k_lo:self._k_hi]
+        self._v[rows] = v_rows[:, self._h_lo:self._h_hi]
         for entry in entries:
             entry.length += 1
 
@@ -547,7 +650,8 @@ class KVCachePool:
         self.swaps_in_total += 1
 
     def view(self, seq_id: int) -> Tuple[np.ndarray, np.ndarray]:
-        """The sequence's logical (H, t, d) K and V tensors (read-only).
+        """The sequence's logical (H, t, d) K and V tensors (read-only;
+        slice-local head planes on a head-sliced pool).
 
         Zero-copy: both are transposed views of the sequence's arena run,
         valid until the sequence is freed or relocated by growth beyond
@@ -558,8 +662,11 @@ class KVCachePool:
         entry = self._entry(seq_id)
         if entry.length == 0:
             return (
-                np.zeros((self.k_heads, 0, self.head_dim), dtype=self._k.dtype),
-                np.zeros((self.n_heads, 0, self.head_dim)),
+                np.zeros(
+                    (self.local_k_heads, 0, self.head_dim),
+                    dtype=self._k.dtype,
+                ),
+                np.zeros((self.local_n_heads, 0, self.head_dim)),
             )
         lo = entry.offset_blocks * self.block_size
         k = self._k[lo:lo + entry.length].transpose(1, 0, 2)

@@ -399,10 +399,38 @@ class TestRobustnessSections:
         "recovery_ttft_p95_ms": 290.0,
     }
 
+    SHARD_SCALING = {
+        "model": "gpt2-medium",
+        "n_heads": 4,
+        "head_dim": 64,
+        "batch": 8,
+        "runs": [
+            {
+                "shards": 1,
+                "modelled_tokens_per_sec": 2595.6,
+                "allgather_bytes_per_token": 0.0,
+                "baseline_allgather_bytes_per_token": 0.0,
+            },
+            {
+                "shards": 2,
+                "modelled_tokens_per_sec": 2723.0,
+                "allgather_bytes_per_token": 38208.3,
+                "baseline_allgather_bytes_per_token": 4156416.0,
+            },
+            {
+                "shards": 4,
+                "modelled_tokens_per_sec": 2796.3,
+                "allgather_bytes_per_token": 38208.3,
+                "baseline_allgather_bytes_per_token": 4156416.0,
+            },
+        ],
+    }
+
     def _cluster_record(self, **overrides):
         record = _mutated(
             overload_goodput=json.loads(json.dumps(self.GOODPUT)),
             fault_recovery=json.loads(json.dumps(self.RECOVERY)),
+            shard_scaling=json.loads(json.dumps(self.SHARD_SCALING)),
         )
         record.update(overrides)
         return record
@@ -410,7 +438,9 @@ class TestRobustnessSections:
     def test_valid_cluster_record_passes(self):
         validate_bench(self._cluster_record(), name="BENCH_cluster.json")
 
-    @pytest.mark.parametrize("section", ["overload_goodput", "fault_recovery"])
+    @pytest.mark.parametrize(
+        "section", ["overload_goodput", "fault_recovery", "shard_scaling"]
+    )
     def test_sections_required_for_cluster_artifact(self, section):
         record = self._cluster_record()
         del record[section]
@@ -456,6 +486,30 @@ class TestRobustnessSections:
         with pytest.raises(BenchSchemaError, match=fragment):
             validate_bench(record, name="BENCH_cluster.json")
 
+    @pytest.mark.parametrize(
+        "mutate, fragment",
+        [
+            # anchor run must ship nothing
+            (lambda s: s["runs"][0].update(allgather_bytes_per_token=8.0),
+             "nothing to gather"),
+            # pruning must beat the no-pruning baseline on the wire
+            (lambda s: s["runs"][1].update(
+                allgather_bytes_per_token=4156416.0),
+             "pruning must shrink the all-gather"),
+            (lambda s: s["runs"][1].update(modelled_tokens_per_sec=0),
+             "modelled_tokens_per_sec"),
+            (lambda s: s["runs"].pop(0), "shards=1 anchor"),
+            (lambda s: s["runs"].append(dict(s["runs"][1])),
+             "duplicate shard widths"),
+            (lambda s: s.update(runs=[]), "list of >= 2 runs"),
+        ],
+    )
+    def test_malformed_shard_scaling_rejected(self, mutate, fragment):
+        record = self._cluster_record()
+        mutate(record["shard_scaling"])
+        with pytest.raises(BenchSchemaError, match=fragment):
+            validate_bench(record, name="BENCH_cluster.json")
+
     def test_committed_cluster_artifact_has_the_sections(self):
         record = validate_bench_file(REPO_ROOT / "BENCH_cluster.json")
         goodput = record["overload_goodput"]
@@ -465,3 +519,9 @@ class TestRobustnessSections:
         assert recovery["kills"] >= 2
         assert recovery["bit_identical"] is True
         assert recovery["completed"] == recovery["requests"]
+        scaling = record["shard_scaling"]
+        widths = {run["shards"] for run in scaling["runs"]}
+        assert {1, 2, 4} <= widths
+        for run in scaling["runs"]:
+            if run["shards"] > 1:
+                assert run["interconnect_savings"] > 1.0
